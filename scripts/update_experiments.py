@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Fill EXPERIMENTS.md's measured-results blocks from results/summary.json.
+
+Run after ``scripts/run_full_experiments.py``:
+
+    python scripts/update_experiments.py
+
+Replaces the ``<!-- TABLE3_SUMMARY -->`` and ``<!-- FIGURE5_SUMMARY -->``
+markers (or the blocks previously generated from them) with tables
+comparing measured averages against the paper's.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+BEGIN_T3 = "<!-- TABLE3_SUMMARY -->"
+BEGIN_F5 = "<!-- FIGURE5_SUMMARY -->"
+END = "<!-- /GENERATED -->"
+
+PAPER_T3 = {
+    "m1": {"ccr_flow": 9.18, "ccr_dl": 11.11, "ratio": 1.21},
+    "m3": {"ccr_flow": 59.20, "ccr_dl": 66.35, "ratio": 1.12},
+}
+PAPER_F5_GAINS = {"two-class": 1.00, "vec": 1.07, "vec&img": 1.09}
+
+
+def table3_block(summary: dict) -> str:
+    lines = [
+        BEGIN_T3,
+        "",
+        "| Split | avg CCR flow % | avg CCR DL % | DL/flow | paper DL/flow |",
+        "|---|---|---|---|---|",
+    ]
+    for layer in ("m1", "m3"):
+        avg = summary.get("table3", {}).get(layer) or {}
+        if not avg:
+            lines.append(f"| {layer.upper()} | (not run) | | | |")
+            continue
+        lines.append(
+            f"| {layer.upper()} | {avg['ccr_flow']:.2f} "
+            f"(paper {PAPER_T3[layer]['ccr_flow']:.2f}) "
+            f"| {avg['ccr_dl']:.2f} "
+            f"(paper {PAPER_T3[layer]['ccr_dl']:.2f}) "
+            f"| **{avg['ccr_ratio']:.2f}x** "
+            f"| {PAPER_T3[layer]['ratio']:.2f}x |"
+        )
+    rows = summary.get("table3", {}).get("rows", [])
+    n_timeouts = sum(1 for r in rows if r["ccr_flow"] is None)
+    if rows:
+        lines.append("")
+        lines.append(
+            f"Flow-attack time-outs: {n_timeouts} of {len(rows)} rows "
+            "(the paper's Table 3 has 9 'N/A' rows of 32)."
+        )
+    lines.append(END)
+    return "\n".join(lines)
+
+
+def figure5_block(summary: dict) -> str:
+    lines = [
+        BEGIN_F5,
+        "",
+        "| Variant | avg CCR % | gain | paper gain | avg inference (s) |",
+        "|---|---|---|---|---|",
+    ]
+    gains = summary.get("figure5_gains", {})
+    for variant in ("two-class", "vec", "vec&img"):
+        data = summary.get("figure5", {}).get(variant)
+        if not data:
+            lines.append(f"| {variant} | (not run) | | | |")
+            continue
+        lines.append(
+            f"| {variant} | {data['avg_ccr']:.2f} "
+            f"| {gains.get(variant, float('nan')):.2f}x "
+            f"| {PAPER_F5_GAINS[variant]:.2f}x "
+            f"| {data['avg_inference_s']:.2f} |"
+        )
+    lines.append(END)
+    return "\n".join(lines)
+
+
+def replace_block(text: str, marker: str, block: str) -> str:
+    generated = re.compile(
+        re.escape(marker) + r".*?" + re.escape(END), re.DOTALL
+    )
+    if generated.search(text):
+        return generated.sub(block, text)
+    if marker in text:
+        return text.replace(marker, block)
+    raise SystemExit(f"marker {marker} not found in EXPERIMENTS.md")
+
+
+def main() -> int:
+    summary_path = ROOT / "results" / "summary.json"
+    if not summary_path.exists():
+        raise SystemExit("results/summary.json missing; run the experiments first")
+    summary = json.loads(summary_path.read_text())
+    experiments = ROOT / "EXPERIMENTS.md"
+    text = experiments.read_text()
+    text = replace_block(text, BEGIN_T3, table3_block(summary))
+    text = replace_block(text, BEGIN_F5, figure5_block(summary))
+    experiments.write_text(text)
+    print("EXPERIMENTS.md updated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so the package installs in offline environments that lack the
+``wheel`` package (``python setup.py develop``); normal installs should
+use ``pip install -e .`` against pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

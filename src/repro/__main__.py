@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+info        package, library and benchmark-suite overview
+quickstart  minutes-scale end-to-end demo (tiny designs, M3 split)
+build       place & route one named design, print stats, optionally
+            write the DEF-like layout
+attack      run one or more attacks on a named design at a split layer
+table3      regenerate (a subset of) Table 3
+figure5     regenerate the Figure 5 ablation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_info(_args) -> int:
+    import repro
+    from repro.cells import default_library
+    from repro.netlist import TABLE3_SPECS, TRAINING_DESIGNS, VALIDATION_DESIGNS
+
+    lib = default_library()
+    print(f"repro {repro.__version__} — DAC'19 split-manufacturing DL attack")
+    print(f"cell library: {lib.name} ({len(lib)} cells)")
+    print(
+        f"design suites: {len(TABLE3_SPECS)} attack designs, "
+        f"{len(TRAINING_DESIGNS)} training, {len(VALIDATION_DESIGNS)} validation"
+    )
+    print("attack designs (scaled gate targets):")
+    for spec in TABLE3_SPECS:
+        print(
+            f"  {spec.name:8s} {spec.flavor:6s} target={spec.target_gates:5d} "
+            f"(paper M1 #Sk={spec.m1.sinks})"
+        )
+    return 0
+
+
+def cmd_quickstart(_args) -> int:
+    from repro import quick_attack_demo
+
+    print(quick_attack_demo())
+    return 0
+
+
+def cmd_build(args) -> int:
+    from repro.layout import write_def
+    from repro.pipeline import get_layout
+
+    design = get_layout(args.design)
+    for key, value in design.stats().items():
+        print(f"  {key}: {value}")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(write_def(design))
+        print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_attack(args) -> int:
+    from repro.attacks import NetworkFlowAttack, ProximityAttack
+    from repro.core import AttackConfig
+    from repro.pipeline import get_split, trained_attack
+    from repro.split import ccr
+
+    split = get_split(args.design, args.layer)
+    print(
+        f"{args.design} M{args.layer}: {len(split.sink_fragments)} sink / "
+        f"{len(split.source_fragments)} source fragments"
+    )
+    if "proximity" in args.attacks:
+        result = ProximityAttack().attack(split)
+        print(f"  proximity   CCR={ccr(split, result.assignment):6.2f}% "
+              f"({result.runtime_s:.2f}s)")
+    if "flow" in args.attacks:
+        result = NetworkFlowAttack().attack(split)
+        print(f"  networkflow CCR={ccr(split, result.assignment):6.2f}% "
+              f"({result.runtime_s:.2f}s)")
+    if "dl" in args.attacks:
+        attack = trained_attack(args.layer, AttackConfig.benchmark())
+        result = attack.attack(split)
+        print(f"  dl          CCR={ccr(split, result.assignment):6.2f}% "
+              f"({result.runtime_s:.2f}s)")
+    return 0
+
+
+def cmd_table3(args) -> int:
+    from repro.core import AttackConfig
+    from repro.eval import run_table3
+
+    report = run_table3(
+        designs=args.designs or None,
+        split_layers=tuple(args.layers),
+        config=AttackConfig.benchmark(),
+        flow_timeout_s=args.flow_timeout,
+        progress=lambda m: print(f"  .. {m}"),
+    )
+    print(report.render())
+    return 0
+
+
+def cmd_figure5(args) -> int:
+    from repro.core import AttackConfig
+    from repro.eval import run_figure5
+
+    report = run_figure5(
+        designs=args.designs,
+        split_layer=3,
+        config=AttackConfig.benchmark(),
+        progress=lambda m: print(f"  .. {m}"),
+    )
+    print(report.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="DAC'19 split-manufacturing DL-attack reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package overview").set_defaults(fn=cmd_info)
+    sub.add_parser("quickstart", help="minutes-scale demo").set_defaults(
+        fn=cmd_quickstart
+    )
+
+    p_build = sub.add_parser("build", help="place & route a design")
+    p_build.add_argument("design")
+    p_build.add_argument("--out", help="write DEF-like layout here")
+    p_build.set_defaults(fn=cmd_build)
+
+    p_attack = sub.add_parser("attack", help="attack a design")
+    p_attack.add_argument("design")
+    p_attack.add_argument("--layer", type=int, default=3)
+    p_attack.add_argument(
+        "--attacks", nargs="+", default=["proximity", "flow"],
+        choices=["proximity", "flow", "dl"],
+        help="dl trains/loads the benchmark-config model (slow cold)",
+    )
+    p_attack.set_defaults(fn=cmd_attack)
+
+    p_t3 = sub.add_parser("table3", help="regenerate Table 3")
+    p_t3.add_argument("--designs", nargs="*", default=None)
+    p_t3.add_argument("--layers", type=int, nargs="+", default=[1, 3])
+    p_t3.add_argument("--flow-timeout", type=float, default=120.0)
+    p_t3.set_defaults(fn=cmd_table3)
+
+    p_f5 = sub.add_parser("figure5", help="regenerate Figure 5")
+    p_f5.add_argument(
+        "--designs", nargs="+", default=["c432", "c880", "c1355", "b11"]
+    )
+    p_f5.set_defaults(fn=cmd_figure5)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""repro.attacks — baseline attacks on split manufacturing."""
+
+from .base import Attack
+from .network_flow import NetworkFlowAttack
+from .proximity import ProximityAttack
+from .random_forest import (
+    CandidateListResult,
+    DecisionTree,
+    RandomForest,
+    RandomForestAttack,
+)
+
+__all__ = [
+    "Attack",
+    "CandidateListResult",
+    "DecisionTree",
+    "NetworkFlowAttack",
+    "ProximityAttack",
+    "RandomForest",
+    "RandomForestAttack",
+]

@@ -1,0 +1,40 @@
+"""The naïve proximity attack of Rajendran et al. [8].
+
+For every sink fragment, pick the source fragment with the closest
+virtual pin (Manhattan distance between virtual pins).  This is the
+attack the network-flow formulation relaxes to when capacitance
+constraints are loose, and the historical baseline both the paper and
+Wang et al. compare against.
+"""
+
+from __future__ import annotations
+
+from ..split.split import SplitLayout
+from .base import Attack
+
+
+class ProximityAttack(Attack):
+    name = "proximity"
+
+    def select(self, split: SplitLayout) -> dict[int, int]:
+        """Pick the closest source virtual pin for every sink fragment."""
+        sources = split.source_fragments
+        assignment: dict[int, int] = {}
+        if not sources:
+            return assignment
+        source_vps = [
+            (vp.x, vp.y, frag.fragment_id)
+            for frag in sources
+            for vp in frag.virtual_pins
+        ]
+        for sink in split.sink_fragments:
+            best: tuple[int, int, int] | None = None  # (dist, src_id, tiebreak)
+            for svp in sink.virtual_pins:
+                for x, y, src_id in source_vps:
+                    d = abs(svp.x - x) + abs(svp.y - y)
+                    key = (d, src_id)
+                    if best is None or key < best:
+                        best = key
+            if best is not None:
+                assignment[sink.fragment_id] = best[1]
+        return assignment

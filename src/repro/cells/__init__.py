@@ -1,0 +1,44 @@
+"""repro.cells — NanGate-45nm-like standard cell library substrate."""
+
+from .library import Cell, CellLibrary, CellPin
+from .nangate import default_library, nangate_like_library
+from .sta import (
+    StageDelay,
+    TimingAnalyzer,
+    TimingReport,
+    analyze_design,
+    feol_visible_nets,
+)
+from .timing import (
+    TRACK_UM,
+    WIRE_CAP_FF_PER_UM,
+    WIRE_RES_KOHM_PER_UM,
+    driver_delay_ps,
+    load_lower_bound_ff,
+    load_upper_bound_ff,
+    max_fanout,
+    wire_capacitance_ff,
+    wire_resistance_kohm,
+)
+
+__all__ = [
+    "Cell",
+    "CellLibrary",
+    "CellPin",
+    "StageDelay",
+    "TimingAnalyzer",
+    "TimingReport",
+    "analyze_design",
+    "feol_visible_nets",
+    "TRACK_UM",
+    "WIRE_CAP_FF_PER_UM",
+    "WIRE_RES_KOHM_PER_UM",
+    "default_library",
+    "driver_delay_ps",
+    "load_lower_bound_ff",
+    "load_upper_bound_ff",
+    "max_fanout",
+    "nangate_like_library",
+    "wire_capacitance_ff",
+    "wire_resistance_kohm",
+]

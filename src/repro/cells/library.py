@@ -1,0 +1,135 @@
+"""Standard-cell library containers.
+
+The attack needs exactly three things from the cell library (Sec. 3.1.2
+of the paper): input pin capacitances, the maximum load capacitance of
+each driver, and cell footprints for placement.  This module provides
+typed containers for those plus a simple linear-delay model parameter
+(drive resistance) used for the driver-delay feature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CellPin:
+    """One logical pin of a library cell."""
+
+    name: str
+    direction: str  # "input" or "output"
+    capacitance_ff: float = 0.0  # input pin capacitance, femtofarads
+
+    def __post_init__(self):
+        if self.direction not in ("input", "output"):
+            raise ValueError(f"bad pin direction {self.direction!r}")
+        if self.capacitance_ff < 0:
+            raise ValueError("pin capacitance must be non-negative")
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A library cell (one logic function at one drive strength)."""
+
+    name: str
+    function: str  # e.g. "INV", "NAND2", "DFF"
+    pins: tuple[CellPin, ...]
+    width_sites: int  # footprint width in placement sites
+    max_load_ff: float  # max output load capacitance
+    drive_resistance_kohm: float  # linear delay model driver resistance
+    is_sequential: bool = False
+
+    def __post_init__(self):
+        if self.width_sites < 1:
+            raise ValueError("cell width must be >= 1 site")
+        if self.max_load_ff <= 0:
+            raise ValueError("max load capacitance must be positive")
+        outputs = [p for p in self.pins if p.direction == "output"]
+        if len(outputs) != 1:
+            raise ValueError(
+                f"cell {self.name} must have exactly one output pin, "
+                f"found {len(outputs)}"
+            )
+
+    @property
+    def output_pin(self) -> CellPin:
+        return next(p for p in self.pins if p.direction == "output")
+
+    @property
+    def input_pins(self) -> tuple[CellPin, ...]:
+        return tuple(p for p in self.pins if p.direction == "input")
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.input_pins)
+
+    def pin(self, name: str) -> CellPin:
+        for p in self.pins:
+            if p.name == name:
+                return p
+        raise KeyError(f"cell {self.name} has no pin {name!r}")
+
+    def input_capacitance(self, pin_name: str) -> float:
+        pin = self.pin(pin_name)
+        if pin.direction != "input":
+            raise ValueError(f"{self.name}.{pin_name} is not an input")
+        return pin.capacitance_ff
+
+
+@dataclass
+class CellLibrary:
+    """A named collection of cells with convenience queries."""
+
+    name: str
+    cells: dict[str, Cell] = field(default_factory=dict)
+
+    def add(self, cell: Cell) -> None:
+        if cell.name in self.cells:
+            raise ValueError(f"duplicate cell {cell.name}")
+        self.cells[cell.name] = cell
+
+    def __getitem__(self, name: str) -> Cell:
+        try:
+            return self.cells[name]
+        except KeyError:
+            raise KeyError(f"library {self.name} has no cell {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.cells
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self):
+        return iter(self.cells.values())
+
+    def by_function(self, function: str) -> list[Cell]:
+        """All drive strengths of one logic function, sorted by drive."""
+        found = [c for c in self.cells.values() if c.function == function]
+        return sorted(found, key=lambda c: c.drive_resistance_kohm, reverse=True)
+
+    def combinational(self) -> list[Cell]:
+        return [c for c in self.cells.values() if not c.is_sequential]
+
+    def with_n_inputs(self, n: int, sequential: bool = False) -> list[Cell]:
+        return [
+            c
+            for c in self.cells.values()
+            if c.n_inputs == n and c.is_sequential == sequential
+        ]
+
+    @property
+    def max_load_ff(self) -> float:
+        """Largest max-load bound in the library (loose capacity bound)."""
+        return max(c.max_load_ff for c in self.cells.values())
+
+    @property
+    def min_input_cap_ff(self) -> float:
+        """Smallest input pin capacitance — sets the max possible fanout."""
+        caps = [
+            p.capacitance_ff
+            for c in self.cells.values()
+            for p in c.input_pins
+            if p.capacitance_ff > 0
+        ]
+        return min(caps)

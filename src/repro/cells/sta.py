@@ -1,0 +1,192 @@
+"""Static timing analysis over (possibly split) designs.
+
+The paper's driver-delay feature (Sec. 3.1.4) is defined on "the
+underlying timing paths", with the caveat that on a split layout the
+visible paths are incomplete, so computed delays are *lower bounds*
+that grow more informative for higher split layers.  This module
+provides that machinery:
+
+* Elmore-style stage delays from the RC model in :mod:`repro.cells.timing`;
+* topological arrival-time propagation over a netlist (combinational
+  graph; flip-flop outputs and primary inputs start paths at t = 0);
+* an *FEOL-visible* mode that walks only nets fully routed within the
+  FEOL, yielding exactly the lower-bound semantics of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netlist.netlist import Netlist
+from .timing import driver_delay_ps, wire_capacitance_ff
+
+# Load presented by a chip output pad (fF).  Output drivers see a large
+# external load; 5 fF keeps endpoint stages from degenerating to zero
+# delay without dominating internal stage delays.
+PAD_INPUT_CAP_FF = 5.0
+
+
+@dataclass(frozen=True)
+class StageDelay:
+    """One timing stage: a driver through its net to the sinks."""
+
+    net: str
+    driver_gate: str | None  # None for primary inputs
+    delay_ps: float
+    load_ff: float
+
+
+@dataclass
+class TimingReport:
+    """Arrival times per net plus the critical path."""
+
+    arrival_ps: dict[str, float]
+    stages: dict[str, StageDelay]
+    critical_path: list[str]  # net names, source to endpoint
+
+    @property
+    def critical_delay_ps(self) -> float:
+        if not self.arrival_ps:
+            return 0.0
+        return max(self.arrival_ps.values())
+
+
+class TimingAnalyzer:
+    """Topological Elmore STA over a netlist.
+
+    ``net_wirelengths`` supplies routed length per net (tracks); when a
+    net is missing (e.g. hidden in the BEOL of a split layout) its load
+    defaults to the visible lower bound and its sinks do not receive an
+    arrival from it — the split-manufacturing view.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        net_wirelengths: dict[str, float] | None = None,
+        sink_caps_override: dict[str, float] | None = None,
+    ):
+        self.netlist = netlist
+        self.net_wirelengths = net_wirelengths or {}
+        self.sink_caps_override = sink_caps_override or {}
+
+    # -- loads --------------------------------------------------------
+    def net_load_ff(self, net_name: str) -> float:
+        """Pin capacitance of all sinks plus the net's wire capacitance."""
+        if net_name in self.sink_caps_override:
+            pin_caps = self.sink_caps_override[net_name]
+        else:
+            net = self.netlist.nets[net_name]
+            pin_caps = 0.0
+            for term in net.sinks:
+                if term.is_port:
+                    pin_caps += PAD_INPUT_CAP_FF
+                    continue
+                gate = self.netlist.gates[term.owner]
+                pin_caps += gate.cell.input_capacitance(term.pin)
+        wire = wire_capacitance_ff(self.net_wirelengths.get(net_name, 0.0))
+        return pin_caps + wire
+
+    def stage_delay(self, net_name: str) -> StageDelay:
+        net = self.netlist.nets[net_name]
+        driver = self.netlist.driver_gate(net)
+        load = self.net_load_ff(net_name)
+        if driver is None:
+            return StageDelay(net_name, None, 0.0, load)
+        delay = driver_delay_ps(
+            driver.cell, load,
+            wirelength_tracks=self.net_wirelengths.get(net_name, 0.0),
+        )
+        return StageDelay(net_name, driver.name, delay, load)
+
+    # -- propagation ---------------------------------------------------
+    def analyze(self, visible_nets: set[str] | None = None) -> TimingReport:
+        """Propagate arrival times topologically.
+
+        ``visible_nets`` restricts propagation to those nets (the
+        FEOL-visible subset of a split layout); everything else is
+        treated as unknown, so downstream arrivals become lower bounds.
+        """
+        arrival: dict[str, float] = {}
+        stages: dict[str, StageDelay] = {}
+        predecessor: dict[str, str | None] = {}
+
+        for net_name in self.netlist.primary_inputs:
+            arrival[net_name] = 0.0
+            predecessor[net_name] = None
+
+        order = self.netlist.topological_order()
+        for gate_name in order:
+            gate = self.netlist.gates[gate_name]
+            out_net = gate.output_net
+            if visible_nets is not None and out_net not in visible_nets:
+                continue
+            if gate.cell.is_sequential:
+                input_arrival = 0.0  # DFF Q starts a new path
+                worst_input = None
+            else:
+                input_arrival = 0.0
+                worst_input = None
+                for in_net in gate.input_nets():
+                    t = arrival.get(in_net)
+                    if t is None:
+                        continue  # hidden or unanalysed input: lower bound
+                    if t >= input_arrival:
+                        input_arrival = t
+                        worst_input = in_net
+            stage = self.stage_delay(out_net)
+            stages[out_net] = stage
+            t_out = input_arrival + stage.delay_ps
+            if t_out >= arrival.get(out_net, -1.0):
+                arrival[out_net] = t_out
+                predecessor[out_net] = worst_input
+
+        critical = self._trace_critical(arrival, predecessor)
+        return TimingReport(arrival, stages, critical)
+
+    def _trace_critical(
+        self,
+        arrival: dict[str, float],
+        predecessor: dict[str, str | None],
+    ) -> list[str]:
+        if not arrival:
+            return []
+        end = max(arrival, key=lambda n: arrival[n])
+        path = [end]
+        seen = {end}
+        while True:
+            prev = predecessor.get(path[-1])
+            if prev is None or prev in seen:
+                break
+            path.append(prev)
+            seen.add(prev)
+        path.reverse()
+        return path
+
+
+def feol_visible_nets(design, split_layer: int) -> set[str]:
+    """Nets whose routing stays entirely within the FEOL.
+
+    These are the nets whose full delay the FEOL attacker can compute;
+    cut nets contribute only partial (lower-bound) information.
+    """
+    return {
+        name
+        for name, route in design.routes.items()
+        if all(node[0] <= split_layer for node in route.nodes)
+    }
+
+
+def analyze_design(design, split_layer: int | None = None) -> TimingReport:
+    """STA over a routed design; ``split_layer`` gives the FEOL view."""
+    wirelengths = {
+        name: float(route.total_wirelength)
+        for name, route in design.routes.items()
+    }
+    analyzer = TimingAnalyzer(design.netlist, wirelengths)
+    visible = (
+        feol_visible_nets(design, split_layer)
+        if split_layer is not None
+        else None
+    )
+    return analyzer.analyze(visible)

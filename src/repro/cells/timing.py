@@ -1,0 +1,86 @@
+"""Capacitance and delay estimation helpers.
+
+Implements the simple RC model behind two paper features:
+
+* the *load capacitance bounds* of Sec. 3.1.2 (upper bound = driver max
+  load from the library; lower bound = connected sink pin caps + wire
+  capacitance of the fragments), and
+* the *driver delay* lower bound of Sec. 3.1.4, an Elmore-style
+  ``R_driver * C_load`` estimate over the partial (FEOL-only) net.
+
+Geometry is measured in routing-grid tracks; :data:`TRACK_UM` converts
+to microns for the capacitance-per-length constant.
+"""
+
+from __future__ import annotations
+
+from .library import Cell
+
+# One routing track of our scaled grid, in microns.
+TRACK_UM = 0.2
+# Typical 45 nm wire capacitance per micron of routed wire.
+WIRE_CAP_FF_PER_UM = 0.2
+# Typical 45 nm wire resistance per micron.
+WIRE_RES_KOHM_PER_UM = 0.003
+
+
+def wire_capacitance_ff(length_tracks: float) -> float:
+    """Capacitance of a wire of the given routed length (in tracks)."""
+    if length_tracks < 0:
+        raise ValueError("wire length must be non-negative")
+    return length_tracks * TRACK_UM * WIRE_CAP_FF_PER_UM
+
+
+def wire_resistance_kohm(length_tracks: float) -> float:
+    if length_tracks < 0:
+        raise ValueError("wire length must be non-negative")
+    return length_tracks * TRACK_UM * WIRE_RES_KOHM_PER_UM
+
+
+def load_upper_bound_ff(driver_cell: Cell) -> float:
+    """Paper upper bound: maximum load capacitance of the driver."""
+    return driver_cell.max_load_ff
+
+
+def load_lower_bound_ff(
+    sink_pin_caps_ff: list[float],
+    source_wirelength_tracks: float,
+    sink_wirelength_tracks: float,
+) -> float:
+    """Paper lower bound: connected sink pin caps + both fragments' wire cap."""
+    return (
+        sum(sink_pin_caps_ff)
+        + wire_capacitance_ff(source_wirelength_tracks)
+        + wire_capacitance_ff(sink_wirelength_tracks)
+    )
+
+
+def driver_delay_ps(
+    driver_cell: Cell,
+    load_ff: float,
+    wirelength_tracks: float = 0.0,
+) -> float:
+    """Elmore-style delay estimate in picoseconds.
+
+    ``R_driver * (C_wire + C_load) + R_wire * C_load / 2`` — a lower
+    bound when the net is incomplete, exactly the property the paper
+    notes for split layouts (Sec. 3.1.4).
+    """
+    if load_ff < 0:
+        raise ValueError("load must be non-negative")
+    c_wire = wire_capacitance_ff(wirelength_tracks)
+    r_wire = wire_resistance_kohm(wirelength_tracks)
+    total = driver_cell.drive_resistance_kohm * (c_wire + load_ff)
+    total += r_wire * load_ff / 2.0
+    return total  # kOhm * fF == ps
+
+
+def max_fanout(driver_cell: Cell, min_sink_cap_ff: float) -> int:
+    """How many minimum-cap sinks the driver can legally feed.
+
+    This is the capacity bound the network-flow attack of Wang et al.
+    derives from the cell library.
+    """
+    if min_sink_cap_ff <= 0:
+        raise ValueError("minimum sink capacitance must be positive")
+    return max(1, int(driver_cell.max_load_ff / min_sink_cap_ff))

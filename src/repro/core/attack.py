@@ -1,0 +1,256 @@
+"""DLAttack: training and inference of the deep-learning attack.
+
+One model is trained per split layer (the paper evaluates M1 and M3 as
+separate experimental sets).  Training follows Sec. 5: Adam at learning
+rate 1e-3, decayed to 60 % every 20 epochs, over the candidate groups
+of the training designs; the loss is the softmax regression loss of
+Eq. (6) (or the two-class baseline of Eq. (3) for the Figure 5
+ablation).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn import (
+    Adam,
+    StepDecay,
+    apply_weight_decay,
+    clip_gradient_norm,
+    softmax_regression_loss,
+    two_class_loss,
+    two_class_probabilities,
+)
+from ..split.metrics import AttackResult, ccr
+from ..split.split import SplitLayout
+from .config import AttackConfig
+from .dataset import Batch, SplitDataset, make_batch
+from .model import SplitNet
+from .vector_features import FeatureNormalizer
+
+
+@dataclass
+class TrainLog:
+    """Per-epoch training diagnostics."""
+
+    epochs: list[int] = field(default_factory=list)
+    losses: list[float] = field(default_factory=list)
+    learning_rates: list[float] = field(default_factory=list)
+    val_ccr: list[float] = field(default_factory=list)
+    train_seconds: float = 0.0
+
+
+class DLAttack:
+    """The paper's attack: candidate selection + features + SplitNet."""
+
+    name = "dl-attack"
+
+    def __init__(self, config: AttackConfig | None = None, split_layer: int = 1):
+        self.config = config or AttackConfig.fast()
+        self.split_layer = split_layer
+        self.model = SplitNet(self.config, split_layer)
+        self.normalizer = FeatureNormalizer()
+        self.log = TrainLog()
+
+    # -- training -------------------------------------------------------
+    def train(
+        self,
+        train_splits: list[SplitLayout],
+        val_splits: list[SplitLayout] | None = None,
+        verbose: bool = False,
+    ) -> TrainLog:
+        started = time.perf_counter()
+        for split in train_splits:
+            if split.split_layer != self.split_layer:
+                raise ValueError(
+                    f"attack is for M{self.split_layer}, got a "
+                    f"M{split.split_layer} training layout"
+                )
+        datasets = [SplitDataset(s, self.config) for s in train_splits]
+        rows = [d.all_vector_rows() for d in datasets if d.groups]
+        if not rows or not any(r.shape[0] for r in rows):
+            raise ValueError("no candidate groups in the training corpus")
+        self.normalizer.fit(np.concatenate(rows, axis=0))
+
+        work: list[tuple[SplitDataset, int]] = []
+        for dataset in datasets:
+            indices = [
+                i for i, g in enumerate(dataset.groups) if g.target is not None
+            ]
+            limit = self.config.max_train_groups_per_design
+            if limit is not None:
+                indices = indices[:limit]
+            work.extend((dataset, i) for i in indices)
+        if not work:
+            raise ValueError("no trainable groups (positives all pruned)")
+
+        optimizer = Adam(self.model.parameters(), lr=self.config.learning_rate)
+        schedule = StepDecay(
+            optimizer,
+            factor=self.config.lr_decay,
+            every=self.config.lr_decay_every,
+        )
+        rng = np.random.default_rng(self.config.seed)
+        batch_size = self.config.batch_groups
+
+        self.model.train()
+        for epoch in range(1, self.config.epochs + 1):
+            order = rng.permutation(len(work))
+            epoch_loss = 0.0
+            n_batches = 0
+            for start in range(0, len(order), batch_size):
+                picked = [work[i] for i in order[start : start + batch_size]]
+                # Groups from different designs can share a batch as long
+                # as they come through the same normaliser; assemble per
+                # dataset and concatenate.
+                by_dataset: dict[int, tuple[SplitDataset, list[int]]] = {}
+                for dataset, gi in picked:
+                    by_dataset.setdefault(id(dataset), (dataset, []))[1].append(gi)
+                batches = [
+                    make_batch(
+                        dataset,
+                        [dataset.groups[i] for i in indices],
+                        self.normalizer,
+                        True,
+                    )
+                    for dataset, indices in by_dataset.values()
+                ]
+                batch = _concat_batches(batches)
+                loss = self._train_step(batch, optimizer)
+                epoch_loss += loss
+                n_batches += 1
+            lr = schedule.step_epoch()
+            mean_loss = epoch_loss / max(n_batches, 1)
+            self.log.epochs.append(epoch)
+            self.log.losses.append(mean_loss)
+            self.log.learning_rates.append(lr)
+            if val_splits:
+                val = float(
+                    np.mean([self.evaluate(s) for s in val_splits])
+                )
+                self.log.val_ccr.append(val)
+            if verbose:
+                val_txt = (
+                    f" val_ccr={self.log.val_ccr[-1]:.1f}%"
+                    if val_splits
+                    else ""
+                )
+                print(
+                    f"epoch {epoch:3d}: loss={mean_loss:.4f} lr={lr:.2e}{val_txt}"
+                )
+        self.log.train_seconds = time.perf_counter() - started
+        return self.log
+
+    def _train_step(self, batch: Batch, optimizer: Adam) -> float:
+        optimizer.zero_grad()
+        scores = self.model(batch.vec, batch.src_images, batch.sink_images)
+        if self.config.loss == "softmax":
+            loss, grad = softmax_regression_loss(
+                scores, batch.targets, batch.mask
+            )
+        else:
+            loss, grad = two_class_loss(scores, batch.targets, batch.mask)
+        self.model.backward(grad)
+        if self.config.grad_clip is not None:
+            clip_gradient_norm(optimizer.parameters, self.config.grad_clip)
+        optimizer.step()
+        if self.config.weight_decay > 0.0:
+            apply_weight_decay(
+                optimizer.parameters, self.config.weight_decay, optimizer.lr
+            )
+        return loss
+
+    # -- inference ---------------------------------------------------------
+    def attack(self, split: SplitLayout) -> AttackResult:
+        """Predict BEOL connections; runtime includes feature extraction
+        (the paper's reported inference time does too)."""
+        start = time.perf_counter()
+        assignment = self.select(split)
+        elapsed = time.perf_counter() - start
+        return AttackResult(
+            design=split.name,
+            split_layer=split.split_layer,
+            assignment=assignment,
+            runtime_s=elapsed,
+            attack_name=self.name,
+        )
+
+    def select(self, split: SplitLayout) -> dict[int, int]:
+        if split.split_layer != self.split_layer:
+            raise ValueError(
+                f"attack is for M{self.split_layer}, layout is "
+                f"M{split.split_layer}"
+            )
+        if not self.normalizer.fitted:
+            raise RuntimeError("attack is not trained")
+        dataset = SplitDataset(split, self.config)
+        assignment: dict[int, int] = {}
+        self.model.eval()
+        batch_size = self.config.batch_groups
+        for start in range(0, len(dataset.groups), batch_size):
+            groups = dataset.groups[start : start + batch_size]
+            batch = make_batch(dataset, groups, self.normalizer, False)
+            scores = self.model(batch.vec, batch.src_images, batch.sink_images)
+            probs = self._connection_scores(scores)
+            probs = np.where(batch.mask, probs, -np.inf)
+            choices = probs.argmax(axis=1)
+            for group, choice in zip(groups, choices):
+                vpp = group.vpps[int(choice)]
+                assignment[group.sink_fragment_id] = vpp.source_fragment
+        return assignment
+
+    def _connection_scores(self, scores: np.ndarray) -> np.ndarray:
+        if self.config.loss == "two_class":
+            return two_class_probabilities(scores)
+        return scores
+
+    def evaluate(self, split: SplitLayout) -> float:
+        """CCR (Eq. 1) of the attack on one layout, in percent."""
+        return ccr(split, self.select(split))
+
+    # -- persistence --------------------------------------------------
+    def save(self, path) -> None:
+        state = self.model.state_dict()
+        state["__norm_mean"] = self.normalizer.state()["mean"]
+        state["__norm_std"] = self.normalizer.state()["std"]
+        state["__split_layer"] = np.array([self.split_layer])
+        np.savez_compressed(path, **state)
+
+    def load(self, path) -> None:
+        with np.load(path) as data:
+            layer = int(data["__split_layer"][0])
+            if layer != self.split_layer:
+                raise ValueError(
+                    f"weights are for M{layer}, attack is M{self.split_layer}"
+                )
+            self.normalizer = FeatureNormalizer.from_state(
+                {"mean": data["__norm_mean"], "std": data["__norm_std"]}
+            )
+            model_state = {
+                k: data[k] for k in data.files if not k.startswith("__")
+            }
+            self.model.load_state_dict(model_state)
+
+
+def _concat_batches(batches: list[Batch]) -> Batch:
+    if len(batches) == 1:
+        return batches[0]
+    return Batch(
+        vec=np.concatenate([b.vec for b in batches]),
+        mask=np.concatenate([b.mask for b in batches]),
+        targets=np.concatenate([b.targets for b in batches]),
+        src_images=(
+            np.concatenate([b.src_images for b in batches])
+            if batches[0].src_images is not None
+            else None
+        ),
+        sink_images=(
+            np.concatenate([b.sink_images for b in batches])
+            if batches[0].sink_images is not None
+            else None
+        ),
+        groups=[g for b in batches for g in b.groups],
+    )

@@ -1,0 +1,123 @@
+"""Attack configuration.
+
+``AttackConfig.paper()`` reproduces the paper's exact settings (n = 31
+candidates, 99x99 images at three scales, conv channels 16/32/64/128,
+lr 1e-3 decayed x0.6 every 20 epochs).  The default configuration keeps
+the same architecture shape but shrinks the image resolution, candidate
+count and training schedule so the whole Table 3 suite trains and runs
+on one CPU core; ``tiny()`` is for unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class AttackConfig:
+    # -- candidate selection (Sec. 4.1) -------------------------------
+    n_candidates: int = 15
+
+    # -- image features (Sec. 3.2) ------------------------------------
+    image_size: int = 33
+    # Pixel footprints in grid tracks; the paper uses 0.05/0.1/0.2 um
+    # regions — a 1:2:4 ratio, preserved here.
+    image_scales: tuple[int, ...] = (1, 2, 4)
+    use_images: bool = True
+
+    # -- vector features -----------------------------------------------
+    # Feature padding assumes at most this many FEOL metal layers.
+    max_feature_layers: int = 4
+
+    # -- network (Table 2) ----------------------------------------------
+    conv_channels: tuple[int, ...] = (16, 32, 64, 128)
+    convs_per_stage: int = 3
+    fc_width: int = 128
+    image_head_width: int = 256
+    vector_res_blocks: int = 4
+    merged_res_blocks: int = 3
+    loss: str = "softmax"  # "softmax" (Eq. 6) or "two_class" (Eq. 3)
+
+    # -- training ---------------------------------------------------------
+    epochs: int = 12
+    batch_groups: int = 8
+    learning_rate: float = 1e-3
+    lr_decay: float = 0.6
+    lr_decay_every: int = 20
+    seed: int = 0
+    max_train_groups_per_design: int | None = None
+    # regularisation (all off by default, matching the paper's setup)
+    dropout: float = 0.0
+    weight_decay: float = 0.0
+    grad_clip: float | None = None
+
+    extras: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self):
+        if self.n_candidates < 2:
+            raise ValueError("need at least 2 candidates per group")
+        if self.image_size < 5 or self.image_size % 2 == 0:
+            raise ValueError("image_size must be odd and >= 5")
+        if self.loss not in ("softmax", "two_class"):
+            raise ValueError(f"unknown loss {self.loss!r}")
+        if len(self.conv_channels) < 1:
+            raise ValueError("need at least one conv stage")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError("dropout must be in [0, 1)")
+        if self.weight_decay < 0.0:
+            raise ValueError("weight_decay must be non-negative")
+        if self.grad_clip is not None and self.grad_clip <= 0.0:
+            raise ValueError("grad_clip must be positive")
+
+    @property
+    def n_scales(self) -> int:
+        return len(self.image_scales)
+
+    def image_channels(self, split_layer: int) -> int:
+        """2m layer bits per pixel per scale (Sec. 3.2), m = split layer."""
+        return 2 * split_layer * self.n_scales
+
+    def with_(self, **changes) -> "AttackConfig":
+        return replace(self, **changes)
+
+    # -- presets -----------------------------------------------------------
+    @classmethod
+    def paper(cls) -> "AttackConfig":
+        """The paper's published hyper-parameters (GPU scale)."""
+        return cls(
+            n_candidates=31,
+            image_size=99,
+            image_scales=(1, 2, 4),
+            epochs=60,
+        )
+
+    @classmethod
+    def fast(cls) -> "AttackConfig":
+        """CPU-budget default used by the experiment harness."""
+        return cls()
+
+    @classmethod
+    def benchmark(cls) -> "AttackConfig":
+        """The configuration the Table 3 / Figure 5 harnesses use.
+
+        Same as :meth:`fast` plus a per-design cap on training groups so
+        the M1 corpus (roughly 5x the M3 corpus) trains in comparable
+        time.
+        """
+        return cls(max_train_groups_per_design=150)
+
+    @classmethod
+    def tiny(cls) -> "AttackConfig":
+        """Minutes-scale settings for unit tests."""
+        return cls(
+            n_candidates=5,
+            image_size=15,
+            image_scales=(1, 2),
+            conv_channels=(4, 8, 8, 16),
+            fc_width=32,
+            image_head_width=48,
+            vector_res_blocks=1,
+            merged_res_blocks=1,
+            epochs=3,
+            batch_groups=4,
+        )

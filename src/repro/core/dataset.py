@@ -1,0 +1,135 @@
+"""Grouped VPP datasets for training and inference.
+
+The unit of work is a *candidate group*: one sink fragment with its
+(up to) n candidate VPPs, padded to exactly n with a validity mask.
+Groups carry raw vector features; normalisation happens at batch
+assembly so one normaliser (fitted on the training corpus) serves all
+designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..split.split import VPP, SplitLayout
+from .candidates import build_candidates
+from .config import AttackConfig
+from .image_features import ImageExtractor
+from .vector_features import FeatureNormalizer, group_vector_features
+
+
+@dataclass
+class SampleGroup:
+    """One sink fragment's candidate group."""
+
+    sink_fragment_id: int
+    vpps: list[VPP]
+    target: int | None  # index of the positive VPP, None if not included
+    vec: np.ndarray  # (n, 27) raw features, zero-padded
+    mask: np.ndarray  # (n,) validity
+
+    @property
+    def n_valid(self) -> int:
+        return int(self.mask.sum())
+
+
+class SplitDataset:
+    """Candidate groups plus feature extractors for one split layout."""
+
+    def __init__(self, split: SplitLayout, config: AttackConfig):
+        self.split = split
+        self.config = config
+        self.candidates = build_candidates(split, config.n_candidates)
+        self.images = (
+            ImageExtractor(split, config) if config.use_images else None
+        )
+        self.groups: list[SampleGroup] = []
+        self.n_skipped_empty = 0  # sink fragments with zero candidates
+        self._build_groups()
+
+    def _build_groups(self) -> None:
+        n = self.config.n_candidates
+        for sink in self.split.sink_fragments:
+            vpps = self.candidates[sink.fragment_id]
+            if not vpps:
+                self.n_skipped_empty += 1
+                continue
+            vec, mask = group_vector_features(
+                self.split, vpps, n, self.config.max_feature_layers
+            )
+            truth = self.split.truth.get(sink.fragment_id)
+            target = None
+            for i, vpp in enumerate(vpps):
+                if vpp.source_fragment == truth:
+                    target = i
+                    break
+            self.groups.append(
+                SampleGroup(sink.fragment_id, vpps, target, vec, mask)
+            )
+
+    # -- views -------------------------------------------------------------
+    def trainable_groups(self) -> list[SampleGroup]:
+        """Groups whose positive VPP survived candidate selection."""
+        return [g for g in self.groups if g.target is not None]
+
+    def all_vector_rows(self) -> np.ndarray:
+        """Valid feature rows, for normaliser fitting."""
+        rows = [g.vec[g.mask] for g in self.groups]
+        if not rows:
+            return np.zeros((0, self.groups[0].vec.shape[1] if self.groups else 27))
+        return np.concatenate(rows, axis=0)
+
+    # -- batch assembly -----------------------------------------------------
+    def group_images(
+        self, group: SampleGroup
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(source images (n, C, S, S), sink image (C, S, S)) as float32."""
+        if self.images is None:
+            raise RuntimeError("image features disabled in config")
+        n = self.config.n_candidates
+        c = self.images.n_channels
+        s = self.config.image_size
+        src = np.zeros((n, c, s, s), dtype=np.float32)
+        for i, vpp in enumerate(group.vpps[:n]):
+            frag = self.split.fragment(vpp.source_fragment)
+            src[i] = self.images.image(frag, vpp.source_vp)
+        sink_frag = self.split.fragment(group.sink_fragment_id)
+        # The sink fragment is rendered once per group (paper Sec. 4.2);
+        # use its first (deterministically ordered) virtual pin.
+        sink_img = self.images.image(sink_frag, sink_frag.virtual_pins[0])
+        return src, sink_img.astype(np.float32)
+
+
+@dataclass
+class Batch:
+    """A training/inference batch of B groups."""
+
+    vec: np.ndarray  # (B, n, F) normalised
+    mask: np.ndarray  # (B, n)
+    targets: np.ndarray | None  # (B,) or None at inference
+    src_images: np.ndarray | None  # (B, n, C, S, S)
+    sink_images: np.ndarray | None  # (B, C, S, S)
+    groups: list[SampleGroup]
+
+
+def make_batch(
+    dataset: SplitDataset,
+    groups: list[SampleGroup],
+    normalizer: FeatureNormalizer,
+    with_targets: bool,
+) -> Batch:
+    vec = np.stack([normalizer.transform(g.vec) for g in groups])
+    mask = np.stack([g.mask for g in groups])
+    targets = None
+    if with_targets:
+        if any(g.target is None for g in groups):
+            raise ValueError("cannot build a training batch from unlabeled groups")
+        targets = np.array([g.target for g in groups], dtype=int)
+    src_images = sink_images = None
+    if dataset.config.use_images:
+        pairs = [dataset.group_images(g) for g in groups]
+        src_images = np.stack([p[0] for p in pairs])
+        sink_images = np.stack([p[1] for p in pairs])
+    return Batch(vec, mask, targets, src_images, sink_images, groups)

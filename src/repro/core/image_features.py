@@ -1,0 +1,108 @@
+"""Image-based features (paper Sec. 3.2, Fig. 2).
+
+For every virtual pin, the local routed layout is rendered as a stack
+of binary layer-bit planes at three scales:
+
+* the window is ``image_size`` pixels square, centred on the pin; at
+  scale ``s`` each pixel represents an s x s-track region (the paper's
+  0.05/0.1/0.2 um pixel footprints form the same 1:2:4 ladder);
+* with m = split layer, each pixel carries 2m layer bits: the more
+  significant m bits mark wiring of *the pin's own fragment* per layer,
+  the less significant m bits mark wiring of *all other fragments*.
+  Higher metal layers sit in more significant bits ("wires closer to
+  the BEOL carry more information"), which here maps to channel order;
+* vias mark both layers they connect (they are nodes on both).
+
+Rendered as a float-ready uint8 tensor of shape
+``(n_scales * 2m, image_size, image_size)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..split.fragments import Fragment, VirtualPin
+from ..split.split import SplitLayout
+from .config import AttackConfig
+
+
+class ImageExtractor:
+    """Renders and caches per-virtual-pin layout images for one layout."""
+
+    def __init__(self, split: SplitLayout, config: AttackConfig):
+        self.split = split
+        self.config = config
+        self.m = split.split_layer
+        # occupancy[l-1, x, y] = number of nets with wiring at (l, x, y)
+        self.occupancy = split.occupancy_grids()
+        self._cache: dict[tuple[int, int, int], np.ndarray] = {}
+
+    @property
+    def n_channels(self) -> int:
+        return self.config.image_channels(self.m)
+
+    def image(self, fragment: Fragment, vp: VirtualPin) -> np.ndarray:
+        """(C, S, S) uint8 image stack for one virtual pin."""
+        key = (fragment.fragment_id, vp.x, vp.y)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        img = self._render(fragment, vp)
+        self._cache[key] = img
+        return img
+
+    def _render(self, fragment: Fragment, vp: VirtualPin) -> np.ndarray:
+        size = self.config.image_size
+        own = self._own_grid(fragment)
+        other = (self.occupancy - own).clip(min=0)
+
+        planes: list[np.ndarray] = []
+        for scale in self.config.image_scales:
+            tracks = size * scale
+            # Own-fragment bits: highest layer first (most significant).
+            for layer in range(self.m, 0, -1):
+                window = _window(own[layer - 1], vp.x, vp.y, tracks)
+                planes.append(_pool_max(window, scale))
+            for layer in range(self.m, 0, -1):
+                window = _window(other[layer - 1], vp.x, vp.y, tracks)
+                planes.append(_pool_max(window, scale))
+        return np.stack(planes).astype(np.uint8)
+
+    def _own_grid(self, fragment: Fragment) -> np.ndarray:
+        """(m, W, H) int16 marking the fragment's own FEOL wiring."""
+        fp = self.split.design.floorplan
+        own = np.zeros((self.m, fp.width, fp.height), dtype=np.int16)
+        for layer, x, y in fragment.nodes:
+            if layer <= self.m:
+                own[layer - 1, x, y] = 1
+        return own
+
+    def cache_stats(self) -> dict[str, int]:
+        return {
+            "images": len(self._cache),
+            "bytes": sum(v.nbytes for v in self._cache.values()),
+        }
+
+
+def _window(grid: np.ndarray, cx: int, cy: int, tracks: int) -> np.ndarray:
+    """Extract a ``tracks x tracks`` window centred at (cx, cy), padded
+    with zeros outside the die."""
+    half = tracks // 2
+    x0, y0 = cx - half, cy - half
+    out = np.zeros((tracks, tracks), dtype=grid.dtype)
+    gx0, gy0 = max(0, x0), max(0, y0)
+    gx1 = min(grid.shape[0], x0 + tracks)
+    gy1 = min(grid.shape[1], y0 + tracks)
+    if gx1 > gx0 and gy1 > gy0:
+        out[gx0 - x0 : gx1 - x0, gy0 - y0 : gy1 - y0] = grid[gx0:gx1, gy0:gy1]
+    return out
+
+
+def _pool_max(window: np.ndarray, scale: int) -> np.ndarray:
+    """Max-pool an (S*s, S*s) window to (S, S): a region's bit is set if
+    any of its tracks holds wiring."""
+    if scale == 1:
+        return (window > 0).astype(np.uint8)
+    size = window.shape[0] // scale
+    pooled = window.reshape(size, scale, size, scale).max(axis=(1, 3))
+    return (pooled > 0).astype(np.uint8)

@@ -1,0 +1,166 @@
+"""Vector-based VPP features (paper Sec. 3.1) — 27 values per VPP.
+
+Layout (matching Table 2's 27-wide fc1 input; see DESIGN.md Sec. 6):
+
+====  ========================================================
+idx   feature
+====  ========================================================
+0-2   signed dP, dN, dP+dN (P/N: preferred / non-preferred axis
+      of the split layer; source pin minus sink pin)
+3-5   |dP|, |dN|, |dP|+|dN|
+6-8   signed distances scaled by chip width, height, half-perim
+9-11  unsigned distances scaled likewise
+12    load capacitance upper bound (driver max load, fF)
+13    load capacitance lower bound (sink pins + wire cap, fF)
+14    number of sinks in the sink fragment
+15-18 source fragment wirelength on M1..M4 (tracks, zero-padded)
+19-22 sink fragment wirelength on M1..M4
+23    source fragment via count (all FEOL cut layers)
+24    sink fragment via count
+25    driver delay lower bound (ps, Elmore through the fragment)
+26    capacitance slack: upper - lower bound
+====  ========================================================
+
+All values are FEOL-derivable, per the threat model: the BEOL is only
+seen through the training labels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cells.timing import (
+    driver_delay_ps,
+    load_lower_bound_ff,
+    load_upper_bound_ff,
+)
+from ..split.fragments import Fragment
+from ..split.split import VPP, SplitLayout
+
+N_VECTOR_FEATURES = 27
+
+
+def vpp_vector_features(
+    split: SplitLayout,
+    vpp: VPP,
+    max_layers: int = 4,
+) -> np.ndarray:
+    """The 27-entry feature vector for one candidate VPP."""
+    sink = split.fragment(vpp.sink_fragment)
+    source = split.fragment(vpp.source_fragment)
+    fp = split.design.floorplan
+
+    d_p, d_n = split.vpp_deltas(vpp)
+    signed = (float(d_p), float(d_n), float(d_p + d_n))
+    unsigned = (abs(signed[0]), abs(signed[1]), abs(signed[0]) + abs(signed[1]))
+    width, height, hp = float(fp.width), float(fp.height), float(fp.half_perimeter)
+
+    features = np.empty(N_VECTOR_FEATURES, dtype=np.float64)
+    features[0:3] = signed
+    features[3:6] = unsigned
+    features[6:9] = (signed[0] / width, signed[1] / height, signed[2] / hp)
+    features[9:12] = (unsigned[0] / width, unsigned[1] / height, unsigned[2] / hp)
+
+    cap_upper, cap_lower, delay = _electrical(split, source, sink)
+    features[12] = cap_upper
+    features[13] = cap_lower
+    features[14] = float(sink.n_sinks)
+
+    features[15 : 15 + max_layers] = _layer_wirelengths(source, max_layers)
+    features[15 + max_layers : 15 + 2 * max_layers] = _layer_wirelengths(
+        sink, max_layers
+    )
+    features[23] = float(sum(source.vias_by_cut().values()))
+    features[24] = float(sum(sink.vias_by_cut().values()))
+    features[25] = delay
+    features[26] = cap_upper - cap_lower
+    return features
+
+
+def _layer_wirelengths(fragment: Fragment, max_layers: int) -> np.ndarray:
+    out = np.zeros(max_layers)
+    for layer, length in fragment.wirelength_by_layer().items():
+        if layer <= max_layers:
+            out[layer - 1] = float(length)
+    return out
+
+
+def _electrical(
+    split: SplitLayout, source: Fragment, sink: Fragment
+) -> tuple[float, float, float]:
+    """(cap upper bound, cap lower bound, driver delay lower bound)."""
+    driver_cell = split.design.driver_cell(source.net)
+    sink_caps = [split.design.sink_pin_capacitance(t) for t in sink.sinks]
+    sink_caps += [
+        split.design.sink_pin_capacitance(t) for t in source.internal_sinks
+    ]
+    lower = load_lower_bound_ff(
+        sink_caps, source.total_wirelength, sink.total_wirelength
+    )
+    if driver_cell is None:  # primary input pad: use library-independent caps
+        upper = max(lower, 120.0)
+        delay = 0.0
+    else:
+        upper = load_upper_bound_ff(driver_cell)
+        delay = driver_delay_ps(
+            driver_cell, lower, wirelength_tracks=source.total_wirelength
+        )
+    return upper, lower, delay
+
+
+def group_vector_features(
+    split: SplitLayout,
+    vpps: list[VPP],
+    n: int,
+    max_layers: int = 4,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Feature matrix (n, 27) and validity mask (n,) for one group,
+    right-padded with zeros to exactly ``n`` rows."""
+    features = np.zeros((n, N_VECTOR_FEATURES), dtype=np.float32)
+    mask = np.zeros(n, dtype=bool)
+    for i, vpp in enumerate(vpps[:n]):
+        features[i] = vpp_vector_features(split, vpp, max_layers)
+        mask[i] = True
+    return features, mask
+
+
+class FeatureNormalizer:
+    """Per-feature standardisation fitted on the training corpus.
+
+    The paper mitigates scaling with ratio features; on top of that,
+    standardisation keeps the NumPy training numerically stable across
+    designs of very different die sizes.
+    """
+
+    def __init__(self):
+        self.mean: np.ndarray | None = None
+        self.std: np.ndarray | None = None
+
+    def fit(self, rows: np.ndarray) -> "FeatureNormalizer":
+        if rows.ndim != 2 or rows.shape[0] == 0:
+            raise ValueError("need a non-empty (rows, features) matrix")
+        self.mean = rows.mean(axis=0)
+        std = rows.std(axis=0)
+        self.std = np.where(std < 1e-9, 1.0, std)
+        return self
+
+    @property
+    def fitted(self) -> bool:
+        return self.mean is not None
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if not self.fitted:
+            raise RuntimeError("normalizer not fitted")
+        return ((features - self.mean) / self.std).astype(np.float32)
+
+    def state(self) -> dict[str, np.ndarray]:
+        if not self.fitted:
+            raise RuntimeError("normalizer not fitted")
+        return {"mean": self.mean, "std": self.std}
+
+    @classmethod
+    def from_state(cls, state: dict[str, np.ndarray]) -> "FeatureNormalizer":
+        norm = cls()
+        norm.mean = np.asarray(state["mean"], dtype=np.float64)
+        norm.std = np.asarray(state["std"], dtype=np.float64)
+        return norm

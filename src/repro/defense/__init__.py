@@ -1,0 +1,11 @@
+"""repro.defense — placement/routing defenses (the paper's future work)."""
+
+from .lifting import lifted_layout, lifted_net_names
+from .perturbation import DefenseReport, perturbed_layout
+
+__all__ = [
+    "DefenseReport",
+    "lifted_layout",
+    "lifted_net_names",
+    "perturbed_layout",
+]

@@ -1,0 +1,55 @@
+"""Placement-perturbation defense.
+
+The paper's conclusion anticipates "industrial layouts which have been
+incorporated with various placement-based and/or routing-based defense
+strategies"; placement perturbation is the canonical placement-based
+one: randomise cell locations before legalisation so the proximity
+signal every attack depends on is weakened, at a wirelength (PPA) cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..layout.design import Design
+from ..layout.floorplan import make_floorplan
+from ..layout.placement import place
+from ..layout.routing import Router
+from ..netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class DefenseReport:
+    """Security/PPA bookkeeping for one defended layout."""
+
+    defense: str
+    strength: float
+    wirelength_baseline: int
+    wirelength_defended: int
+
+    @property
+    def wirelength_overhead(self) -> float:
+        """Relative wirelength cost of the defense."""
+        if self.wirelength_baseline == 0:
+            return 0.0
+        return (
+            self.wirelength_defended / self.wirelength_baseline - 1.0
+        )
+
+
+def perturbed_layout(
+    netlist: Netlist,
+    strength: float,
+    utilization: float = 0.55,
+    n_layers: int = 6,
+    seed: int = 0,
+) -> Design:
+    """Place-and-route with placement noise of ``strength`` tracks."""
+    if strength < 0:
+        raise ValueError("strength must be non-negative")
+    netlist.validate()
+    floorplan = make_floorplan(netlist, utilization=utilization, n_layers=n_layers)
+    placement = place(netlist, floorplan, seed=seed, perturbation=strength)
+    router = Router(floorplan)
+    routes = router.route_netlist(netlist, placement)
+    return Design(netlist, floorplan, placement, routes, router.stats)

@@ -1,0 +1,59 @@
+"""Plain-text table and bar-chart rendering for experiment reports."""
+
+from __future__ import annotations
+
+
+def render_table(
+    headers: list[str],
+    rows: list[list[str]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width text table; every cell is already a string."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: list[str]) -> str:
+        return " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_markdown_table(headers: list[str], rows: list[list[str]]) -> str:
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def render_bars(
+    labels: list[str], values: list[float], width: int = 40, unit: str = ""
+) -> str:
+    """Horizontal ASCII bar chart (Figure-5-style comparison)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not values:
+        return "(no data)"
+    peak = max(values)
+    label_w = max(len(l) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(width * value / peak))) if peak > 0 else ""
+        lines.append(f"{label.ljust(label_w)} | {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def fmt_or_na(value: float | None, fmt: str = "{:.2f}") -> str:
+    return "N/A" if value is None else fmt.format(value)

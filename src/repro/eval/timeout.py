@@ -1,0 +1,59 @@
+"""Wall-clock time-outs for baseline attacks.
+
+The paper caps every attack at 100 000 s and reports "N/A" where the
+network-flow attack exceeds it.  Our scaled harness does the same with
+a scaled budget.  ``SIGALRM`` interrupts pure-Python code (networkx is
+pure Python), so the time-out is enforced, not merely observed — but it
+only works on the main thread of Unix processes; elsewhere the call
+runs to completion and is marked timed-out afterwards.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+class Timeout(Exception):
+    pass
+
+
+@dataclass
+class TimedResult:
+    value: Any  # None when timed out
+    seconds: float
+    timed_out: bool
+
+
+def run_with_timeout(fn: Callable[[], Any], limit_s: float) -> TimedResult:
+    """Run ``fn`` with a wall-clock budget."""
+    start = time.perf_counter()
+    can_alarm = (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not can_alarm:
+        value = fn()
+        elapsed = time.perf_counter() - start
+        return TimedResult(
+            value if elapsed <= limit_s else None, elapsed, elapsed > limit_s
+        )
+
+    def _handler(signum, frame):
+        raise Timeout()
+
+    old_handler = signal.signal(signal.SIGALRM, _handler)
+    signal.setitimer(signal.ITIMER_REAL, limit_s)
+    try:
+        value = fn()
+        timed_out = False
+    except Timeout:
+        value = None
+        timed_out = True
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, old_handler)
+    return TimedResult(value, time.perf_counter() - start, timed_out)

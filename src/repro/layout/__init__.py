@@ -1,0 +1,52 @@
+"""repro.layout — physical design substrate (floorplan, place, route)."""
+
+from .design import Design, build_layout
+from .def_io import DefFormatError, read_def, write_def
+from .floorplan import Floorplan, make_floorplan
+from .geometry import (
+    HORIZONTAL,
+    VERTICAL,
+    GridNode,
+    Segment,
+    Via,
+    manhattan,
+    merge_collinear,
+    preferred_axis,
+    preferred_direction,
+)
+from .placement import Placement, place
+from .routing import (
+    NetRoute,
+    Router,
+    RoutingStats,
+    default_thresholds,
+    is_via_edge,
+    make_edge,
+)
+
+__all__ = [
+    "Design",
+    "DefFormatError",
+    "Floorplan",
+    "GridNode",
+    "HORIZONTAL",
+    "NetRoute",
+    "Placement",
+    "Router",
+    "RoutingStats",
+    "Segment",
+    "VERTICAL",
+    "Via",
+    "build_layout",
+    "default_thresholds",
+    "is_via_edge",
+    "make_edge",
+    "make_floorplan",
+    "manhattan",
+    "merge_collinear",
+    "place",
+    "preferred_axis",
+    "preferred_direction",
+    "read_def",
+    "write_def",
+]

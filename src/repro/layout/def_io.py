@@ -1,0 +1,172 @@
+"""DEF-like serialisation of placed-and-routed designs.
+
+The paper's flow exports DEF from Cadence Innovus and splits it after
+M1 / M3.  This module provides the equivalent interchange step for our
+flow: a compact, line-oriented text format carrying the die, pads,
+component placements and per-net routed wiring (segments + vias), from
+which the full :class:`~repro.layout.design.Design` is reconstructed
+given the netlist.
+
+Round-trip is exact: ``read_def(write_def(d), d.netlist)`` reproduces
+the same wiring graph.
+"""
+
+from __future__ import annotations
+
+from ..netlist.netlist import Netlist
+from .design import Design
+from .floorplan import Floorplan
+from .placement import Placement
+from .routing import NetRoute, RoutingStats, make_edge
+
+
+class DefFormatError(Exception):
+    pass
+
+
+def write_def(design: Design) -> str:
+    """Serialise a placed-and-routed design to DEF-like text."""
+    lines: list[str] = []
+    fp = design.floorplan
+    lines.append(f"DESIGN {design.name}")
+    lines.append(f"DIEAREA {fp.width} {fp.height} LAYERS {fp.n_layers}")
+
+    lines.append(f"PADS {len(fp.pad_positions)}")
+    for name in sorted(fp.pad_positions):
+        x, y = fp.pad_positions[name]
+        lines.append(f"  PAD {name} {x} {y}")
+
+    locs = design.placement.locations
+    lines.append(f"COMPONENTS {len(locs)}")
+    for name in sorted(locs):
+        x, y = locs[name]
+        cell = design.netlist.gates[name].cell.name
+        lines.append(f"  COMP {name} {cell} {x} {y}")
+
+    lines.append(f"NETS {len(design.routes)}")
+    for net_name in sorted(design.routes):
+        route = design.routes[net_name]
+        lines.append(f"  NET {net_name}")
+        for xy in sorted(route.pin_nodes):
+            lines.append(f"    PIN {xy[0]} {xy[1]}")
+        for seg in sorted(
+            route.segments(), key=lambda s: (s.layer, s.x1, s.y1, s.x2, s.y2)
+        ):
+            lines.append(f"    SEG {seg.layer} {seg.x1} {seg.y1} {seg.x2} {seg.y2}")
+        for a, b in sorted(route.via_edges()):
+            low = min(a[0], b[0])
+            lines.append(f"    VIA {low} {a[1]} {a[2]}")
+        lines.append("  ENDNET")
+    lines.append("ENDDESIGN")
+    return "\n".join(lines) + "\n"
+
+
+def read_def(text: str, netlist: Netlist) -> Design:
+    """Rebuild a Design from DEF-like text plus its netlist."""
+    try:
+        return _read_def(text, netlist)
+    except (StopIteration, IndexError, ValueError) as exc:
+        raise DefFormatError(f"malformed DEF: {exc!r}") from exc
+
+
+def _read_def(text: str, netlist: Netlist) -> Design:
+    lines = [ln.strip() for ln in text.splitlines() if ln.strip()]
+    if not lines or not lines[0].startswith("DESIGN "):
+        raise DefFormatError("missing DESIGN header")
+    name = lines[0].split()[1]
+    if name != netlist.name:
+        raise DefFormatError(
+            f"DEF is for design {name!r}, netlist is {netlist.name!r}"
+        )
+
+    it = iter(lines[1:])
+    tok = next(it).split()
+    if tok[0] != "DIEAREA":
+        raise DefFormatError("missing DIEAREA")
+    width, height, n_layers = int(tok[1]), int(tok[2]), int(tok[4])
+    fp = Floorplan(width=width, height=height, n_layers=n_layers)
+
+    line = next(it)
+    if not line.startswith("PADS"):
+        raise DefFormatError("missing PADS")
+    line = next(it)
+    while line.startswith("PAD "):
+        _, pad_name, x, y = line.split()
+        fp.pad_positions[pad_name] = (int(x), int(y))
+        line = next(it)
+
+    if not line.startswith("COMPONENTS"):
+        raise DefFormatError("missing COMPONENTS")
+    locations: dict[str, tuple[int, int]] = {}
+    line = next(it)
+    while line.startswith("COMP "):
+        _, comp_name, cell_name, x, y = line.split()
+        gate = netlist.gates.get(comp_name)
+        if gate is None:
+            raise DefFormatError(f"unknown component {comp_name}")
+        if gate.cell.name != cell_name:
+            raise DefFormatError(
+                f"component {comp_name} cell mismatch: "
+                f"{cell_name} vs {gate.cell.name}"
+            )
+        locations[comp_name] = (int(x), int(y))
+        line = next(it)
+
+    if not line.startswith("NETS"):
+        raise DefFormatError("missing NETS")
+    routes: dict[str, NetRoute] = {}
+    line = next(it)
+    while line.startswith("NET "):
+        net_name = line.split()[1]
+        if net_name not in netlist.nets:
+            raise DefFormatError(f"unknown net {net_name}")
+        route = NetRoute(net_name)
+        line = next(it)
+        while line != "ENDNET":
+            tok = line.split()
+            if tok[0] == "PIN":
+                x, y = int(tok[1]), int(tok[2])
+                node = (1, x, y)
+                route.pin_nodes[(x, y)] = node
+                route.nodes.add(node)
+            elif tok[0] == "SEG":
+                layer, x1, y1, x2, y2 = (int(v) for v in tok[1:])
+                _expand_segment(route, layer, x1, y1, x2, y2)
+            elif tok[0] == "VIA":
+                low, x, y = int(tok[1]), int(tok[2]), int(tok[3])
+                a, b = (low, x, y), (low + 1, x, y)
+                route.edges.add(make_edge(a, b))
+                route.nodes.add(a)
+                route.nodes.add(b)
+            else:
+                raise DefFormatError(f"unexpected line in net: {line!r}")
+            line = next(it)
+        routes[net_name] = route
+        line = next(it)
+    if line != "ENDDESIGN":
+        raise DefFormatError("missing ENDDESIGN")
+
+    stats = RoutingStats(
+        total_wirelength=sum(len(r.wire_edges()) for r in routes.values()),
+        total_vias=sum(len(r.via_edges()) for r in routes.values()),
+    )
+    return Design(netlist, fp, Placement(locations, fp), routes, stats)
+
+
+def _expand_segment(
+    route: NetRoute, layer: int, x1: int, y1: int, x2: int, y2: int
+) -> None:
+    if x1 != x2 and y1 != y2:
+        raise DefFormatError("diagonal segment")
+    if y1 == y2:
+        for x in range(min(x1, x2), max(x1, x2)):
+            a, b = (layer, x, y1), (layer, x + 1, y1)
+            route.edges.add(make_edge(a, b))
+            route.nodes.add(a)
+            route.nodes.add(b)
+    else:
+        for y in range(min(y1, y2), max(y1, y2)):
+            a, b = (layer, x1, y), (layer, x1, y + 1)
+            route.edges.add(make_edge(a, b))
+            route.nodes.add(a)
+            route.nodes.add(b)

@@ -1,0 +1,86 @@
+"""The Design container: netlist + floorplan + placement + routing.
+
+This is the "layout database" every later stage consumes: the split
+module cuts it at a layer, the feature extractors read its wiring, the
+attacks query pin positions and library data through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cells.library import Cell
+from ..netlist.netlist import Netlist, Terminal
+from .floorplan import Floorplan, make_floorplan
+from .placement import Placement, place
+from .routing import NetRoute, Router, RoutingStats
+
+
+@dataclass
+class Design:
+    """A fully placed-and-routed design."""
+
+    netlist: Netlist
+    floorplan: Floorplan
+    placement: Placement
+    routes: dict[str, NetRoute]
+    routing_stats: RoutingStats = field(default_factory=RoutingStats)
+
+    @property
+    def name(self) -> str:
+        return self.netlist.name
+
+    def terminal_location(self, term: Terminal) -> tuple[int, int]:
+        return self.placement.terminal_location(term)
+
+    def driver_cell(self, net_name: str) -> Cell | None:
+        """Library cell driving a net, or None for primary inputs."""
+        net = self.netlist.nets[net_name]
+        gate = self.netlist.driver_gate(net)
+        return gate.cell if gate else None
+
+    def sink_pin_capacitance(self, term: Terminal) -> float:
+        """Input pin capacitance of a sink terminal (0 for ports)."""
+        if term.is_port:
+            return 0.0
+        gate = self.netlist.gates[term.owner]
+        return gate.cell.input_capacitance(term.pin)
+
+    def total_wirelength(self) -> int:
+        return sum(r.total_wirelength for r in self.routes.values())
+
+    def occupancy_by_layer(self) -> dict[int, set[tuple[int, int]]]:
+        """All grid points with wiring, per layer (for images/congestion)."""
+        occ: dict[int, set[tuple[int, int]]] = {}
+        for route in self.routes.values():
+            for layer, x, y in route.nodes:
+                occ.setdefault(layer, set()).add((x, y))
+        return occ
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "gates": self.netlist.n_gates,
+            "nets": len(self.routes),
+            "die_width": self.floorplan.width,
+            "die_height": self.floorplan.height,
+            "wirelength": self.total_wirelength(),
+            "vias": sum(len(r.via_edges()) for r in self.routes.values()),
+            "overflows": self.routing_stats.overflowed_edges,
+        }
+
+
+def build_layout(
+    netlist: Netlist,
+    utilization: float = 0.55,
+    n_layers: int = 6,
+    capacity: int = 3,
+    thresholds: tuple[int, int, int] | None = None,
+    seed: int = 0,
+) -> Design:
+    """Run the full physical-design flow: floorplan, place, route."""
+    netlist.validate()
+    floorplan = make_floorplan(netlist, utilization=utilization, n_layers=n_layers)
+    placement = place(netlist, floorplan, seed=seed)
+    router = Router(floorplan, capacity=capacity, thresholds=thresholds)
+    routes = router.route_netlist(netlist, placement)
+    return Design(netlist, floorplan, placement, routes, router.stats)

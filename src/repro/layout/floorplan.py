@@ -1,0 +1,89 @@
+"""Die floorplanning: rows, sites and pad ring from a netlist.
+
+Produces the canvas the placer and router operate on.  One grid track
+equals one placement site; one row of sites per vertical track keeps
+the placement and routing grids aligned (a simplification of real row
+geometry that preserves everything the attack observes: relative
+distances, congestion and preferred directions).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..netlist.netlist import Netlist
+
+
+@dataclass
+class Floorplan:
+    """Die outline plus pad locations for primary inputs/outputs."""
+
+    width: int  # tracks in x
+    height: int  # tracks in y (= number of rows)
+    n_layers: int = 6
+    pad_positions: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.width < 2 or self.height < 2:
+            raise ValueError("die must be at least 2x2 tracks")
+        if self.n_layers < 2:
+            raise ValueError("need at least 2 metal layers")
+
+    @property
+    def half_perimeter(self) -> int:
+        return self.width + self.height
+
+    def contains(self, x: int, y: int) -> bool:
+        return 0 <= x < self.width and 0 <= y < self.height
+
+
+def make_floorplan(
+    netlist: Netlist,
+    utilization: float = 0.55,
+    aspect: float = 1.0,
+    n_layers: int = 6,
+) -> Floorplan:
+    """Size the die from total cell area and place the pad ring.
+
+    ``utilization`` is the fraction of sites occupied by cells; typical
+    physical-design flows use 50-70 %.
+    """
+    if not 0.05 < utilization <= 1.0:
+        raise ValueError("utilization must be in (0.05, 1]")
+    total_sites = sum(g.cell.width_sites + 1 for g in netlist.gates.values())
+    total_sites = max(total_sites, 4)
+    area = total_sites / utilization
+    height = max(2, int(round(math.sqrt(area / aspect))))
+    width = max(2, int(math.ceil(area / height)))
+
+    fp = Floorplan(width=width, height=height, n_layers=n_layers)
+    _place_pads(fp, netlist)
+    return fp
+
+
+def _place_pads(fp: Floorplan, netlist: Netlist) -> None:
+    """Distribute PI pads on the left/top edges, PO pads right/bottom."""
+
+    def spread(count: int, limit: int) -> list[int]:
+        if count == 0:
+            return []
+        return [
+            int(round((i + 0.5) * limit / count)) % limit for i in range(count)
+        ]
+
+    pis = netlist.primary_inputs
+    pos = netlist.primary_outputs
+    half_in = (len(pis) + 1) // 2
+    left, top = pis[:half_in], pis[half_in:]
+    half_out = (len(pos) + 1) // 2
+    right, bottom = pos[:half_out], pos[half_out:]
+
+    for name, y in zip(left, spread(len(left), fp.height)):
+        fp.pad_positions[name] = (0, y)
+    for name, x in zip(top, spread(len(top), fp.width)):
+        fp.pad_positions[name] = (x, fp.height - 1)
+    for name, y in zip(right, spread(len(right), fp.height)):
+        fp.pad_positions[name] = (fp.width - 1, y)
+    for name, x in zip(bottom, spread(len(bottom), fp.width)):
+        fp.pad_positions[name] = (x, 0)

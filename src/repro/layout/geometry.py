@@ -1,0 +1,164 @@
+"""Geometry primitives for the routing grid.
+
+Coordinates are integer *tracks* on a uniform grid.  Metal layers are
+numbered from 1 (M1, closest to the devices) upwards; odd layers route
+horizontally, even layers vertically — the preferred-direction scheme
+the paper's distance features and direction criterion assume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+HORIZONTAL = "H"
+VERTICAL = "V"
+
+
+def preferred_direction(layer: int) -> str:
+    """Preferred routing direction of a metal layer (M1 horizontal)."""
+    if layer < 1:
+        raise ValueError(f"layer must be >= 1, got {layer}")
+    return HORIZONTAL if layer % 2 == 1 else VERTICAL
+
+
+def preferred_axis(layer: int) -> int:
+    """Index of the preferred axis: 0 for x (horizontal), 1 for y."""
+    return 0 if preferred_direction(layer) == HORIZONTAL else 1
+
+
+def manhattan(a: tuple[int, int], b: tuple[int, int]) -> int:
+    """Manhattan (L1) distance, the routing metric of Sec. 3.1.1."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+@dataclass(frozen=True)
+class GridNode:
+    """A point on the 3-D routing grid: (layer, x, y)."""
+
+    layer: int
+    x: int
+    y: int
+
+    @property
+    def xy(self) -> tuple[int, int]:
+        return (self.x, self.y)
+
+    def __repr__(self) -> str:
+        return f"M{self.layer}({self.x},{self.y})"
+
+
+@dataclass(frozen=True)
+class Segment:
+    """An axis-aligned wire on one metal layer.
+
+    ``(x1, y1)`` to ``(x2, y2)`` inclusive, normalised so the start is
+    the smaller coordinate.  A zero-length segment (a point) is legal:
+    it marks a pin landing used only by vias.
+    """
+
+    layer: int
+    x1: int
+    y1: int
+    x2: int
+    y2: int
+
+    def __post_init__(self):
+        if self.x1 != self.x2 and self.y1 != self.y2:
+            raise ValueError("segments must be axis-aligned")
+        if (self.x1, self.y1) > (self.x2, self.y2):
+            raise ValueError("segment endpoints must be normalised")
+
+    @staticmethod
+    def make(layer: int, a: tuple[int, int], b: tuple[int, int]) -> "Segment":
+        if a > b:
+            a, b = b, a
+        return Segment(layer, a[0], a[1], b[0], b[1])
+
+    @property
+    def length(self) -> int:
+        return abs(self.x2 - self.x1) + abs(self.y2 - self.y1)
+
+    @property
+    def direction(self) -> str:
+        """H, V, or the layer's preferred direction for points."""
+        if self.y1 == self.y2 and self.x1 != self.x2:
+            return HORIZONTAL
+        if self.x1 == self.x2 and self.y1 != self.y2:
+            return VERTICAL
+        return preferred_direction(self.layer)
+
+    @property
+    def is_preferred(self) -> bool:
+        return self.direction == preferred_direction(self.layer)
+
+    def points(self) -> list[tuple[int, int]]:
+        if self.x1 == self.x2:
+            return [(self.x1, y) for y in range(self.y1, self.y2 + 1)]
+        return [(x, self.y1) for x in range(self.x1, self.x2 + 1)]
+
+    def endpoints(self) -> tuple[tuple[int, int], tuple[int, int]]:
+        return (self.x1, self.y1), (self.x2, self.y2)
+
+
+@dataclass(frozen=True)
+class Via:
+    """A via connecting metal ``layer`` to ``layer + 1`` at (x, y)."""
+
+    layer: int  # lower layer of the cut
+    x: int
+    y: int
+
+    @property
+    def xy(self) -> tuple[int, int]:
+        return (self.x, self.y)
+
+    def __repr__(self) -> str:
+        return f"V{self.layer}({self.x},{self.y})"
+
+
+def merge_collinear(points: list[tuple[int, int]], layer: int) -> list[Segment]:
+    """Merge a connected set of grid points into maximal segments.
+
+    Used when converting unit-edge routing results into compact
+    segment lists for serialisation; points must form unit-spaced runs.
+    """
+    if not points:
+        return []
+    segments: list[Segment] = []
+    by_row: dict[int, list[int]] = {}
+    by_col: dict[int, list[int]] = {}
+    for x, y in points:
+        by_row.setdefault(y, []).append(x)
+        by_col.setdefault(x, []).append(y)
+
+    covered: set[tuple[int, int]] = set()
+    for y, xs in sorted(by_row.items()):
+        xs = sorted(set(xs))
+        run_start = xs[0]
+        prev = xs[0]
+        for x in xs[1:] + [None]:
+            if x is not None and x == prev + 1:
+                prev = x
+                continue
+            if prev > run_start:
+                segments.append(Segment(layer, run_start, y, prev, y))
+                covered.update((cx, y) for cx in range(run_start, prev + 1))
+            if x is not None:
+                run_start = prev = x
+    for x, ys in sorted(by_col.items()):
+        ys = sorted(set(ys))
+        run_start = ys[0]
+        prev = ys[0]
+        for y in ys[1:] + [None]:
+            if y is not None and y == prev + 1:
+                prev = y
+                continue
+            if prev > run_start:
+                segments.append(Segment(layer, x, run_start, x, prev))
+                covered.update((x, cy) for cy in range(run_start, prev + 1))
+            if y is not None:
+                run_start = prev = y
+    # Isolated points not covered by any run become point segments.
+    for x, y in sorted(set(points) - covered):
+        segments.append(Segment(layer, x, y, x, y))
+    return segments

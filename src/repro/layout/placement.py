@@ -1,0 +1,268 @@
+"""Quadratic placement with spreading and row legalisation.
+
+The attack exploits the central regularity of analytic placement:
+*connected gates end up close together*.  This placer reproduces that
+regularity the same way commercial tools do at their core — minimising
+quadratic wirelength over the netlist graph with pads as fixed anchors
+— followed by rank-based spreading (a FastPlace-style density fix) and
+greedy "Tetris" legalisation onto rows of sites.
+
+The result is deterministic for a given netlist and floorplan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..netlist.netlist import Netlist
+from .floorplan import Floorplan
+
+
+@dataclass
+class Placement:
+    """Legal placement: gate name -> (x, y) of the gate's pin site."""
+
+    locations: dict[str, tuple[int, int]]
+    floorplan: Floorplan
+
+    def location(self, gate_name: str) -> tuple[int, int]:
+        return self.locations[gate_name]
+
+    def hpwl(self, netlist: Netlist) -> int:
+        """Total half-perimeter wirelength over all signal nets."""
+        total = 0
+        for net in netlist.signal_nets():
+            xs, ys = [], []
+            for term in net.terminals():
+                x, y = self.terminal_location(term)
+                xs.append(x)
+                ys.append(y)
+            total += (max(xs) - min(xs)) + (max(ys) - min(ys))
+        return total
+
+    def terminal_location(self, term) -> tuple[int, int]:
+        if term.is_port:
+            return self.floorplan.pad_positions[term.owner]
+        return self.locations[term.owner]
+
+
+def place(
+    netlist: Netlist,
+    floorplan: Floorplan,
+    iterations: int = 3,
+    seed: int = 0,
+    perturbation: float = 0.0,
+) -> Placement:
+    """Place all gates of ``netlist`` onto ``floorplan``.
+
+    ``perturbation`` adds uniform noise of that many tracks to every
+    cell position before legalisation — the placement-perturbation
+    defense against proximity-style attacks (trades wirelength for
+    security; see ``repro.defense``).
+    """
+    gate_names = sorted(netlist.gates)
+    if not gate_names:
+        return Placement({}, floorplan)
+    index = {name: i for i, name in enumerate(gate_names)}
+    n = len(gate_names)
+
+    laplacian, fixed_x, fixed_y = _connectivity(netlist, floorplan, index)
+    xy = _initial_guess(n, floorplan, seed)
+
+    anchor_weight = 0.0
+    anchors = xy.copy()
+    for it in range(max(1, iterations)):
+        xy = _solve(laplacian, fixed_x, fixed_y, anchors, anchor_weight)
+        spread = _rank_spread(xy, floorplan)
+        anchors = spread
+        anchor_weight = 0.15 * (it + 1)
+    if perturbation > 0.0:
+        rng = np.random.default_rng(seed + 0x5EED)
+        spread = spread + rng.uniform(
+            -perturbation, perturbation, spread.shape
+        )
+        spread[:, 0] = np.clip(spread[:, 0], 0, floorplan.width - 1)
+        spread[:, 1] = np.clip(spread[:, 1], 0, floorplan.height - 1)
+    locations = _legalize(netlist, gate_names, spread, floorplan)
+    return Placement(locations, floorplan)
+
+
+def _connectivity(
+    netlist: Netlist, floorplan: Floorplan, index: dict[str, int]
+) -> tuple[sp.csr_matrix, np.ndarray, np.ndarray]:
+    """Quadratic connectivity Laplacian plus pad anchor terms.
+
+    Small nets use the clique model (weight 2/k); larger nets use a
+    star centred on the driver to avoid dense cliques.
+    """
+    n = len(index)
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    diag = np.zeros(n)
+    bx = np.zeros(n)
+    by = np.zeros(n)
+
+    def add_edge(i: int | None, j: int | None, w: float,
+                 pi: tuple[int, int] | None, pj: tuple[int, int] | None):
+        """Add a spring between two endpoints; None index = fixed pad."""
+        if i is not None and j is not None:
+            rows.extend((i, j))
+            cols.extend((j, i))
+            vals.extend((-w, -w))
+            diag[i] += w
+            diag[j] += w
+        elif i is not None:  # j fixed
+            diag[i] += w
+            bx[i] += w * pj[0]
+            by[i] += w * pj[1]
+        elif j is not None:
+            diag[j] += w
+            bx[j] += w * pi[0]
+            by[j] += w * pi[1]
+
+    for net in netlist.signal_nets():
+        terms = net.terminals()
+        k = len(terms)
+        endpoints: list[tuple[int | None, tuple[int, int] | None]] = []
+        for t in terms:
+            if t.is_port:
+                endpoints.append((None, floorplan.pad_positions[t.owner]))
+            else:
+                endpoints.append((index[t.owner], None))
+        if k <= 5:
+            w = 2.0 / k
+            for a in range(k):
+                for b in range(a + 1, k):
+                    add_edge(endpoints[a][0], endpoints[b][0], w,
+                             endpoints[a][1], endpoints[b][1])
+        else:  # star on the driver
+            w = 1.0
+            for b in range(1, k):
+                add_edge(endpoints[0][0], endpoints[b][0], w,
+                         endpoints[0][1], endpoints[b][1])
+
+    # Weak pull to the die centre keeps floating components solvable.
+    centre = ((floorplan.width - 1) / 2.0, (floorplan.height - 1) / 2.0)
+    eps = 1e-3
+    diag += eps
+    bx += eps * centre[0]
+    by += eps * centre[1]
+
+    lap = sp.csr_matrix(
+        (vals + list(diag), (rows + list(range(n)), cols + list(range(n)))),
+        shape=(n, n),
+    )
+    return lap, bx, by
+
+
+def _initial_guess(n: int, fp: Floorplan, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    xy = np.empty((n, 2))
+    xy[:, 0] = rng.uniform(0, fp.width - 1, n)
+    xy[:, 1] = rng.uniform(0, fp.height - 1, n)
+    return xy
+
+
+def _solve(
+    lap: sp.csr_matrix,
+    bx: np.ndarray,
+    by: np.ndarray,
+    anchors: np.ndarray,
+    anchor_weight: float,
+) -> np.ndarray:
+    n = lap.shape[0]
+    if anchor_weight > 0:
+        lap = lap + sp.identity(n, format="csr") * anchor_weight
+        bx = bx + anchor_weight * anchors[:, 0]
+        by = by + anchor_weight * anchors[:, 1]
+    solve = spla.factorized(lap.tocsc())
+    return np.column_stack([solve(bx), solve(by)])
+
+
+def _rank_spread(xy: np.ndarray, fp: Floorplan) -> np.ndarray:
+    """Blend analytic positions with uniform-density rank positions.
+
+    Order-preserving per axis: the i-th cell by x keeps being i-th but
+    is pulled towards a uniform distribution over the die width.
+    """
+    n = xy.shape[0]
+    out = xy.copy()
+    for axis, limit in ((0, fp.width), (1, fp.height)):
+        order = np.argsort(xy[:, axis], kind="stable")
+        targets = (np.arange(n) + 0.5) / n * (limit - 1)
+        spread = np.empty(n)
+        spread[order] = targets
+        out[:, axis] = 0.5 * xy[:, axis] + 0.5 * spread
+    out[:, 0] = np.clip(out[:, 0], 0, fp.width - 1)
+    out[:, 1] = np.clip(out[:, 1], 0, fp.height - 1)
+    return out
+
+
+def _legalize(
+    netlist: Netlist,
+    gate_names: list[str],
+    xy: np.ndarray,
+    fp: Floorplan,
+) -> dict[str, tuple[int, int]]:
+    """Greedy Tetris legalisation onto the site grid.
+
+    Gates are processed left to right; each takes the nearest free span
+    of ``width_sites`` sites, searched in expanding vertical bands.
+    """
+    occupied = np.zeros((fp.width, fp.height), dtype=bool)
+    locations: dict[str, tuple[int, int]] = {}
+    order = np.argsort(xy[:, 0], kind="stable")
+
+    for gi in order:
+        name = gate_names[gi]
+        width = netlist.gates[name].cell.width_sites
+        gx = int(round(xy[gi, 0]))
+        gy = int(round(xy[gi, 1]))
+        spot = _find_span(occupied, gx, gy, width, fp)
+        x0, y0 = spot
+        occupied[x0 : x0 + width, y0] = True
+        # The gate's pin site is the centre of its span.
+        locations[name] = (x0 + width // 2, y0)
+    return locations
+
+
+def _find_span(
+    occupied: np.ndarray, gx: int, gy: int, width: int, fp: Floorplan
+) -> tuple[int, int]:
+    gx = min(max(gx, 0), fp.width - width)
+    gy = min(max(gy, 0), fp.height - 1)
+    best: tuple[int, tuple[int, int]] | None = None
+    for dy in range(fp.height):
+        for y in {gy + dy, gy - dy}:
+            if not 0 <= y < fp.height:
+                continue
+            row = occupied[:, y]
+            x = _nearest_free_span(row, gx, width)
+            if x is None:
+                continue
+            cost = abs(x - gx) + abs(y - gy) * 2
+            if best is None or cost < best[0]:
+                best = (cost, (x, y))
+        # An exact-row hit at distance dy can't be beaten by dy+1 rows.
+        if best is not None and best[0] <= (dy + 1) * 2:
+            break
+    if best is None:
+        raise RuntimeError("no free placement span; utilization too high")
+    return best[1]
+
+
+def _nearest_free_span(row: np.ndarray, gx: int, width: int) -> int | None:
+    """Leftmost-nearest free run of ``width`` sites around column gx."""
+    limit = row.shape[0] - width
+    if limit < 0:
+        return None
+    for dx in range(row.shape[0]):
+        for x in (gx - dx, gx + dx):
+            if 0 <= x <= limit and not row[x : x + width].any():
+                return x
+    return None

@@ -1,0 +1,505 @@
+"""Grid routing: layer assignment, L/Z shapes, A* escape routing.
+
+The router reproduces the regularities the attack's features rely on
+(Sec. 3 of the paper):
+
+* **preferred directions** — odd layers horizontal, even vertical; the
+  direction criterion of Sec. 4.1 reads segment directions at virtual
+  pins, and congested spots produce the occasional non-preferred jog
+  (via the A* fallback), which the paper observes in real layouts;
+* **HPWL-driven layer assignment** — short connections stay on M1/M2,
+  medium ones use M2/M3, long ones climb to M3/M4 or M5/M6.  This is
+  what makes a *split layer* meaningful: the M1 split cuts nearly every
+  net, while the M3 split only cuts the long ones (Table 3's #Sk
+  columns);
+* **congestion** — per-edge capacities with soft overflow costs create
+  detours in dense regions, the "routing hints" the image features see.
+
+Wiring is represented as unit grid edges on a 3-D (layer, x, y) graph;
+vias are edges between adjacent layers at the same (x, y).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..netlist.netlist import Netlist
+from .floorplan import Floorplan
+from .geometry import Segment, preferred_axis
+from .placement import Placement
+
+Node = tuple[int, int, int]  # (layer, x, y)
+Edge = tuple[Node, Node]  # canonically sorted
+
+
+def make_edge(a: Node, b: Node) -> Edge:
+    """Canonical (sorted-endpoint) edge key for usage accounting."""
+    return (a, b) if a <= b else (b, a)
+
+
+def is_via_edge(edge: Edge) -> bool:
+    """True when the edge connects two metal layers (same x, y)."""
+    return edge[0][0] != edge[1][0]
+
+
+@dataclass
+class NetRoute:
+    """Routed wiring of one net: nodes and unit edges on the grid."""
+
+    name: str
+    nodes: set[Node] = field(default_factory=set)
+    edges: set[Edge] = field(default_factory=set)
+    pin_nodes: dict[tuple[int, int], Node] = field(default_factory=dict)
+
+    def wire_edges(self) -> list[Edge]:
+        return [e for e in self.edges if not is_via_edge(e)]
+
+    def via_edges(self) -> list[Edge]:
+        return [e for e in self.edges if is_via_edge(e)]
+
+    def wirelength_by_layer(self) -> dict[int, int]:
+        lengths: dict[int, int] = {}
+        for a, _b in self.wire_edges():
+            lengths[a[0]] = lengths.get(a[0], 0) + 1
+        return lengths
+
+    def vias_by_cut(self) -> dict[int, int]:
+        """Count of vias per cut layer (cut i connects Mi to Mi+1)."""
+        cuts: dict[int, int] = {}
+        for a, b in self.via_edges():
+            low = min(a[0], b[0])
+            cuts[low] = cuts.get(low, 0) + 1
+        return cuts
+
+    @property
+    def total_wirelength(self) -> int:
+        return len(self.wire_edges())
+
+    def segments(self) -> list[Segment]:
+        """Merge unit wire edges into maximal straight segments."""
+        horiz: dict[tuple[int, int], list[int]] = {}
+        vert: dict[tuple[int, int], list[int]] = {}
+        for (la, xa, ya), (_lb, xb, yb) in self.wire_edges():
+            if ya == yb:  # horizontal unit edge (xa < xb)
+                horiz.setdefault((la, ya), []).append(min(xa, xb))
+            else:
+                vert.setdefault((la, xa), []).append(min(ya, yb))
+        segments: list[Segment] = []
+        for (layer, y), starts in sorted(horiz.items()):
+            for lo, hi in _merge_runs(starts):
+                segments.append(Segment(layer, lo, y, hi + 1, y))
+        for (layer, x), starts in sorted(vert.items()):
+            for lo, hi in _merge_runs(starts):
+                segments.append(Segment(layer, x, lo, x, hi + 1))
+        return segments
+
+
+def _merge_runs(starts: list[int]) -> list[tuple[int, int]]:
+    """Merge sorted unit-run start coordinates into (lo, hi) spans."""
+    runs: list[tuple[int, int]] = []
+    for s in sorted(set(starts)):
+        if runs and s == runs[-1][1] + 1:
+            runs[-1] = (runs[-1][0], s)
+        else:
+            runs.append((s, s))
+    return runs
+
+
+@dataclass
+class RoutingStats:
+    total_wirelength: int = 0
+    total_vias: int = 0
+    overflowed_edges: int = 0
+    astar_calls: int = 0
+    connections: int = 0
+
+
+def default_thresholds(floorplan: Floorplan) -> tuple[int, int, int]:
+    """Die-size fallback thresholds (used when no demand data exists).
+
+    Prefer the demand-driven quantile thresholds the router computes
+    from the actual connection-length distribution; this fallback only
+    serves single-net routing without netlist context.
+    """
+    avg_dim = (floorplan.width + floorplan.height) / 2.0
+    t2 = max(5, int(round(0.17 * avg_dim)))
+    return (3, t2, max(t2 + 4, int(round(2.5 * t2))))
+
+
+def demand_thresholds(
+    connection_lengths: list[int],
+    quantiles: tuple[float, float] = (0.80, 0.97),
+) -> tuple[int, int, int]:
+    """Layer-assignment thresholds from connection-length demand.
+
+    Real global routers balance wire demand across layer pairs, so a
+    roughly fixed *fraction* of connections climbs above each layer
+    regardless of die size.  Assigning the top ~20 % of connections to
+    M3/M4 (and the top ~3 % to M5/M6) keeps the fraction of sink pins
+    hidden at the M3 split inside the band the paper's Table 3 shows
+    (M3 #Sk between ~13 % and ~39 % of M1 #Sk across designs).
+    """
+    if not connection_lengths:
+        raise ValueError("need at least one connection length")
+    lengths = sorted(connection_lengths)
+
+    def quantile(q: float) -> int:
+        idx = min(len(lengths) - 1, int(q * len(lengths)))
+        return lengths[idx]
+
+    t1 = 3
+    t2 = max(t1 + 1, quantile(quantiles[0]))
+    t3 = max(t2 + 2, quantile(quantiles[1]))
+    return (t1, t2, t3)
+
+
+class Router:
+    """Congestion-aware grid router.
+
+    ``thresholds = (t1, t2, t3)`` assign a connection of HPWL ``d`` to a
+    layer pair: d <= t1 -> M1/M2, d <= t2 -> M2/M3, d <= t3 -> M3/M4,
+    else M5/M6.
+    """
+
+    LAYER_PAIRS = ((1, 2), (2, 3), (3, 4), (5, 6))
+
+    def __init__(
+        self,
+        floorplan: Floorplan,
+        capacity: int = 3,
+        thresholds: tuple[int, int, int] | None = None,
+        astar_margin: int = 8,
+        max_z_candidates: int = 12,
+    ):
+        self._auto_thresholds = thresholds is None
+        if thresholds is None:
+            thresholds = default_thresholds(floorplan)
+        if len(thresholds) != 3 or sorted(thresholds) != list(thresholds):
+            raise ValueError("thresholds must be three ascending values")
+        self.floorplan = floorplan
+        self.capacity = capacity
+        self.thresholds = thresholds
+        # Net-lifting defense hook: nets forced to start at a higher
+        # layer-pair index (0..3), regardless of their length.
+        self.min_pair_by_net: dict[str, int] = {}
+        self.astar_margin = astar_margin
+        self.max_z_candidates = max_z_candidates
+        self.usage: dict[Edge, int] = {}
+        self.stats = RoutingStats()
+
+    # -- public API -----------------------------------------------------
+    def route_netlist(
+        self, netlist: Netlist, placement: Placement
+    ) -> dict[str, NetRoute]:
+        """Route every signal net; short nets first (they have the least
+        flexibility and lock in the local wiring the images observe)."""
+        nets = []
+        all_lengths: list[int] = []
+        for net in netlist.signal_nets():
+            pins = {}
+            for term in net.terminals():
+                pins[term.key()] = placement.terminal_location(term)
+            locs = list(dict.fromkeys(pins.values()))
+            tree = _spanning_tree(locs) if len(locs) > 1 else []
+            all_lengths.extend(
+                abs(a[0] - b[0]) + abs(a[1] - b[1]) for a, b in tree
+            )
+            hpwl = 0
+            if len(locs) > 1:
+                xs = [p[0] for p in locs]
+                ys = [p[1] for p in locs]
+                hpwl = (max(xs) - min(xs)) + (max(ys) - min(ys))
+            nets.append((hpwl, net.name, locs, tree))
+        if self._auto_thresholds and all_lengths:
+            self.thresholds = demand_thresholds(all_lengths)
+        nets.sort(key=lambda item: (item[0], item[1]))
+        routes: dict[str, NetRoute] = {}
+        for _hpwl, name, locs, tree in nets:
+            routes[name] = self._route_net_tree(name, locs, tree)
+        return routes
+
+    def route_net(self, name: str, pin_locations: list[tuple[int, int]]) -> NetRoute:
+        locs = list(dict.fromkeys(pin_locations))
+        tree = _spanning_tree(locs) if len(locs) > 1 else []
+        return self._route_net_tree(name, locs, tree)
+
+    def _route_net_tree(
+        self,
+        name: str,
+        locs: list[tuple[int, int]],
+        tree: list[tuple[tuple[int, int], tuple[int, int]]],
+    ) -> NetRoute:
+        route = NetRoute(name)
+        min_pair = self.min_pair_by_net.get(name, 0)
+        for xy in locs:
+            node = (1, xy[0], xy[1])
+            route.nodes.add(node)
+            route.pin_nodes[xy] = node
+        for a, b in tree:
+            self._route_connection(route, a, b, min_pair)
+        return route
+
+    # -- connection routing -----------------------------------------------
+    def _layer_pair(self, dist: int, min_pair: int = 0) -> tuple[int, int]:
+        t1, t2, t3 = self.thresholds
+        if dist <= t1:
+            index = 0
+        elif dist <= t2:
+            index = 1
+        elif dist <= t3:
+            index = 2
+        else:
+            index = 3
+        return self.LAYER_PAIRS[max(index, min_pair)]
+
+    def _route_connection(
+        self,
+        route: NetRoute,
+        p1: tuple[int, int],
+        p2: tuple[int, int],
+        min_pair: int = 0,
+    ) -> None:
+        self.stats.connections += 1
+        dist = abs(p1[0] - p2[0]) + abs(p1[1] - p2[1])
+        pair = self._layer_pair(dist, min_pair)
+        if p1 == p2:
+            self._commit_stack(route, p1, pair[0])
+            return
+        path = self._best_pattern_path(p1, p2, pair)
+        if path is None or self._path_overflows(path):
+            astar = self._astar(p1, p2, pair)
+            self.stats.astar_calls += 1
+            if astar is not None:
+                path = astar
+        if path is None:
+            raise RuntimeError(f"unroutable connection {p1} -> {p2}")
+        self._commit_path(route, path, p1, p2)
+
+    # pattern routing ----------------------------------------------------
+    def _best_pattern_path(
+        self, p1: tuple[int, int], p2: tuple[int, int], pair: tuple[int, int]
+    ) -> list[Node] | None:
+        lh = pair[0] if preferred_axis(pair[0]) == 0 else pair[1]
+        lv = pair[0] if preferred_axis(pair[0]) == 1 else pair[1]
+        (x1, y1), (x2, y2) = p1, p2
+
+        candidates: list[list[Node]] = []
+        if y1 == y2:
+            candidates.append(_h_run(lh, x1, x2, y1))
+        elif x1 == x2:
+            candidates.append(_v_run(lv, x1, y1, y2))
+        else:
+            # Two L-shapes.
+            candidates.append(
+                _join(_h_run(lh, x1, x2, y1), _v_run(lv, x2, y1, y2))
+            )
+            candidates.append(
+                _join(_v_run(lv, x1, y1, y2), _h_run(lh, x1, x2, y2))
+            )
+            # Z-shapes with an intermediate column / row.
+            for xm in _intermediate(x1, x2, self.max_z_candidates):
+                candidates.append(
+                    _join(
+                        _h_run(lh, x1, xm, y1),
+                        _v_run(lv, xm, y1, y2),
+                        _h_run(lh, xm, x2, y2),
+                    )
+                )
+            for ym in _intermediate(y1, y2, self.max_z_candidates):
+                candidates.append(
+                    _join(
+                        _v_run(lv, x1, y1, ym),
+                        _h_run(lh, x1, x2, ym),
+                        _v_run(lv, x2, ym, y2),
+                    )
+                )
+        best: tuple[float, list[Node]] | None = None
+        for path in candidates:
+            cost = self._path_cost(path)
+            if best is None or cost < best[0]:
+                best = (cost, path)
+        return best[1] if best else None
+
+    def _edge_cost(self, edge: Edge) -> float:
+        if is_via_edge(edge):
+            return 2.0
+        layer = edge[0][0]
+        axis = 0 if edge[0][2] == edge[1][2] else 1
+        base = 1.0 if preferred_axis(layer) == axis else 3.0
+        used = self.usage.get(edge, 0)
+        if used < self.capacity:
+            return base + 0.2 * used
+        return base + 8.0 * (used - self.capacity + 1)
+
+    def _path_cost(self, path: list[Node]) -> float:
+        return sum(
+            self._edge_cost(make_edge(a, b)) for a, b in zip(path, path[1:])
+        )
+
+    def _path_overflows(self, path: list[Node]) -> bool:
+        for a, b in zip(path, path[1:]):
+            edge = make_edge(a, b)
+            if not is_via_edge(edge) and self.usage.get(edge, 0) >= self.capacity:
+                return True
+        return False
+
+    # A* escape ---------------------------------------------------------
+    def _astar(
+        self, p1: tuple[int, int], p2: tuple[int, int], pair: tuple[int, int]
+    ) -> list[Node] | None:
+        fp = self.floorplan
+        margin = self.astar_margin
+        x_lo = max(0, min(p1[0], p2[0]) - margin)
+        x_hi = min(fp.width - 1, max(p1[0], p2[0]) + margin)
+        y_lo = max(0, min(p1[1], p2[1]) - margin)
+        y_hi = min(fp.height - 1, max(p1[1], p2[1]) + margin)
+
+        starts = [(layer, p1[0], p1[1]) for layer in pair]
+        goals = {(layer, p2[0], p2[1]) for layer in pair}
+
+        def heuristic(node: Node) -> float:
+            return abs(node[1] - p2[0]) + abs(node[2] - p2[1])
+
+        dist: dict[Node, float] = {s: 0.0 for s in starts}
+        prev: dict[Node, Node] = {}
+        heap = [(heuristic(s), 0.0, s) for s in starts]
+        heapq.heapify(heap)
+        visited: set[Node] = set()
+        while heap:
+            _f, d, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            if node in goals:
+                path = [node]
+                while node in prev:
+                    node = prev[node]
+                    path.append(node)
+                path.reverse()
+                return path
+            layer, x, y = node
+            neighbours: list[Node] = []
+            if x > x_lo:
+                neighbours.append((layer, x - 1, y))
+            if x < x_hi:
+                neighbours.append((layer, x + 1, y))
+            if y > y_lo:
+                neighbours.append((layer, x, y - 1))
+            if y < y_hi:
+                neighbours.append((layer, x, y + 1))
+            other = pair[0] if layer == pair[1] else pair[1]
+            neighbours.append((other, x, y))
+            for nxt in neighbours:
+                if nxt in visited:
+                    continue
+                nd = d + self._edge_cost(make_edge(node, nxt))
+                if nd < dist.get(nxt, float("inf")):
+                    dist[nxt] = nd
+                    prev[nxt] = node
+                    heapq.heappush(heap, (nd + heuristic(nxt), nd, nxt))
+        return None
+
+    # committing ----------------------------------------------------------
+    def _commit_path(
+        self,
+        route: NetRoute,
+        path: list[Node],
+        p1: tuple[int, int],
+        p2: tuple[int, int],
+    ) -> None:
+        for a, b in zip(path, path[1:]):
+            self._commit_edge(route, a, b)
+        # Pin via stacks from M1 up to the landing layer at each end.
+        self._commit_stack(route, p1, path[0][0])
+        self._commit_stack(route, p2, path[-1][0])
+
+    def _commit_stack(
+        self, route: NetRoute, xy: tuple[int, int], top_layer: int
+    ) -> None:
+        for layer in range(1, top_layer):
+            self._commit_edge(
+                route, (layer, xy[0], xy[1]), (layer + 1, xy[0], xy[1])
+            )
+        route.nodes.add((top_layer, xy[0], xy[1]))
+
+    def _commit_edge(self, route: NetRoute, a: Node, b: Node) -> None:
+        if a[0] != b[0]:
+            if a[1:] != b[1:] or abs(a[0] - b[0]) != 1:
+                raise RuntimeError(f"illegal via edge {a} -> {b}")
+        elif abs(a[1] - b[1]) + abs(a[2] - b[2]) != 1:
+            raise RuntimeError(f"illegal wire edge {a} -> {b}")
+        edge = make_edge(a, b)
+        if edge in route.edges:
+            return
+        route.edges.add(edge)
+        route.nodes.add(a)
+        route.nodes.add(b)
+        if is_via_edge(edge):
+            self.stats.total_vias += 1
+            return
+        used = self.usage.get(edge, 0) + 1
+        self.usage[edge] = used
+        self.stats.total_wirelength += 1
+        if used == self.capacity + 1:
+            self.stats.overflowed_edges += 1
+
+
+# -- helpers -------------------------------------------------------------
+
+
+def _join(*runs: list[Node]) -> list[Node]:
+    """Concatenate node runs into one path.
+
+    Duplicate junction nodes are dropped; where consecutive runs sit on
+    different layers at the same (x, y), both nodes are kept so the
+    resulting consecutive pair forms a legal via edge.
+    """
+    path: list[Node] = []
+    for run in runs:
+        for node in run:
+            if path and node == path[-1]:
+                continue
+            path.append(node)
+    return path
+
+
+def _h_run(layer: int, x1: int, x2: int, y: int) -> list[Node]:
+    step = 1 if x2 >= x1 else -1
+    return [(layer, x, y) for x in range(x1, x2 + step, step)]
+
+
+def _v_run(layer: int, x: int, y1: int, y2: int) -> list[Node]:
+    step = 1 if y2 >= y1 else -1
+    return [(layer, x, y) for y in range(y1, y2 + step, step)]
+
+
+def _intermediate(c1: int, c2: int, cap: int) -> list[int]:
+    lo, hi = min(c1, c2), max(c1, c2)
+    inner = list(range(lo + 1, hi))
+    if len(inner) <= cap:
+        return inner
+    stride = len(inner) / cap
+    return [inner[int(i * stride)] for i in range(cap)]
+
+
+def _spanning_tree(
+    locations: list[tuple[int, int]]
+) -> list[tuple[tuple[int, int], tuple[int, int]]]:
+    """Prim's MST over Manhattan distances; deterministic tie-breaks."""
+    remaining = list(locations[1:])
+    tree: list[tuple[tuple[int, int], tuple[int, int]]] = []
+    connected = [locations[0]]
+    while remaining:
+        best = None
+        for r in remaining:
+            for c in connected:
+                d = abs(r[0] - c[0]) + abs(r[1] - c[1])
+                key = (d, r, c)
+                if best is None or key < best:
+                    best = (d, r, c)
+        _d, r, c = best
+        tree.append((c, r))
+        remaining.remove(r)
+        connected.append(r)
+    return tree

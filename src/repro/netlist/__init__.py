@@ -1,0 +1,53 @@
+"""repro.netlist — gate-level netlists, generators and benchmark suites."""
+
+from .benchmarks import (
+    PAPER_AVERAGES,
+    TABLE3_BY_NAME,
+    TABLE3_SPECS,
+    TINY_DESIGNS,
+    TRAINING_DESIGNS,
+    VALIDATION_DESIGNS,
+    BenchmarkSpec,
+    PaperRow,
+    SuiteDesign,
+    build_benchmark,
+    build_design,
+    build_suite_design,
+    scaled_gate_count,
+)
+from .generate import (
+    RandomLogicGenerator,
+    array_multiplier,
+    parity_tree,
+    ripple_carry_adder,
+)
+from .netlist import Gate, Net, Netlist, NetlistError, Terminal
+from .verilog import VerilogParseError, parse_verilog, write_verilog
+
+__all__ = [
+    "BenchmarkSpec",
+    "Gate",
+    "Net",
+    "Netlist",
+    "NetlistError",
+    "PAPER_AVERAGES",
+    "PaperRow",
+    "RandomLogicGenerator",
+    "SuiteDesign",
+    "TABLE3_BY_NAME",
+    "TABLE3_SPECS",
+    "TINY_DESIGNS",
+    "TRAINING_DESIGNS",
+    "VALIDATION_DESIGNS",
+    "Terminal",
+    "VerilogParseError",
+    "array_multiplier",
+    "build_benchmark",
+    "build_design",
+    "build_suite_design",
+    "parity_tree",
+    "parse_verilog",
+    "ripple_carry_adder",
+    "scaled_gate_count",
+    "write_verilog",
+]

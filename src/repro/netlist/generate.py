@@ -1,0 +1,382 @@
+"""Seeded synthetic netlist generators.
+
+The paper derives its designs from the ISCAS-85 / MCNC / ITC-99
+benchmark suites, synthesised with a commercial tool.  Neither the
+benchmark sources nor a synthesis tool is available here, so this
+module generates netlists with the same *structural statistics* the
+attack learns from: topologically ordered random logic with locality
+(reconvergent fan-in), realistic fanout distributions, optional
+sequential elements with feedback (ITC-99 flavour), and structured
+arithmetic blocks (ripple-carry adders, array multipliers, parity
+trees) mirroring the well-known structure of c6288 / c1355 etc.
+
+All generators are deterministic functions of their seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cells.library import Cell, CellLibrary
+from ..cells.nangate import default_library
+from .netlist import Netlist
+
+
+@dataclass
+class _Plan:
+    """Mutable construction plan, materialised into a Netlist at the end."""
+
+    name: str
+    inputs: list[str] = field(default_factory=list)
+    gates: list[tuple[str, Cell, dict[str, str]]] = field(default_factory=list)
+    outputs: list[str] = field(default_factory=list)
+
+    def build(self) -> Netlist:
+        netlist = Netlist(self.name)
+        used: set[str] = set()
+        for _, __, conns in self.gates:
+            used.update(conns.values())
+        for pi in self.inputs:
+            if pi in used:  # drop unused primary inputs
+                netlist.add_primary_input(pi)
+        for gate_name, cell, conns in self.gates:
+            netlist.add_gate(gate_name, cell, conns)
+        for po in self.outputs:
+            netlist.add_primary_output(po)
+        return netlist
+
+
+def _default_cell_mix(library: CellLibrary) -> list[tuple[Cell, float]]:
+    """(cell, weight) pairs approximating a synthesised NAND-heavy mix."""
+    weights = {
+        "INV_X1": 2.0,
+        "INV_X2": 0.5,
+        "BUF_X1": 0.6,
+        "NAND2_X1": 3.0,
+        "NAND2_X2": 0.6,
+        "NOR2_X1": 2.0,
+        "AND2_X1": 1.0,
+        "OR2_X1": 1.0,
+        "XOR2_X1": 0.7,
+        "XNOR2_X1": 0.5,
+        "NAND3_X1": 0.8,
+        "NOR3_X1": 0.6,
+        "AOI21_X1": 0.7,
+        "OAI21_X1": 0.7,
+        "MUX2_X1": 0.5,
+    }
+    return [(library[name], w) for name, w in weights.items() if name in library]
+
+
+class RandomLogicGenerator:
+    """Random-logic netlist generator with locality and fanout control."""
+
+    def __init__(
+        self,
+        library: CellLibrary | None = None,
+        locality: float = 0.08,
+        fanout_cap: int = 8,
+        high_fanout_fraction: float = 0.02,
+        high_fanout_cap: int = 24,
+    ):
+        self.library = library or default_library()
+        self.locality = locality
+        self.fanout_cap = fanout_cap
+        self.high_fanout_fraction = high_fanout_fraction
+        self.high_fanout_cap = high_fanout_cap
+
+    def generate(
+        self,
+        name: str,
+        n_gates: int,
+        seed: int,
+        n_inputs: int | None = None,
+        dff_fraction: float = 0.0,
+        feedback_fraction: float = 0.3,
+    ) -> Netlist:
+        """Generate a netlist with ~``n_gates`` gates.
+
+        ``dff_fraction`` > 0 produces a sequential (ITC-99-flavoured)
+        design; ``feedback_fraction`` of the flip-flops are then rewired
+        to sample their D input from logic generated *after* them,
+        creating the feedback loops of real sequential designs (legal:
+        cycles only pass through DFFs).
+        """
+        if n_gates < 1:
+            raise ValueError("n_gates must be >= 1")
+        rng = np.random.default_rng(seed)
+        if n_inputs is None:
+            n_inputs = max(4, int(round(1.8 * math.sqrt(n_gates))))
+
+        plan = _Plan(name)
+        plan.inputs = [f"pi{i}" for i in range(n_inputs)]
+
+        mix = _default_cell_mix(self.library)
+        cells = [c for c, _ in mix]
+        probs = np.array([w for _, w in mix], dtype=float)
+        probs /= probs.sum()
+        dff = self.library["DFF_X1"] if "DFF_X1" in self.library else None
+
+        signals: list[str] = list(plan.inputs)
+        fanout: dict[str, int] = {s: 0 for s in signals}
+        fanout_limit: dict[str, int] = {}
+        for s in signals:
+            fanout_limit[s] = self._draw_fanout_cap(rng)
+        unused: list[str] = list(signals)
+        dff_indices: list[int] = []
+
+        for i in range(n_gates):
+            if dff is not None and dff_fraction > 0 and rng.random() < dff_fraction:
+                cell = dff
+            else:
+                cell = cells[rng.choice(len(cells), p=probs)]
+            in_pins = [p.name for p in cell.input_pins]
+            picked = self._pick_inputs(rng, len(in_pins), signals, fanout,
+                                       fanout_limit, unused)
+            out_net = f"n{i}"
+            conns = dict(zip(in_pins, picked))
+            conns[cell.output_pin.name] = out_net
+            plan.gates.append((f"g{i}", cell, conns))
+            if cell.is_sequential:
+                dff_indices.append(i)
+
+            signals.append(out_net)
+            fanout[out_net] = 0
+            fanout_limit[out_net] = self._draw_fanout_cap(rng)
+            unused.append(out_net)
+            for net in picked:
+                fanout[net] += 1
+                if net in unused and fanout[net] > 0:
+                    unused.remove(net)
+
+        self._add_feedback(rng, plan, signals, fanout, dff_indices,
+                           feedback_fraction)
+
+        # Dangling nets become primary outputs (their observers live in
+        # logic outside the generated block).
+        plan.outputs = [s for s in signals if fanout[s] == 0 and s not in plan.inputs]
+        return plan.build()
+
+    def _draw_fanout_cap(self, rng: np.random.Generator) -> int:
+        if rng.random() < self.high_fanout_fraction:
+            return self.high_fanout_cap
+        return self.fanout_cap
+
+    def _pick_inputs(
+        self,
+        rng: np.random.Generator,
+        arity: int,
+        signals: list[str],
+        fanout: dict[str, int],
+        fanout_limit: dict[str, int],
+        unused: list[str],
+    ) -> list[str]:
+        """Pick ``arity`` distinct nets: mostly recent (locality), with a
+        bias towards not-yet-used nets so dangling logic stays rare."""
+        picked: list[str] = []
+        for slot in range(arity):
+            net = None
+            if slot == 0 and unused and rng.random() < 0.7:
+                # consume the oldest unused signal first
+                net = unused[0]
+                if net in picked or fanout[net] >= fanout_limit[net]:
+                    net = None
+            if net is None:
+                for _ in range(12):  # rejection sampling under fanout caps
+                    scale = max(1.0, self.locality * len(signals))
+                    back = int(rng.exponential(scale))
+                    idx = max(0, len(signals) - 1 - back)
+                    cand = signals[idx]
+                    if cand not in picked and fanout[cand] < fanout_limit[cand]:
+                        net = cand
+                        break
+            if net is None:  # all caps saturated; take any distinct net
+                for cand in reversed(signals):
+                    if cand not in picked:
+                        net = cand
+                        break
+            picked.append(net)
+        return picked
+
+    def _add_feedback(
+        self,
+        rng: np.random.Generator,
+        plan: _Plan,
+        signals: list[str],
+        fanout: dict[str, int],
+        dff_indices: list[int],
+        feedback_fraction: float,
+    ) -> None:
+        """Rewire a fraction of DFF D-inputs to later-generated nets."""
+        if not dff_indices or feedback_fraction <= 0:
+            return
+        n_feedback = int(len(dff_indices) * feedback_fraction)
+        for gi in rng.permutation(dff_indices)[:n_feedback]:
+            gate_name, cell, conns = plan.gates[gi]
+            later = [f"n{j}" for j in range(gi + 1, len(plan.gates))]
+            if not later:
+                continue
+            new_src = later[int(rng.integers(len(later)))]
+            old_src = conns["D"]
+            conns = dict(conns)
+            conns["D"] = new_src
+            plan.gates[gi] = (gate_name, cell, conns)
+            fanout[old_src] -= 1
+            fanout[new_src] += 1
+
+
+# -- structured generators ----------------------------------------------------
+
+
+def ripple_carry_adder(
+    name: str, bits: int, library: CellLibrary | None = None
+) -> Netlist:
+    """Classic ripple-carry adder: sum = a ^ b ^ c, carry via AND/OR."""
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    lib = library or default_library()
+    xor2, and2, or2 = lib["XOR2_X1"], lib["AND2_X1"], lib["OR2_X1"]
+    plan = _Plan(name)
+    plan.inputs = [f"a{i}" for i in range(bits)] + [f"b{i}" for i in range(bits)]
+    plan.inputs.append("cin")
+
+    gid = 0
+
+    def gate(cell: Cell, a: str, b: str) -> str:
+        nonlocal gid
+        out = f"n{gid}"
+        plan.gates.append(
+            (f"g{gid}", cell, {"A1": a, "A2": b, cell.output_pin.name: out})
+        )
+        gid += 1
+        return out
+
+    carry = "cin"
+    for i in range(bits):
+        x = gate(xor2, f"a{i}", f"b{i}")
+        s = gate(xor2, x, carry)
+        g = gate(and2, f"a{i}", f"b{i}")
+        p = gate(and2, x, carry)
+        carry = gate(or2, g, p)
+        plan.outputs.append(s)
+    plan.outputs.append(carry)
+    return plan.build()
+
+
+def array_multiplier(
+    name: str, bits: int, library: CellLibrary | None = None
+) -> Netlist:
+    """Array multiplier (the structure of ISCAS-85 c6288).
+
+    ``bits x bits`` AND partial products reduced by rows of half/full
+    adders built from XOR/AND/OR gates: ~6 * bits^2 gates.
+    """
+    if bits < 2:
+        raise ValueError("bits must be >= 2")
+    lib = library or default_library()
+    xor2, and2, or2 = lib["XOR2_X1"], lib["AND2_X1"], lib["OR2_X1"]
+    plan = _Plan(name)
+    plan.inputs = [f"a{i}" for i in range(bits)] + [f"b{i}" for i in range(bits)]
+
+    gid = 0
+
+    def gate(cell: Cell, a: str, b: str) -> str:
+        nonlocal gid
+        out = f"n{gid}"
+        plan.gates.append(
+            (f"g{gid}", cell, {"A1": a, "A2": b, cell.output_pin.name: out})
+        )
+        gid += 1
+        return out
+
+    def half_adder(a: str, b: str) -> tuple[str, str]:
+        return gate(xor2, a, b), gate(and2, a, b)
+
+    def full_adder(a: str, b: str, c: str) -> tuple[str, str]:
+        x = gate(xor2, a, b)
+        s = gate(xor2, x, c)
+        carry = gate(or2, gate(and2, a, b), gate(and2, x, c))
+        return s, carry
+
+    # Partial product matrix pp[i][j] = a_j & b_i.
+    pp = [
+        [gate(and2, f"a{j}", f"b{i}") for j in range(bits)] for i in range(bits)
+    ]
+
+    # Row-by-row carry-save reduction.
+    acc = list(pp[0])  # bits of the running sum, LSB first
+    outputs = []
+    for i in range(1, bits):
+        row = pp[i]
+        outputs.append(acc[0])  # settled output bit
+        carry = None
+        new_acc = []
+        for j in range(bits - 1):
+            a, b = acc[j + 1], row[j]
+            if carry is None:
+                s, carry = half_adder(a, b)
+            else:
+                s, carry = full_adder(a, b, carry)
+            new_acc.append(s)
+        # Top bit: rows after the first carry an extra accumulated bit.
+        if len(acc) > bits:
+            s, carry = full_adder(acc[bits], row[bits - 1], carry)
+        else:
+            s, carry = half_adder(row[bits - 1], carry)
+        new_acc.append(s)
+        new_acc.append(carry)
+        acc = new_acc
+    outputs.extend(acc)
+    plan.outputs = outputs
+    return plan.build()
+
+
+def parity_tree(
+    name: str,
+    width: int,
+    n_trees: int = 1,
+    seed: int = 0,
+    library: CellLibrary | None = None,
+) -> Netlist:
+    """XOR reduction trees over (overlapping) input subsets.
+
+    Mirrors the ECC-style structure of ISCAS-85 c1355/c1908: multiple
+    parity checks over shared inputs, giving heavy reconvergence.
+    """
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    lib = library or default_library()
+    xor2 = lib["XOR2_X1"]
+    rng = np.random.default_rng(seed)
+    plan = _Plan(name)
+    plan.inputs = [f"pi{i}" for i in range(width)]
+
+    gid = 0
+
+    def gate(a: str, b: str) -> str:
+        nonlocal gid
+        out = f"n{gid}"
+        plan.gates.append((f"g{gid}", xor2, {"A1": a, "A2": b, "Z": out}))
+        gid += 1
+        return out
+
+    for t in range(n_trees):
+        if t == 0:
+            leaves = list(plan.inputs)
+        else:
+            k = max(2, width * 2 // 3)
+            idx = rng.choice(width, size=k, replace=False)
+            leaves = [f"pi{i}" for i in sorted(idx)]
+        while len(leaves) > 1:
+            nxt = [
+                gate(leaves[i], leaves[i + 1])
+                for i in range(0, len(leaves) - 1, 2)
+            ]
+            if len(leaves) % 2:
+                nxt.append(leaves[-1])
+            leaves = nxt
+        plan.outputs.append(leaves[0])
+    return plan.build()

@@ -1,0 +1,250 @@
+"""Gate-level netlist representation.
+
+A :class:`Netlist` is the input of the physical-design flow (place &
+route) and — via its nets — the ground truth of the split-manufacturing
+attack: every net that ends up routed through the BEOL yields the
+source/sink fragments whose connection the attacker must recover.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..cells.library import Cell
+
+
+@dataclass(frozen=True)
+class Terminal:
+    """One endpoint of a net: a gate pin or a chip port."""
+
+    owner: str  # gate name, or port name for ports
+    pin: str  # pin name; ports use "PAD"
+    is_port: bool = False
+
+    def key(self) -> tuple[str, str]:
+        return (self.owner, self.pin)
+
+
+@dataclass
+class Net:
+    """A signal net: one driver terminal, one or more sink terminals."""
+
+    name: str
+    driver: Terminal | None = None
+    sinks: list[Terminal] = field(default_factory=list)
+
+    @property
+    def fanout(self) -> int:
+        return len(self.sinks)
+
+    def terminals(self) -> list[Terminal]:
+        terms = list(self.sinks)
+        if self.driver is not None:
+            terms.insert(0, self.driver)
+        return terms
+
+
+@dataclass
+class Gate:
+    """An instance of a library cell."""
+
+    name: str
+    cell: Cell
+    connections: dict[str, str] = field(default_factory=dict)  # pin -> net
+
+    @property
+    def output_net(self) -> str:
+        return self.connections[self.cell.output_pin.name]
+
+    def input_nets(self) -> list[str]:
+        return [self.connections[p.name] for p in self.cell.input_pins]
+
+
+class NetlistError(Exception):
+    """Raised on structural violations (multiple drivers, open pins...)."""
+
+
+class Netlist:
+    """A named gate-level design."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.gates: dict[str, Gate] = {}
+        self.nets: dict[str, Net] = {}
+        self.primary_inputs: list[str] = []  # net names driven by ports
+        self.primary_outputs: list[str] = []  # net names observed by ports
+
+    # -- construction ---------------------------------------------------
+    def _net(self, name: str) -> Net:
+        if name not in self.nets:
+            self.nets[name] = Net(name)
+        return self.nets[name]
+
+    def add_primary_input(self, net_name: str) -> Net:
+        net = self._net(net_name)
+        if net.driver is not None:
+            raise NetlistError(f"net {net_name} already driven")
+        net.driver = Terminal(net_name, "PAD", is_port=True)
+        self.primary_inputs.append(net_name)
+        return net
+
+    def add_primary_output(self, net_name: str) -> Net:
+        net = self._net(net_name)
+        net.sinks.append(Terminal(net_name, "PAD", is_port=True))
+        self.primary_outputs.append(net_name)
+        return net
+
+    def add_gate(self, name: str, cell: Cell, connections: dict[str, str]) -> Gate:
+        """Add a gate, wiring ``connections`` (pin name -> net name)."""
+        if name in self.gates:
+            raise NetlistError(f"duplicate gate {name}")
+        expected = {p.name for p in cell.pins}
+        if set(connections) != expected:
+            raise NetlistError(
+                f"gate {name} ({cell.name}) pins {sorted(connections)} "
+                f"!= cell pins {sorted(expected)}"
+            )
+        gate = Gate(name, cell, dict(connections))
+        self.gates[name] = gate
+
+        out_pin = cell.output_pin.name
+        out_net = self._net(connections[out_pin])
+        if out_net.driver is not None:
+            raise NetlistError(
+                f"net {out_net.name} driven twice "
+                f"(by {out_net.driver.owner} and {name})"
+            )
+        out_net.driver = Terminal(name, out_pin)
+        for pin in cell.input_pins:
+            self._net(connections[pin.name]).sinks.append(Terminal(name, pin.name))
+        return gate
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def n_gates(self) -> int:
+        return len(self.gates)
+
+    @property
+    def n_nets(self) -> int:
+        return len(self.nets)
+
+    def driver_gate(self, net: Net) -> Gate | None:
+        """The gate driving a net, or None for primary inputs."""
+        if net.driver is None or net.driver.is_port:
+            return None
+        return self.gates[net.driver.owner]
+
+    def signal_nets(self) -> list[Net]:
+        """Nets that the router must connect (driver + at least 1 sink)."""
+        return [
+            n
+            for n in self.nets.values()
+            if n.driver is not None and n.sinks
+        ]
+
+    def fanout_histogram(self) -> dict[int, int]:
+        hist: dict[int, int] = {}
+        for net in self.signal_nets():
+            hist[net.fanout] = hist.get(net.fanout, 0) + 1
+        return hist
+
+    def total_sink_pins(self) -> int:
+        return sum(n.fanout for n in self.signal_nets())
+
+    # -- validation --------------------------------------------------
+    def validate(self) -> None:
+        """Raise NetlistError on any structural violation."""
+        for net in self.nets.values():
+            if net.driver is None:
+                raise NetlistError(f"net {net.name} has no driver")
+            if not net.sinks:
+                raise NetlistError(f"net {net.name} has no sinks")
+        for gate in self.gates.values():
+            for pin, net_name in gate.connections.items():
+                if net_name not in self.nets:
+                    raise NetlistError(
+                        f"gate {gate.name}.{pin} -> unknown net {net_name}"
+                    )
+        if self._has_combinational_cycle():
+            raise NetlistError("combinational cycle detected")
+
+    def _combinational_successors(self, gate_name: str) -> list[str]:
+        """Gates fed combinationally by this gate's output."""
+        gate = self.gates[gate_name]
+        if gate.cell.is_sequential:
+            return []  # DFF outputs start new timing paths
+        out = self.nets[gate.output_net]
+        return [
+            t.owner
+            for t in out.sinks
+            if not t.is_port
+        ]
+
+    def _has_combinational_cycle(self) -> bool:
+        # Kahn's algorithm over the combinational sub-graph: an edge
+        # u -> v exists when u's output feeds v and u is combinational.
+        indegree = {name: 0 for name in self.gates}
+        for name, gate in self.gates.items():
+            if gate.cell.is_sequential:
+                continue
+            for succ in self._combinational_successors(name):
+                indegree[succ] += 1
+        queue = deque(name for name, deg in indegree.items() if deg == 0)
+        visited = 0
+        while queue:
+            name = queue.popleft()
+            visited += 1
+            if self.gates[name].cell.is_sequential:
+                continue
+            for succ in self._combinational_successors(name):
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    queue.append(succ)
+        return visited != len(self.gates)
+
+    def topological_order(self) -> list[str]:
+        """Gate names in combinational topological order.
+
+        Sequential cells and gates fed only by primary inputs come
+        first; used by delay estimation and the structured generators.
+        """
+        indegree = {name: 0 for name in self.gates}
+        for name, gate in self.gates.items():
+            if gate.cell.is_sequential:
+                continue
+            for succ in self._combinational_successors(name):
+                indegree[succ] += 1
+        queue = deque(sorted(n for n, d in indegree.items() if d == 0))
+        order: list[str] = []
+        while queue:
+            name = queue.popleft()
+            order.append(name)
+            if self.gates[name].cell.is_sequential:
+                continue
+            for succ in self._combinational_successors(name):
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    queue.append(succ)
+        if len(order) != len(self.gates):
+            raise NetlistError("combinational cycle detected")
+        return order
+
+    def stats(self) -> dict[str, float]:
+        nets = self.signal_nets()
+        fanouts = [n.fanout for n in nets]
+        return {
+            "gates": self.n_gates,
+            "nets": len(nets),
+            "primary_inputs": len(self.primary_inputs),
+            "primary_outputs": len(self.primary_outputs),
+            "sink_pins": sum(fanouts),
+            "max_fanout": max(fanouts) if fanouts else 0,
+            "avg_fanout": sum(fanouts) / len(fanouts) if fanouts else 0.0,
+            "sequential": sum(
+                1 for g in self.gates.values() if g.cell.is_sequential
+            ),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Netlist({self.name}, gates={self.n_gates}, nets={self.n_nets})"

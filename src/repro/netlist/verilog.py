@@ -1,0 +1,166 @@
+"""Minimal structural Verilog writer/parser.
+
+Covers the subset a gate-level split-manufacturing flow needs: one
+module, wire declarations, and named-port cell instantiations.  Used to
+persist generated benchmarks and to demonstrate that the attack flow
+can ingest externally synthesised netlists mapped to the library.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..cells.library import CellLibrary
+from ..cells.nangate import default_library
+from .netlist import Netlist, NetlistError
+
+
+def _escape(name: str) -> str:
+    """Escape identifiers that are not plain Verilog identifiers."""
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_$]*", name):
+        return name
+    return f"\\{name} "
+
+
+def write_verilog(netlist: Netlist) -> str:
+    """Serialise a netlist as structural Verilog."""
+    lines: list[str] = []
+    ports = [_escape(n) for n in netlist.primary_inputs + netlist.primary_outputs]
+    lines.append(f"module {_escape(netlist.name)} ({', '.join(ports)});")
+    for name in netlist.primary_inputs:
+        lines.append(f"  input {_escape(name)};")
+    for name in netlist.primary_outputs:
+        lines.append(f"  output {_escape(name)};")
+    port_nets = set(netlist.primary_inputs) | set(netlist.primary_outputs)
+    for name in sorted(netlist.nets):
+        if name not in port_nets:
+            lines.append(f"  wire {_escape(name)};")
+    for gate_name in sorted(netlist.gates):
+        gate = netlist.gates[gate_name]
+        conns = ", ".join(
+            f".{pin}({_escape(net)})"
+            for pin, net in sorted(gate.connections.items())
+        )
+        lines.append(f"  {gate.cell.name} {_escape(gate_name)} ({conns});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+_TOKEN_RE = re.compile(
+    r"\\(?P<escaped>\S+)\s|(?P<id>[A-Za-z_][A-Za-z0-9_$]*)"
+    r"|(?P<punct>[();,.])"
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+    tokens: list[str] = []
+    for match in _TOKEN_RE.finditer(text):
+        if match.group("escaped") is not None:
+            tokens.append(match.group("escaped"))
+        elif match.group("id") is not None:
+            tokens.append(match.group("id"))
+        else:
+            tokens.append(match.group("punct"))
+    return tokens
+
+
+class VerilogParseError(Exception):
+    pass
+
+
+class _Parser:
+    def __init__(self, tokens: list[str], library: CellLibrary):
+        self.tokens = tokens
+        self.pos = 0
+        self.library = library
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise VerilogParseError("unexpected end of input")
+        self.pos += 1
+        return tok
+
+    def expect(self, token: str) -> None:
+        tok = self.next()
+        if tok != token:
+            raise VerilogParseError(f"expected {token!r}, got {tok!r}")
+
+    def parse_module(self) -> Netlist:
+        self.expect("module")
+        name = self.next()
+        netlist = Netlist(name)
+        self.expect("(")
+        while self.peek() != ")":
+            self.next()  # port order re-derived from input/output decls
+            if self.peek() == ",":
+                self.next()
+        self.expect(")")
+        self.expect(";")
+
+        inputs: list[str] = []
+        outputs: list[str] = []
+        instances: list[tuple[str, str, dict[str, str]]] = []
+        while self.peek() != "endmodule":
+            tok = self.next()
+            if tok in ("input", "output", "wire"):
+                names = [self.next()]
+                while self.peek() == ",":
+                    self.next()
+                    names.append(self.next())
+                self.expect(";")
+                if tok == "input":
+                    inputs.extend(names)
+                elif tok == "output":
+                    outputs.extend(names)
+            else:
+                instances.append(self._parse_instance(tok))
+        self.next()  # endmodule
+
+        for net in inputs:
+            netlist.add_primary_input(net)
+        for cell_name, inst_name, conns in instances:
+            if cell_name not in self.library:
+                raise VerilogParseError(
+                    f"cell {cell_name!r} not in library {self.library.name}"
+                )
+            netlist.add_gate(inst_name, self.library[cell_name], conns)
+        for net in outputs:
+            netlist.add_primary_output(net)
+        return netlist
+
+    def _parse_instance(self, cell_name: str) -> tuple[str, str, dict[str, str]]:
+        inst_name = self.next()
+        self.expect("(")
+        conns: dict[str, str] = {}
+        while self.peek() != ")":
+            self.expect(".")
+            pin = self.next()
+            self.expect("(")
+            net = self.next()
+            self.expect(")")
+            conns[pin] = net
+            if self.peek() == ",":
+                self.next()
+        self.expect(")")
+        self.expect(";")
+        return cell_name, inst_name, conns
+
+
+def parse_verilog(text: str, library: CellLibrary | None = None) -> Netlist:
+    """Parse structural Verilog produced by :func:`write_verilog`."""
+    library = library or default_library()
+    tokens = _tokenize(text)
+    if not tokens:
+        raise VerilogParseError("empty input")
+    try:
+        netlist = _Parser(tokens, library).parse_module()
+        netlist.validate()
+    except NetlistError as exc:
+        raise VerilogParseError(f"invalid netlist: {exc}") from exc
+    return netlist

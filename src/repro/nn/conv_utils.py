@@ -1,0 +1,94 @@
+"""im2col / col2im helpers for convolution layers.
+
+Implemented with ``numpy.lib.stride_tricks`` so the forward im2col is a
+view-based gather followed by one big matmul — the only way a pure
+NumPy convolution is fast enough to train the paper's 12-conv-layer
+image branch on a CPU.
+
+Layout convention is NCHW throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def same_padding(in_size: int, kernel: int, stride: int) -> tuple[int, int]:
+    """TensorFlow-style SAME padding (before, after) for one dimension.
+
+    Produces ``out = ceil(in / stride)``, which yields exactly the
+    99 -> 33 -> 11 -> 4 progression of Table 2 for kernel 3 / stride 3.
+    """
+    out_size = -(-in_size // stride)
+    total = max((out_size - 1) * stride + kernel - in_size, 0)
+    before = total // 2
+    return before, total - before
+
+
+def conv_output_size(in_size: int, kernel: int, stride: int) -> int:
+    return -(-in_size // stride)
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int
+) -> tuple[np.ndarray, tuple[int, ...]]:
+    """Unfold ``x`` (N, C, H, W) into patch columns.
+
+    Returns ``(cols, padded_shape)`` where ``cols`` has shape
+    (N * out_h * out_w, C * kernel * kernel).  ``padded_shape`` is needed
+    by :func:`col2im` to fold gradients back.
+    """
+    n, c, h, w = x.shape
+    pad_h = same_padding(h, kernel, stride)
+    pad_w = same_padding(w, kernel, stride)
+    xp = np.pad(
+        x, ((0, 0), (0, 0), pad_h, pad_w), mode="constant", constant_values=0.0
+    )
+    hp, wp = xp.shape[2], xp.shape[3]
+    out_h = conv_output_size(h, kernel, stride)
+    out_w = conv_output_size(w, kernel, stride)
+
+    sn, sc, sh, sw = xp.strides
+    windows = np.lib.stride_tricks.as_strided(
+        xp,
+        shape=(n, c, out_h, out_w, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    # (N, out_h, out_w, C, kh, kw) -> rows are output positions
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        n * out_h * out_w, c * kernel * kernel
+    )
+    return np.ascontiguousarray(cols), (n, c, hp, wp)
+
+
+def col2im(
+    cols: np.ndarray,
+    padded_shape: tuple[int, ...],
+    orig_hw: tuple[int, int],
+    kernel: int,
+    stride: int,
+) -> np.ndarray:
+    """Fold patch-column gradients back to an input gradient (N, C, H, W)."""
+    n, c, hp, wp = padded_shape
+    h, w = orig_hw
+    out_h = conv_output_size(h, kernel, stride)
+    out_w = conv_output_size(w, kernel, stride)
+
+    grad_padded = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    patches = cols.reshape(n, out_h, out_w, c, kernel, kernel).transpose(
+        0, 3, 1, 2, 4, 5
+    )
+    # Scatter-add each kernel offset in one vectorised slice assignment.
+    for ki in range(kernel):
+        for kj in range(kernel):
+            grad_padded[
+                :,
+                :,
+                ki : ki + out_h * stride : stride,
+                kj : kj + out_w * stride : stride,
+            ] += patches[:, :, :, :, ki, kj]
+
+    pad_h = same_padding(h, kernel, stride)
+    pad_w = same_padding(w, kernel, stride)
+    return grad_padded[:, :, pad_h[0] : pad_h[0] + h, pad_w[0] : pad_w[0] + w]

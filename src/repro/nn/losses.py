@@ -1,0 +1,138 @@
+"""Loss functions for VPP connection prediction.
+
+Two losses from Sec. 4.3 of the paper:
+
+* :func:`softmax_regression_loss` — the paper's proposal (Eq. 6).  One
+  score per candidate VPP; the loss is a softmax cross-entropy over the
+  candidate *group* of a sink fragment, so only the relative order of
+  scores matters and the positive/negative imbalance disappears.
+* :func:`two_class_loss` — the traditional baseline (Eq. 3).  Two scores
+  (non-connect / connect) per candidate, averaged binary cross-entropy.
+  Kept as the ablation baseline of Figure 5.
+
+All functions return ``(mean_loss, grad_wrt_scores)`` and support
+right-padded groups via a validity mask (groups can have fewer than n
+candidates).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate_group_inputs(scores, targets, mask):
+    if scores.ndim != 2:
+        raise ValueError(f"scores must be (batch, n), got {scores.shape}")
+    batch, n = scores.shape
+    targets = np.asarray(targets)
+    if targets.shape != (batch,):
+        raise ValueError(f"targets must be ({batch},), got {targets.shape}")
+    if np.any((targets < 0) | (targets >= n)):
+        raise ValueError("target index out of range")
+    if mask is None:
+        mask = np.ones((batch, n), dtype=bool)
+    else:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (batch, n):
+            raise ValueError(f"mask must be ({batch}, {n}), got {mask.shape}")
+        if not mask[np.arange(batch), targets].all():
+            raise ValueError("target candidate is masked out")
+    return targets, mask
+
+
+def softmax_regression_loss(
+    scores: np.ndarray,
+    targets: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> tuple[float, np.ndarray]:
+    """Per-group softmax cross-entropy (Eq. 6) and its gradient (Eq. 7).
+
+    Parameters
+    ----------
+    scores:
+        ``(batch, n)`` — one connection score per candidate VPP.
+    targets:
+        ``(batch,)`` — index of the positive VPP within each group.
+    mask:
+        optional ``(batch, n)`` boolean validity mask for padded groups.
+    """
+    targets, mask = _validate_group_inputs(scores, targets, mask)
+    batch, _ = scores.shape
+
+    masked = np.where(mask, scores, -np.inf)
+    shift = masked.max(axis=1, keepdims=True)
+    exp = np.exp(masked - shift)
+    denom = exp.sum(axis=1, keepdims=True)
+    prob = exp / denom
+
+    rows = np.arange(batch)
+    losses = -np.log(np.maximum(prob[rows, targets], np.finfo(np.float64).tiny))
+
+    grad = prob.copy()
+    grad[rows, targets] -= 1.0
+    grad /= batch
+    grad = np.where(mask, grad, 0.0)
+    return float(losses.mean()), grad.astype(scores.dtype)
+
+
+def softmax_probabilities(
+    scores: np.ndarray, mask: np.ndarray | None = None
+) -> np.ndarray:
+    """Normalised connection probabilities within each candidate group."""
+    scores = np.atleast_2d(scores)
+    if mask is None:
+        mask = np.ones_like(scores, dtype=bool)
+    masked = np.where(mask, scores, -np.inf)
+    shift = masked.max(axis=1, keepdims=True)
+    exp = np.exp(masked - shift)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def two_class_loss(
+    scores: np.ndarray,
+    targets: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> tuple[float, np.ndarray]:
+    """Traditional two-class classification loss (Eq. 3) and gradient (Eq. 4).
+
+    Parameters
+    ----------
+    scores:
+        ``(batch, n, 2)`` — per candidate, score of *non-connection*
+        (index 0, the paper's s-) and of *connection* (index 1, s+).
+    targets:
+        ``(batch,)`` — index of the positive VPP within each group.
+    """
+    scores = np.asarray(scores)
+    if scores.ndim != 3 or scores.shape[-1] != 2:
+        raise ValueError(f"scores must be (batch, n, 2), got {scores.shape}")
+    targets, mask = _validate_group_inputs(scores[..., 0], targets, mask)
+    batch, n, _ = scores.shape
+    rows = np.arange(batch)
+
+    # Per-candidate 2-way softmax, numerically stable.
+    shift = scores.max(axis=2, keepdims=True)
+    exp = np.exp(scores - shift)
+    prob = exp / exp.sum(axis=2, keepdims=True)  # (batch, n, 2)
+
+    # Label 1 (connect) for the target, 0 (non-connect) elsewhere.
+    labels = np.zeros((batch, n), dtype=int)
+    labels[rows, targets] = 1
+    picked = prob[rows[:, None], np.arange(n)[None, :], labels]
+    log_picked = np.log(np.maximum(picked, np.finfo(np.float64).tiny))
+    valid_count = mask.sum(axis=1)
+    losses = -(log_picked * mask).sum(axis=1) / valid_count
+
+    # d loss / d score = (prob - onehot(label)) / n, per candidate.
+    onehot = np.zeros_like(prob)
+    onehot[rows[:, None], np.arange(n)[None, :], labels] = 1.0
+    grad = (prob - onehot) / valid_count[:, None, None] / batch
+    grad = np.where(mask[:, :, None], grad, 0.0)
+    return float(losses.mean()), grad.astype(scores.dtype)
+
+
+def two_class_probabilities(scores: np.ndarray) -> np.ndarray:
+    """Connection probability (class 1) per candidate for (batch, n, 2)."""
+    shift = scores.max(axis=-1, keepdims=True)
+    exp = np.exp(scores - shift)
+    return exp[..., 1] / exp.sum(axis=-1)

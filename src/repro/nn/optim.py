@@ -1,0 +1,117 @@
+"""Optimisers and learning-rate schedules.
+
+The paper trains with learning rate 0.001 "decayed to 60% for every 20
+epochs"; :class:`StepDecay` reproduces that schedule and :class:`Adam`
+is the optimiser (standard for the 2019 TensorFlow stack).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Parameter
+
+
+class Optimizer:
+    """Base class: holds parameters and a mutable learning rate."""
+
+    def __init__(self, parameters: list[Parameter], lr: float):
+        if not parameters:
+            raise ValueError("optimizer needs at least one parameter")
+        self.parameters = parameters
+        self.lr = lr
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+
+class SGD(Optimizer):
+    """Plain SGD with optional momentum."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.value) for p in parameters]
+
+    def step(self) -> None:
+        for p, v in zip(self.parameters, self._velocity):
+            if self.momentum:
+                v *= self.momentum
+                v += p.grad
+                p.value -= self.lr * v
+            else:
+                p.value -= self.lr * p.grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        super().__init__(parameters, lr)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p.value) for p in parameters]
+        self._v = [np.zeros_like(p.value) for p in parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            g = p.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (g * g)
+            m_hat = m / bc1
+            v_hat = v / bc2
+            p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class StepDecay:
+    """Multiply the learning rate by ``factor`` every ``every`` epochs.
+
+    Paper: "The learning rate is set as 0.001 and decayed to 60% for
+    every 20 epochs."
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        factor: float = 0.6,
+        every: int = 20,
+        base_lr: float | None = None,
+    ):
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("factor must be in (0, 1]")
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.optimizer = optimizer
+        self.factor = factor
+        self.every = every
+        self.base_lr = optimizer.lr if base_lr is None else base_lr
+        self.epoch = 0
+
+    def step_epoch(self) -> float:
+        """Advance one epoch; returns the learning rate now in effect."""
+        self.epoch += 1
+        self.optimizer.lr = self.base_lr * self.factor ** (self.epoch // self.every)
+        return self.optimizer.lr

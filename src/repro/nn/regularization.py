@@ -1,0 +1,77 @@
+"""Regularisation utilities: dropout, gradient clipping, weight decay.
+
+The paper trains a ~1M-parameter network on a few thousand candidate
+groups; regularisation options matter when scaling the config up or the
+corpus down.  All are off by default so the published setup is
+unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Module, Parameter
+
+
+class Dropout(Module):
+    """Inverted dropout: active only in training mode."""
+
+    def __init__(self, rate: float = 0.5, seed: int = 0):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self.rng = np.random.default_rng(seed)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (
+            self.rng.random(x.shape) < keep
+        ).astype(x.dtype) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        out = grad * self._mask
+        self._mask = None
+        return out
+
+
+def clip_gradient_norm(parameters: list[Parameter], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (useful for monitoring).
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = 0.0
+    for p in parameters:
+        total += float(np.sum(p.grad.astype(np.float64) ** 2))
+    norm = float(np.sqrt(total))
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for p in parameters:
+            p.grad *= scale
+    return norm
+
+
+def apply_weight_decay(
+    parameters: list[Parameter], decay: float, lr: float
+) -> None:
+    """Decoupled weight decay (AdamW-style): w -= lr * decay * w.
+
+    Applied to weight matrices only — bias vectors are left alone, the
+    standard practice.
+    """
+    if decay < 0:
+        raise ValueError("decay must be non-negative")
+    if decay == 0.0:
+        return
+    for p in parameters:
+        if p.value.ndim >= 2:  # weights, not biases
+            p.value -= lr * decay * p.value

@@ -1,0 +1,47 @@
+"""Fully connected residual blocks (the purple "res" boxes of Fig. 4).
+
+The paper: "The output of a ResNet block is the sum of its input and
+the output of three fully connected layers".  Each fc is 128x128
+(Table 2, fc2 rows) and every fc is followed by a LeakyReLU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Dense, LeakyReLU
+from .module import Module
+
+
+class ResidualBlock(Module):
+    """``y = x + F(x)`` where F is ``n_layers`` Dense+LeakyReLU stages."""
+
+    def __init__(
+        self,
+        features: int,
+        n_layers: int = 3,
+        rng: np.random.Generator | None = None,
+        dtype=np.float32,
+        name: str = "res",
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.features = features
+        self.layers: list[Module] = []
+        for i in range(n_layers):
+            self.layers.append(
+                Dense(features, features, rng=rng, dtype=dtype, name=f"{name}.fc{i}")
+            )
+            self.layers.append(LeakyReLU())
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer(out)
+        return x + out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        branch_grad = grad
+        for layer in reversed(self.layers):
+            branch_grad = layer.backward(branch_grad)
+        return grad + branch_grad

@@ -1,0 +1,19 @@
+"""repro.pipeline — end-to-end flow orchestration with caching."""
+
+from .flow import (
+    build_netlist,
+    cache_dir,
+    clear_memo,
+    get_layout,
+    get_split,
+    trained_attack,
+)
+
+__all__ = [
+    "build_netlist",
+    "cache_dir",
+    "clear_memo",
+    "get_layout",
+    "get_split",
+    "trained_attack",
+]

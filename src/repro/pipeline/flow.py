@@ -1,0 +1,151 @@
+"""End-to-end flow orchestration with caching.
+
+Building a layout (floorplan -> place -> route) and training the DL
+attack are the expensive steps, and both are deterministic functions of
+their inputs.  This module memoises them:
+
+* layouts are cached in memory and on disk (DEF-like text) keyed by
+  design name;
+* trained attacks are cached on disk (npz weights) keyed by a stable
+  hash of the configuration, split layer and training suite.
+
+Set the environment variable ``REPRO_CACHE_DIR`` to relocate the cache
+(defaults to ``.repro_cache`` in the working directory); set it to the
+empty string to disable disk caching.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+
+from ..core.attack import DLAttack
+from ..core.config import AttackConfig
+from ..layout.def_io import read_def, write_def
+from ..layout.design import Design, build_layout
+from ..netlist.benchmarks import (
+    TABLE3_BY_NAME,
+    TINY_DESIGNS,
+    TRAINING_DESIGNS,
+    VALIDATION_DESIGNS,
+    build_benchmark,
+    build_suite_design,
+)
+from ..netlist.netlist import Netlist
+from ..split.split import SplitLayout, split_design
+
+_SUITE_BY_NAME = {
+    d.name: d for d in TRAINING_DESIGNS + VALIDATION_DESIGNS + TINY_DESIGNS
+}
+
+_layout_memo: dict[str, Design] = {}
+_split_memo: dict[tuple[str, int], SplitLayout] = {}
+
+
+def cache_dir() -> Path | None:
+    root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+    if not root:
+        return None
+    path = Path(root)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def clear_memo() -> None:
+    """Drop in-memory memoisation (tests use this for isolation)."""
+    _layout_memo.clear()
+    _split_memo.clear()
+
+
+def build_netlist(name: str) -> Netlist:
+    """Build any named design: Table 3 benchmark or suite design."""
+    if name in TABLE3_BY_NAME:
+        return build_benchmark(name)
+    if name in _SUITE_BY_NAME:
+        return build_suite_design(_SUITE_BY_NAME[name])
+    raise KeyError(f"unknown design {name!r}")
+
+
+def get_layout(name: str, use_disk_cache: bool = True) -> Design:
+    """Place-and-route a named design, with memo + disk cache."""
+    memo = _layout_memo.get(name)
+    if memo is not None:
+        return memo
+    netlist = build_netlist(name)
+    design: Design | None = None
+    disk = cache_dir() if use_disk_cache else None
+    def_path = disk / f"{name}.def" if disk else None
+    if def_path is not None and def_path.exists():
+        try:
+            design = read_def(def_path.read_text(), netlist)
+        except Exception:
+            design = None  # stale cache: rebuild
+    if design is None:
+        design = build_layout(netlist)
+        if def_path is not None:
+            def_path.write_text(write_def(design))
+    _layout_memo[name] = design
+    return design
+
+
+def get_split(name: str, split_layer: int, use_disk_cache: bool = True) -> SplitLayout:
+    key = (name, split_layer)
+    if key not in _split_memo:
+        _split_memo[key] = split_design(
+            get_layout(name, use_disk_cache), split_layer
+        )
+    return _split_memo[key]
+
+
+def _config_fingerprint(
+    config: AttackConfig, split_layer: int, train_names: tuple[str, ...]
+) -> str:
+    payload = repr(
+        (
+            sorted(
+                (k, v)
+                for k, v in vars(config).items()
+                if k != "extras"
+            ),
+            split_layer,
+            train_names,
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def trained_attack(
+    split_layer: int,
+    config: AttackConfig | None = None,
+    train_names: tuple[str, ...] | None = None,
+    use_disk_cache: bool = True,
+    verbose: bool = False,
+) -> DLAttack:
+    """Train (or load) the DL attack for one split layer.
+
+    Default training corpus: the 9 training designs, mirroring the
+    paper's setup.
+    """
+    config = config or AttackConfig.fast()
+    if train_names is None:
+        train_names = tuple(d.name for d in TRAINING_DESIGNS)
+    attack = DLAttack(config, split_layer)
+
+    disk = cache_dir() if use_disk_cache else None
+    weight_path = None
+    if disk is not None:
+        tag = _config_fingerprint(config, split_layer, train_names)
+        weight_path = disk / f"dl_attack_m{split_layer}_{tag}.npz"
+        if weight_path.exists():
+            try:
+                attack.load(weight_path)
+                return attack
+            except Exception:
+                pass  # stale cache: retrain
+
+    train_splits = [get_split(n, split_layer, use_disk_cache) for n in train_names]
+    attack.train(train_splits, verbose=verbose)
+    if weight_path is not None:
+        attack.save(weight_path)
+    return attack

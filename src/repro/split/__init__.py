@@ -1,0 +1,27 @@
+"""repro.split — split manufacturing: fragments, virtual pins, metrics."""
+
+from .fragments import SINK, SOURCE, Fragment, VirtualPin, extract_fragments
+from .metrics import (
+    AttackResult,
+    candidate_list_recall,
+    ccr,
+    fragment_accuracy,
+    mean_candidate_list_size,
+)
+from .split import VPP, SplitLayout, split_design
+
+__all__ = [
+    "AttackResult",
+    "Fragment",
+    "SINK",
+    "SOURCE",
+    "SplitLayout",
+    "VPP",
+    "VirtualPin",
+    "candidate_list_recall",
+    "ccr",
+    "extract_fragments",
+    "fragment_accuracy",
+    "mean_candidate_list_size",
+    "split_design",
+]

@@ -1,0 +1,125 @@
+"""Cell library container semantics."""
+
+import pytest
+
+from repro.cells import Cell, CellLibrary, CellPin, default_library
+
+
+def make_cell(name="INV_T", function="INV", n_inputs=1):
+    pins = [CellPin(f"A{i}", "input", 1.0) for i in range(n_inputs)]
+    pins.append(CellPin("Z", "output"))
+    return Cell(
+        name=name,
+        function=function,
+        pins=tuple(pins),
+        width_sites=1,
+        max_load_ff=60.0,
+        drive_resistance_kohm=8.0,
+    )
+
+
+class TestCellPin:
+    def test_rejects_bad_direction(self):
+        with pytest.raises(ValueError, match="direction"):
+            CellPin("A", "inout")
+
+    def test_rejects_negative_capacitance(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            CellPin("A", "input", -1.0)
+
+
+class TestCell:
+    def test_requires_exactly_one_output(self):
+        with pytest.raises(ValueError, match="exactly one output"):
+            Cell(
+                "BAD", "X",
+                (CellPin("A", "input", 1.0),),
+                width_sites=1, max_load_ff=10.0, drive_resistance_kohm=1.0,
+            )
+
+    def test_input_pins_and_arity(self):
+        cell = make_cell(n_inputs=3)
+        assert cell.n_inputs == 3
+        assert cell.output_pin.name == "Z"
+
+    def test_pin_lookup(self):
+        cell = make_cell()
+        assert cell.pin("A0").direction == "input"
+        with pytest.raises(KeyError):
+            cell.pin("NOPE")
+
+    def test_input_capacitance_rejects_output(self):
+        cell = make_cell()
+        with pytest.raises(ValueError, match="not an input"):
+            cell.input_capacitance("Z")
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError, match="width"):
+            Cell(
+                "BAD", "X",
+                (CellPin("A", "input", 1.0), CellPin("Z", "output")),
+                width_sites=0, max_load_ff=10.0, drive_resistance_kohm=1.0,
+            )
+
+
+class TestCellLibrary:
+    def test_add_and_lookup(self):
+        lib = CellLibrary("test")
+        cell = make_cell()
+        lib.add(cell)
+        assert lib["INV_T"] is cell
+        assert "INV_T" in lib
+        assert len(lib) == 1
+
+    def test_duplicate_rejected(self):
+        lib = CellLibrary("test")
+        lib.add(make_cell())
+        with pytest.raises(ValueError, match="duplicate"):
+            lib.add(make_cell())
+
+    def test_missing_cell_error_names_library(self):
+        lib = CellLibrary("mylib")
+        with pytest.raises(KeyError, match="mylib"):
+            lib["NOPE"]
+
+
+class TestDefaultLibrary:
+    def test_contains_core_functions(self):
+        lib = default_library()
+        for name in ("INV_X1", "NAND2_X1", "NOR2_X1", "XOR2_X1", "DFF_X1"):
+            assert name in lib
+
+    def test_drive_strength_ordering(self):
+        lib = default_library()
+        inverters = lib.by_function("INV")
+        assert len(inverters) >= 3
+        # sorted weakest (highest resistance) first
+        resistances = [c.drive_resistance_kohm for c in inverters]
+        assert resistances == sorted(resistances, reverse=True)
+        # stronger drive -> higher max load
+        loads = [c.max_load_ff for c in inverters]
+        assert loads == sorted(loads)
+
+    def test_dff_is_sequential(self):
+        lib = default_library()
+        assert lib["DFF_X1"].is_sequential
+        assert not lib["NAND2_X1"].is_sequential
+
+    def test_capacitances_in_45nm_ballpark(self):
+        lib = default_library()
+        for cell in lib:
+            for pin in cell.input_pins:
+                assert 0.1 < pin.capacitance_ff < 10.0
+            assert 10.0 < cell.max_load_ff < 500.0
+
+    def test_shared_instance(self):
+        assert default_library() is default_library()
+
+    def test_with_n_inputs(self):
+        lib = default_library()
+        two_input = lib.with_n_inputs(2)
+        assert all(c.n_inputs == 2 for c in two_input)
+        assert any(c.function == "NAND2" for c in two_input)
+
+    def test_min_input_cap_positive(self):
+        assert default_library().min_input_cap_ff > 0

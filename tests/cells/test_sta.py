@@ -1,0 +1,118 @@
+"""Static timing analysis tests."""
+
+import pytest
+
+from repro.cells import TimingAnalyzer, analyze_design, default_library, feol_visible_nets
+from repro.layout import build_layout
+from repro.netlist import Netlist, RandomLogicGenerator, ripple_carry_adder
+
+
+@pytest.fixture
+def lib():
+    return default_library()
+
+
+def chain_netlist(lib, depth=4):
+    """pi -> INV -> INV -> ... -> po."""
+    nl = Netlist("chain")
+    nl.add_primary_input("pi0")
+    prev = "pi0"
+    for i in range(depth):
+        nl.add_gate(f"g{i}", lib["INV_X1"], {"A": prev, "ZN": f"n{i}"})
+        prev = f"n{i}"
+    nl.add_primary_output(prev)
+    return nl
+
+
+class TestArrivalPropagation:
+    def test_arrival_monotone_along_chain(self, lib):
+        nl = chain_netlist(lib, depth=5)
+        report = TimingAnalyzer(nl).analyze()
+        arrivals = [report.arrival_ps[f"n{i}"] for i in range(5)]
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_primary_inputs_start_at_zero(self, lib):
+        nl = chain_netlist(lib)
+        report = TimingAnalyzer(nl).analyze()
+        assert report.arrival_ps["pi0"] == 0.0
+
+    def test_critical_path_traces_the_chain(self, lib):
+        nl = chain_netlist(lib, depth=4)
+        report = TimingAnalyzer(nl).analyze()
+        assert report.critical_path == ["pi0", "n0", "n1", "n2", "n3"]
+
+    def test_critical_delay_is_max_arrival(self, lib):
+        nl = chain_netlist(lib, depth=3)
+        report = TimingAnalyzer(nl).analyze()
+        assert report.critical_delay_ps == max(report.arrival_ps.values())
+
+    def test_dff_starts_new_path(self, lib):
+        nl = Netlist("seq")
+        nl.add_primary_input("a")
+        nl.add_gate("g0", lib["INV_X1"], {"A": "a", "ZN": "n0"})
+        nl.add_gate("ff", lib["DFF_X1"], {"D": "n0", "Q": "q"})
+        nl.add_gate("g1", lib["INV_X1"], {"A": "q", "ZN": "n1"})
+        nl.add_primary_output("n1")
+        report = TimingAnalyzer(nl).analyze()
+        # q's arrival is just the DFF stage delay, not n0 + stage
+        assert report.arrival_ps["q"] < report.arrival_ps["n0"] + 1e-9 or (
+            report.arrival_ps["q"] == pytest.approx(
+                report.stages["q"].delay_ps
+            )
+        )
+
+    def test_wirelength_increases_delay(self, lib):
+        nl = chain_netlist(lib, depth=2)
+        short = TimingAnalyzer(nl, {"n0": 1.0}).analyze()
+        long = TimingAnalyzer(nl, {"n0": 50.0}).analyze()
+        assert (
+            long.arrival_ps["n0"] > short.arrival_ps["n0"]
+        )
+
+    def test_higher_fanout_higher_delay(self, lib):
+        nl = Netlist("fan")
+        nl.add_primary_input("a")
+        nl.add_gate("g0", lib["INV_X1"], {"A": "a", "ZN": "n0"})
+        for i in range(4):
+            nl.add_gate(f"s{i}", lib["INV_X1"], {"A": "n0", "ZN": f"o{i}"})
+            nl.add_primary_output(f"o{i}")
+        heavy = TimingAnalyzer(nl).analyze().stages["n0"].delay_ps
+
+        nl2 = chain_netlist(lib, depth=2)
+        light = TimingAnalyzer(nl2).analyze().stages["n0"].delay_ps
+        assert heavy > light
+
+
+class TestSplitView:
+    @pytest.fixture(scope="class")
+    def design(self):
+        nl = RandomLogicGenerator().generate("statest", 90, seed=121)
+        return build_layout(nl)
+
+    def test_feol_visible_nets_shrink_with_lower_split(self, design):
+        v1 = feol_visible_nets(design, 1)
+        v3 = feol_visible_nets(design, 3)
+        v6 = feol_visible_nets(design, 6)
+        assert v1 <= v3 <= v6
+        assert len(v6) == len(design.routes)
+
+    def test_split_arrivals_are_lower_bounds(self, design):
+        """Paper Sec. 3.1.4: delays from split layouts are lower bounds,
+        tighter for higher split layers."""
+        full = analyze_design(design)
+        m3 = analyze_design(design, split_layer=3)
+        m1 = analyze_design(design, split_layer=1)
+        for net, t in m3.arrival_ps.items():
+            assert t <= full.arrival_ps[net] + 1e-9
+        for net, t in m1.arrival_ps.items():
+            assert t <= full.arrival_ps[net] + 1e-9
+        # more visible nets -> more (or equally) complete timing
+        assert len(m1.arrival_ps) <= len(m3.arrival_ps) <= len(full.arrival_ps)
+
+    def test_full_sta_on_adder(self):
+        nl = ripple_carry_adder("rca", 8)
+        design = build_layout(nl)
+        report = analyze_design(design)
+        # the carry chain dominates: critical path length ~ bits
+        assert len(report.critical_path) >= 8
+        assert report.critical_delay_ps > 0

@@ -1,0 +1,78 @@
+"""RC timing / capacitance model tests."""
+
+import pytest
+
+from repro.cells import (
+    default_library,
+    driver_delay_ps,
+    load_lower_bound_ff,
+    load_upper_bound_ff,
+    max_fanout,
+    wire_capacitance_ff,
+    wire_resistance_kohm,
+)
+
+
+class TestWireModels:
+    def test_capacitance_linear_in_length(self):
+        assert wire_capacitance_ff(10) == pytest.approx(2 * wire_capacitance_ff(5))
+
+    def test_zero_length_zero_cap(self):
+        assert wire_capacitance_ff(0) == 0.0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            wire_capacitance_ff(-1)
+        with pytest.raises(ValueError):
+            wire_resistance_kohm(-1)
+
+
+class TestLoadBounds:
+    def test_upper_bound_is_library_max_load(self):
+        cell = default_library()["INV_X1"]
+        assert load_upper_bound_ff(cell) == cell.max_load_ff
+
+    def test_lower_bound_sums_pins_and_wire(self):
+        got = load_lower_bound_ff([1.0, 2.0], 10.0, 5.0)
+        expected = 3.0 + wire_capacitance_ff(10.0) + wire_capacitance_ff(5.0)
+        assert got == pytest.approx(expected)
+
+    def test_lower_below_upper_for_small_fanout(self):
+        """The bounds must bracket realistic loads or the feature is useless."""
+        cell = default_library()["INV_X1"]
+        lower = load_lower_bound_ff([0.9], 5.0, 3.0)
+        assert lower < load_upper_bound_ff(cell)
+
+
+class TestDriverDelay:
+    def test_delay_increases_with_load(self):
+        cell = default_library()["INV_X1"]
+        assert driver_delay_ps(cell, 20.0) > driver_delay_ps(cell, 10.0)
+
+    def test_delay_increases_with_wirelength(self):
+        cell = default_library()["INV_X1"]
+        assert driver_delay_ps(cell, 10.0, 50.0) > driver_delay_ps(cell, 10.0, 5.0)
+
+    def test_stronger_driver_is_faster(self):
+        lib = default_library()
+        weak = driver_delay_ps(lib["INV_X1"], 30.0)
+        strong = driver_delay_ps(lib["INV_X4"], 30.0)
+        assert strong < weak
+
+    def test_rejects_negative_load(self):
+        with pytest.raises(ValueError):
+            driver_delay_ps(default_library()["INV_X1"], -1.0)
+
+
+class TestMaxFanout:
+    def test_at_least_one(self):
+        cell = default_library()["INV_X1"]
+        assert max_fanout(cell, cell.max_load_ff * 2) == 1
+
+    def test_scales_with_drive(self):
+        lib = default_library()
+        assert max_fanout(lib["INV_X4"], 1.0) > max_fanout(lib["INV_X1"], 1.0)
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError):
+            max_fanout(default_library()["INV_X1"], 0.0)

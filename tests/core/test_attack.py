@@ -1,0 +1,118 @@
+"""DLAttack training/inference integration tests (tiny scale)."""
+
+import pytest
+
+from repro.core import AttackConfig, DLAttack
+from repro.layout import build_layout
+from repro.netlist import RandomLogicGenerator
+from repro.split import ccr, split_design
+
+
+@pytest.fixture(scope="module")
+def splits():
+    """Three small layouts split at M3."""
+    out = []
+    for seed in (101, 102, 103):
+        nl = RandomLogicGenerator().generate(f"atk{seed}", 70, seed=seed)
+        out.append(split_design(build_layout(nl), 3))
+    return out
+
+
+@pytest.fixture(scope="module")
+def trained(splits):
+    attack = DLAttack(AttackConfig.tiny().with_(epochs=8), split_layer=3)
+    attack.train(splits[:2])
+    return attack
+
+
+class TestTraining:
+    def test_loss_decreases(self, trained):
+        losses = trained.log.losses
+        assert losses[-1] < losses[0]
+
+    def test_log_records_every_epoch(self, trained):
+        assert trained.log.epochs == list(range(1, 9))
+        assert len(trained.log.losses) == 8
+        assert trained.log.train_seconds > 0
+
+    def test_layer_mismatch_rejected(self, splits):
+        attack = DLAttack(AttackConfig.tiny(), split_layer=1)
+        with pytest.raises(ValueError, match="M1"):
+            attack.train(splits[:1])
+
+    def test_untrained_attack_refuses_to_predict(self, splits):
+        attack = DLAttack(AttackConfig.tiny(), split_layer=3)
+        with pytest.raises(RuntimeError, match="not trained"):
+            attack.select(splits[0])
+
+
+class TestInference:
+    def test_assignment_covers_groups(self, trained, splits):
+        test = splits[2]
+        result = trained.attack(test)
+        sources = {f.fragment_id for f in test.source_fragments}
+        assert set(result.assignment.values()) <= sources
+        # every sink fragment with candidates gets a prediction
+        from repro.core import SplitDataset
+
+        ds = SplitDataset(test, trained.config)
+        assert len(result.assignment) == len(ds.groups)
+
+    def test_memorises_training_design(self, splits):
+        """Overfitting sanity: a model trained on one design must beat
+        chance on it by a wide margin."""
+        attack = DLAttack(
+            AttackConfig.tiny().with_(epochs=25), split_layer=3
+        )
+        attack.train(splits[:1])
+        train_ccr = attack.evaluate(splits[0])
+        n_sources = len(splits[0].source_fragments)
+        chance = 100.0 / n_sources
+        assert train_ccr > 4 * chance
+
+    def test_runtime_recorded(self, trained, splits):
+        result = trained.attack(splits[2])
+        assert result.runtime_s > 0
+        assert result.attack_name == "dl-attack"
+
+    def test_deterministic_predictions(self, trained, splits):
+        a = trained.select(splits[2])
+        b = trained.select(splits[2])
+        assert a == b
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, trained, splits, tmp_path):
+        path = tmp_path / "attack.npz"
+        trained.save(path)
+        clone = DLAttack(trained.config, split_layer=3)
+        clone.load(path)
+        assert clone.select(splits[2]) == trained.select(splits[2])
+
+    def test_wrong_layer_weights_rejected(self, trained, tmp_path):
+        path = tmp_path / "attack.npz"
+        trained.save(path)
+        other = DLAttack(trained.config, split_layer=1)
+        with pytest.raises(ValueError, match="M3"):
+            other.load(path)
+
+
+class TestVariants:
+    def test_two_class_variant_trains(self, splits):
+        cfg = AttackConfig.tiny().with_(loss="two_class", use_images=False)
+        attack = DLAttack(cfg, split_layer=3)
+        attack.train(splits[:1])
+        result = attack.attack(splits[2])
+        assert 0.0 <= ccr(splits[2], result.assignment) <= 100.0
+
+    def test_vec_only_variant_trains(self, splits):
+        cfg = AttackConfig.tiny().with_(use_images=False)
+        attack = DLAttack(cfg, split_layer=3)
+        attack.train(splits[:1])
+        assert attack.log.losses[-1] < attack.log.losses[0]
+
+    def test_max_train_groups_cap(self, splits):
+        cfg = AttackConfig.tiny().with_(max_train_groups_per_design=3)
+        attack = DLAttack(cfg, split_layer=3)
+        attack.train(splits[:2])
+        assert attack.log.losses  # trained on the capped corpus

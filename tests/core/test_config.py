@@ -1,0 +1,75 @@
+"""AttackConfig validation and presets."""
+
+import pytest
+
+from repro.core import AttackConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        AttackConfig()
+
+    def test_rejects_single_candidate(self):
+        with pytest.raises(ValueError):
+            AttackConfig(n_candidates=1)
+
+    def test_rejects_even_image_size(self):
+        with pytest.raises(ValueError):
+            AttackConfig(image_size=32)
+
+    def test_rejects_tiny_image(self):
+        with pytest.raises(ValueError):
+            AttackConfig(image_size=3)
+
+    def test_rejects_unknown_loss(self):
+        with pytest.raises(ValueError):
+            AttackConfig(loss="hinge")
+
+    def test_rejects_empty_conv_stack(self):
+        with pytest.raises(ValueError):
+            AttackConfig(conv_channels=())
+
+
+class TestPresets:
+    def test_paper_settings(self):
+        cfg = AttackConfig.paper()
+        assert cfg.n_candidates == 31  # "We select 31 VPPs"
+        assert cfg.image_size == 99  # "Each image is 99 pixels wide and high"
+        assert cfg.image_scales == (1, 2, 4)  # 0.05/0.1/0.2 um ladder
+        assert cfg.conv_channels == (16, 32, 64, 128)  # Table 2
+        assert cfg.learning_rate == 1e-3
+        assert cfg.lr_decay == 0.6
+        assert cfg.lr_decay_every == 20
+
+    def test_fast_is_smaller_than_paper(self):
+        fast, paper = AttackConfig.fast(), AttackConfig.paper()
+        assert fast.image_size < paper.image_size
+        assert fast.n_candidates < paper.n_candidates
+
+    def test_benchmark_caps_training_groups(self):
+        assert AttackConfig.benchmark().max_train_groups_per_design is not None
+
+    def test_tiny_runs_same_architecture_shape(self):
+        cfg = AttackConfig.tiny()
+        assert len(cfg.conv_channels) == 4  # four conv stages like Table 2
+
+
+class TestDerived:
+    def test_image_channels_scale_with_split_layer(self):
+        cfg = AttackConfig()
+        assert cfg.image_channels(1) == 2 * 1 * cfg.n_scales
+        assert cfg.image_channels(3) == 2 * 3 * cfg.n_scales
+
+    def test_with_returns_modified_copy(self):
+        cfg = AttackConfig()
+        other = cfg.with_(epochs=99)
+        assert other.epochs == 99
+        assert cfg.epochs != 99
+
+    def test_with_validates(self):
+        with pytest.raises(ValueError):
+            AttackConfig().with_(image_size=4)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            AttackConfig().epochs = 5

@@ -1,0 +1,144 @@
+"""Vector feature semantics (Sec. 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    N_VECTOR_FEATURES,
+    FeatureNormalizer,
+    build_candidates,
+    group_vector_features,
+    vpp_vector_features,
+)
+from repro.layout import build_layout
+from repro.netlist import RandomLogicGenerator
+from repro.split import split_design
+
+
+@pytest.fixture(scope="module")
+def split():
+    nl = RandomLogicGenerator().generate("vectest", 90, seed=71)
+    return split_design(build_layout(nl), 3)
+
+
+@pytest.fixture(scope="module")
+def vpps(split):
+    candidates = build_candidates(split, 8)
+    return [vpp for vl in candidates.values() for vpp in vl]
+
+
+class TestFeatureVector:
+    def test_dimension_is_27(self, split, vpps):
+        for vpp in vpps[:10]:
+            assert vpp_vector_features(split, vpp).shape == (N_VECTOR_FEATURES,)
+
+    def test_unsigned_matches_signed(self, split, vpps):
+        for vpp in vpps[:20]:
+            f = vpp_vector_features(split, vpp)
+            assert f[3] == abs(f[0])
+            assert f[4] == abs(f[1])
+            assert f[5] == abs(f[0]) + abs(f[1])
+
+    def test_signed_deltas_match_geometry(self, split, vpps):
+        for vpp in vpps[:20]:
+            f = vpp_vector_features(split, vpp)
+            d_p, d_n = split.vpp_deltas(vpp)
+            assert f[0] == d_p
+            assert f[1] == d_n
+
+    def test_ratio_features_scale_by_die(self, split, vpps):
+        fp = split.design.floorplan
+        for vpp in vpps[:20]:
+            f = vpp_vector_features(split, vpp)
+            assert f[6] == pytest.approx(f[0] / fp.width)
+            assert f[7] == pytest.approx(f[1] / fp.height)
+            assert f[8] == pytest.approx(f[2] / fp.half_perimeter)
+            assert f[11] == pytest.approx(f[5] / fp.half_perimeter)
+
+    def test_capacitance_bounds_ordered(self, split, vpps):
+        """Upper bound above lower bound for nearly all candidates —
+        otherwise the feature carries no information."""
+        ordered = sum(
+            1
+            for vpp in vpps
+            if vpp_vector_features(split, vpp)[12]
+            > vpp_vector_features(split, vpp)[13]
+        )
+        assert ordered / len(vpps) > 0.95
+
+    def test_sink_count_matches_fragment(self, split, vpps):
+        for vpp in vpps[:20]:
+            f = vpp_vector_features(split, vpp)
+            assert f[14] == split.fragment(vpp.sink_fragment).n_sinks
+
+    def test_wirelengths_match_fragment(self, split, vpps):
+        for vpp in vpps[:20]:
+            f = vpp_vector_features(split, vpp)
+            src = split.fragment(vpp.source_fragment)
+            by_layer = src.wirelength_by_layer()
+            for layer in range(1, 5):
+                assert f[15 + layer - 1] == by_layer.get(layer, 0)
+
+    def test_via_counts_match(self, split, vpps):
+        for vpp in vpps[:20]:
+            f = vpp_vector_features(split, vpp)
+            assert f[23] == sum(
+                split.fragment(vpp.source_fragment).vias_by_cut().values()
+            )
+            assert f[24] == sum(
+                split.fragment(vpp.sink_fragment).vias_by_cut().values()
+            )
+
+    def test_delay_non_negative(self, split, vpps):
+        for vpp in vpps[:20]:
+            assert vpp_vector_features(split, vpp)[25] >= 0.0
+
+    def test_all_finite(self, split, vpps):
+        for vpp in vpps:
+            assert np.all(np.isfinite(vpp_vector_features(split, vpp)))
+
+
+class TestGroupFeatures:
+    def test_padding_and_mask(self, split):
+        candidates = build_candidates(split, 8)
+        some = next(v for v in candidates.values() if v)
+        short = some[:3]  # force a short group
+        features, mask = group_vector_features(split, short, 8)
+        assert features.shape == (8, N_VECTOR_FEATURES)
+        assert mask.sum() == len(short)
+        assert np.all(features[~mask] == 0.0)
+
+    def test_truncates_overlong_lists(self, split):
+        candidates = build_candidates(split, 8)
+        vl = max(candidates.values(), key=len)
+        features, mask = group_vector_features(split, vl, 3)
+        assert features.shape[0] == 3
+        assert mask.all()
+
+
+class TestNormalizer:
+    def test_standardises(self):
+        rng = np.random.default_rng(0)
+        rows = rng.normal(5.0, 3.0, size=(500, 27))
+        norm = FeatureNormalizer().fit(rows)
+        out = norm.transform(rows)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=0.05)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=0.05)
+
+    def test_constant_feature_safe(self):
+        rows = np.ones((10, 3))
+        out = FeatureNormalizer().fit(rows).transform(rows)
+        assert np.all(np.isfinite(out))
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            FeatureNormalizer().transform(np.ones((2, 3)))
+
+    def test_state_roundtrip(self):
+        rng = np.random.default_rng(1)
+        rows = rng.normal(size=(50, 5))
+        norm = FeatureNormalizer().fit(rows)
+        other = FeatureNormalizer.from_state(norm.state())
+        np.testing.assert_allclose(
+            norm.transform(rows), other.transform(rows)
+        )

@@ -1,0 +1,88 @@
+"""Defense extensions: placement perturbation and net lifting."""
+
+import pytest
+
+from repro.attacks import ProximityAttack
+from repro.defense import (
+    DefenseReport,
+    lifted_layout,
+    lifted_net_names,
+    perturbed_layout,
+)
+from repro.layout import build_layout
+from repro.netlist import RandomLogicGenerator
+from repro.split import ccr, split_design
+
+
+@pytest.fixture(scope="module")
+def netlist():
+    return RandomLogicGenerator().generate("deftest", 120, seed=111)
+
+
+@pytest.fixture(scope="module")
+def baseline(netlist):
+    return build_layout(netlist)
+
+
+class TestPerturbation:
+    def test_zero_strength_matches_baseline_hpwl_class(self, netlist, baseline):
+        defended = perturbed_layout(netlist, strength=0.0)
+        assert defended.placement.locations == baseline.placement.locations
+
+    def test_perturbation_increases_wirelength(self, netlist, baseline):
+        defended = perturbed_layout(netlist, strength=8.0)
+        assert defended.total_wirelength() > baseline.total_wirelength()
+
+    def test_perturbation_weakens_proximity_attack(self, netlist, baseline):
+        base_ccr = ccr(
+            split_design(baseline, 3),
+            ProximityAttack().attack(split_design(baseline, 3)).assignment,
+        )
+        defended = perturbed_layout(netlist, strength=10.0)
+        split = split_design(defended, 3)
+        def_ccr = ccr(split, ProximityAttack().attack(split).assignment)
+        assert def_ccr < base_ccr
+
+    def test_negative_strength_rejected(self, netlist):
+        with pytest.raises(ValueError):
+            perturbed_layout(netlist, strength=-1.0)
+
+    def test_report_overhead(self):
+        report = DefenseReport("perturbation", 5.0, 1000, 1200)
+        assert report.wirelength_overhead == pytest.approx(0.2)
+
+
+class TestLifting:
+    def test_lifting_increases_cut_nets(self, netlist, baseline):
+        defended = lifted_layout(netlist, lift_fraction=0.5)
+        assert len(lifted_net_names(defended, 3)) > len(
+            lifted_net_names(baseline, 3)
+        )
+
+    def test_lifting_increases_hidden_pins(self, netlist, baseline):
+        defended = lifted_layout(netlist, lift_fraction=0.5)
+        hidden_base = split_design(baseline, 3).n_hidden_sink_pins
+        hidden_def = split_design(defended, 3).n_hidden_sink_pins
+        assert hidden_def > hidden_base
+
+    def test_full_lift_to_m5_hides_everything(self, netlist):
+        """Lifting to M3/M4 leaves purely-horizontal connections on M3
+        (uncut); lifting to M5/M6 hides every connection at the M3 split."""
+        defended = lifted_layout(netlist, lift_fraction=1.0, min_pair_index=3)
+        split = split_design(defended, 3)
+        total_sinks = sum(len(n.sinks) for n in netlist.signal_nets())
+        assert split.n_hidden_sink_pins == total_sinks
+
+    def test_lifting_costs_vias(self, netlist, baseline):
+        defended = lifted_layout(netlist, lift_fraction=0.5)
+        vias_base = sum(len(r.via_edges()) for r in baseline.routes.values())
+        vias_def = sum(len(r.via_edges()) for r in defended.routes.values())
+        assert vias_def > vias_base
+
+    def test_bad_fraction_rejected(self, netlist):
+        with pytest.raises(ValueError):
+            lifted_layout(netlist, lift_fraction=1.5)
+
+    def test_bad_pair_rejected(self, netlist):
+        with pytest.raises(ValueError):
+            lifted_layout(netlist, lift_fraction=0.1, min_pair_index=7)

@@ -1,0 +1,59 @@
+"""Report rendering utilities."""
+
+import pytest
+
+from repro.eval import fmt_or_na, render_bars, render_markdown_table, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["A", "Long"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len({len(l) for l in lines}) == 1  # uniform width
+
+    def test_title(self):
+        text = render_table(["A"], [["1"]], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["A", "B"], [["only-one"]])
+
+
+class TestMarkdown:
+    def test_structure(self):
+        text = render_markdown_table(["A", "B"], [["1", "2"]])
+        lines = text.splitlines()
+        assert lines[0] == "| A | B |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_markdown_table(["A", "B"], [["1"]])
+
+
+class TestBars:
+    def test_proportional(self):
+        text = render_bars(["a", "b"], [10.0, 5.0], width=20)
+        a_line, b_line = text.splitlines()
+        assert a_line.count("#") == 2 * b_line.count("#")
+
+    def test_zero_values(self):
+        text = render_bars(["a"], [0.0])
+        assert "0.00" in text
+
+    def test_empty(self):
+        assert render_bars([], []) == "(no data)"
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            render_bars(["a"], [1.0, 2.0])
+
+
+class TestFmtOrNa:
+    def test_none_is_na(self):
+        assert fmt_or_na(None) == "N/A"
+
+    def test_value_formatted(self):
+        assert fmt_or_na(1.2345) == "1.23"

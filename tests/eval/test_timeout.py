@@ -1,0 +1,41 @@
+"""Timeout wrapper used for the flow-attack budget."""
+
+import time
+
+from repro.eval import run_with_timeout
+
+
+class TestRunWithTimeout:
+    def test_fast_call_completes(self):
+        result = run_with_timeout(lambda: 42, limit_s=5.0)
+        assert result.value == 42
+        assert not result.timed_out
+        assert result.seconds < 1.0
+
+    def test_slow_call_interrupted(self):
+        def slow():
+            deadline = time.time() + 10.0
+            count = 0
+            while time.time() < deadline:
+                count += 1  # pure-Python loop: interruptible
+            return count
+
+        result = run_with_timeout(slow, limit_s=0.2)
+        assert result.timed_out
+        assert result.value is None
+        assert result.seconds < 2.0
+
+    def test_exceptions_propagate(self):
+        def boom():
+            raise RuntimeError("boom")
+
+        try:
+            run_with_timeout(boom, limit_s=1.0)
+        except RuntimeError as exc:
+            assert "boom" in str(exc)
+        else:  # pragma: no cover
+            raise AssertionError("exception swallowed")
+
+    def test_timer_cleared_after_use(self):
+        run_with_timeout(lambda: None, limit_s=0.05)
+        time.sleep(0.1)  # would fire a stale alarm if not cleared

@@ -1,0 +1,99 @@
+"""Congestion behaviour: capacity pressure, A* escape, jogs."""
+
+from repro.layout import Floorplan, Router, preferred_axis
+from repro.layout.routing import make_edge
+
+
+def route_is_connected(route):
+    if len(route.nodes) <= 1:
+        return True
+    adj = {}
+    for a, b in route.edges:
+        adj.setdefault(a, []).append(b)
+        adj.setdefault(b, []).append(a)
+    start = next(iter(route.nodes))
+    seen, stack = {start}, [start]
+    while stack:
+        u = stack.pop()
+        for v in adj.get(u, []):
+            if v not in seen:
+                seen.add(v)
+                stack.append(v)
+    return seen == route.nodes
+
+
+class TestCapacityPressure:
+    def test_parallel_nets_spread_over_tracks(self):
+        """Many nets along the same row must not all pile on one edge."""
+        fp = Floorplan(20, 9)
+        router = Router(fp, capacity=2, thresholds=(30, 40, 50))
+        for i in range(6):
+            router.route_net(f"n{i}", [(2, 4), (17, 4)])
+        # overflow allowed but bounded: usage spread to neighbour rows
+        worst = max(router.usage.values())
+        assert worst <= 4  # capacity 2 plus limited overflow
+
+    def test_astar_called_under_pressure(self):
+        fp = Floorplan(20, 9)
+        router = Router(fp, capacity=1, thresholds=(30, 40, 50))
+        for i in range(8):
+            router.route_net(f"n{i}", [(2, 4), (17, 4)])
+        assert router.stats.astar_calls > 0
+
+    def test_routes_stay_connected_under_pressure(self):
+        fp = Floorplan(16, 16)
+        router = Router(fp, capacity=1, thresholds=(40, 50, 60))
+        routes = [
+            router.route_net(f"n{i}", [(1 + i % 3, 2), (13, 13 - i % 4)])
+            for i in range(10)
+        ]
+        assert all(route_is_connected(r) for r in routes)
+
+    def test_congestion_creates_nonpreferred_jogs(self):
+        """The paper's observation: 'wires with non-preferred routing
+        direction are relatively common in congested designs'."""
+        fp = Floorplan(14, 14)
+        router = Router(fp, capacity=1, thresholds=(40, 50, 60))
+        jogs = 0
+        for i in range(12):
+            route = router.route_net(f"n{i}", [(1, 1 + i % 5), (12, 9)])
+            for a, b in route.wire_edges():
+                axis = 0 if a[2] == b[2] else 1
+                if preferred_axis(a[0]) != axis:
+                    jogs += 1
+        assert jogs > 0
+
+
+class TestUsageAccounting:
+    def test_usage_counts_committed_edges(self):
+        fp = Floorplan(10, 10)
+        router = Router(fp, thresholds=(30, 40, 50))
+        route = router.route_net("n", [(1, 1), (6, 1)])
+        wire_edges = route.wire_edges()
+        for edge in wire_edges:
+            assert router.usage[make_edge(*edge)] == 1
+
+    def test_same_net_does_not_double_count(self):
+        fp = Floorplan(10, 10)
+        router = Router(fp, thresholds=(30, 40, 50))
+        # three pins on a line: the second connection reuses the trunk
+        router.route_net("n", [(1, 1), (6, 1), (4, 1)])
+        assert all(v == 1 for v in router.usage.values())
+
+    def test_different_nets_accumulate(self):
+        fp = Floorplan(10, 10)
+        router = Router(fp, capacity=4, thresholds=(30, 40, 50))
+        router.route_net("a", [(1, 1), (6, 1)])
+        router.route_net("b", [(1, 1), (6, 1)])
+        assert max(router.usage.values()) == 2
+
+    def test_overflow_stat(self):
+        """With demand far above total die capacity, overflow is forced
+        (and recorded) instead of failing the route."""
+        fp = Floorplan(10, 2)
+        router = Router(fp, capacity=1, thresholds=(30, 40, 50))
+        routes = [
+            router.route_net(f"n{i}", [(0, 1), (9, 1)]) for i in range(8)
+        ]
+        assert router.stats.overflowed_edges > 0
+        assert all(route_is_connected(r) for r in routes)

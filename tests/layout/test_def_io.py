@@ -1,0 +1,60 @@
+"""DEF-like serialisation round-trips and error handling."""
+
+import pytest
+
+from repro.layout import DefFormatError, build_layout, read_def, write_def
+from repro.netlist import RandomLogicGenerator, build_suite_design
+from repro.netlist.benchmarks import TINY_DESIGNS
+
+
+@pytest.fixture(scope="module")
+def design():
+    nl = RandomLogicGenerator().generate("deftest", 80, seed=5)
+    return build_layout(nl)
+
+
+class TestRoundTrip:
+    def test_exact_wiring_roundtrip(self, design):
+        recovered = read_def(write_def(design), design.netlist)
+        assert recovered.floorplan.width == design.floorplan.width
+        assert recovered.floorplan.pad_positions == design.floorplan.pad_positions
+        assert recovered.placement.locations == design.placement.locations
+        for name, route in design.routes.items():
+            assert recovered.routes[name].edges == route.edges, name
+            assert recovered.routes[name].nodes == route.nodes, name
+            assert recovered.routes[name].pin_nodes == route.pin_nodes, name
+
+    def test_roundtrip_preserves_wirelength(self, design):
+        recovered = read_def(write_def(design), design.netlist)
+        assert recovered.total_wirelength() == design.total_wirelength()
+
+    def test_tiny_suite_roundtrips(self):
+        for spec in TINY_DESIGNS[:2]:
+            nl = build_suite_design(spec)
+            design = build_layout(nl)
+            recovered = read_def(write_def(design), nl)
+            assert recovered.placement.locations == design.placement.locations
+
+    def test_deterministic_output(self, design):
+        assert write_def(design) == write_def(design)
+
+
+class TestErrors:
+    def test_wrong_netlist_rejected(self, design):
+        other = RandomLogicGenerator().generate("other", 10, seed=1)
+        with pytest.raises(DefFormatError, match="design"):
+            read_def(write_def(design), other)
+
+    def test_missing_header(self, design):
+        with pytest.raises(DefFormatError, match="DESIGN"):
+            read_def("GARBAGE\n", design.netlist)
+
+    def test_unknown_component(self, design):
+        text = write_def(design).replace("COMP g0 ", "COMP ghost ")
+        with pytest.raises(DefFormatError):
+            read_def(text, design.netlist)
+
+    def test_truncated_input(self, design):
+        text = write_def(design)
+        with pytest.raises(DefFormatError):
+            read_def(text[: len(text) // 2], design.netlist)

@@ -1,0 +1,84 @@
+"""Design container queries."""
+
+import pytest
+
+from repro.cells import default_library
+from repro.layout import build_layout
+from repro.netlist import Netlist, RandomLogicGenerator, Terminal
+
+
+@pytest.fixture(scope="module")
+def design():
+    nl = RandomLogicGenerator().generate("designtest", 70, seed=141)
+    return build_layout(nl)
+
+
+class TestDriverQueries:
+    def test_driver_cell_for_gate_net(self, design):
+        net = next(
+            n for n in design.netlist.signal_nets() if not n.driver.is_port
+        )
+        cell = design.driver_cell(net.name)
+        assert cell is design.netlist.gates[net.driver.owner].cell
+
+    def test_driver_cell_none_for_primary_input(self, design):
+        pi = design.netlist.primary_inputs[0]
+        assert design.driver_cell(pi) is None
+
+    def test_sink_pin_capacitance(self, design):
+        net = next(
+            n
+            for n in design.netlist.signal_nets()
+            if any(not t.is_port for t in n.sinks)
+        )
+        term = next(t for t in net.sinks if not t.is_port)
+        cap = design.sink_pin_capacitance(term)
+        gate = design.netlist.gates[term.owner]
+        assert cap == gate.cell.input_capacitance(term.pin)
+
+    def test_port_sink_capacitance_zero(self, design):
+        po = design.netlist.primary_outputs[0]
+        term = Terminal(po, "PAD", is_port=True)
+        assert design.sink_pin_capacitance(term) == 0.0
+
+
+class TestGeometryQueries:
+    def test_terminal_location_gate_vs_pad(self, design):
+        gate_name = next(iter(design.netlist.gates))
+        gate_term = Terminal(gate_name, "A")
+        assert design.terminal_location(gate_term) == (
+            design.placement.locations[gate_name]
+        )
+        pad_name = design.netlist.primary_inputs[0]
+        pad_term = Terminal(pad_name, "PAD", is_port=True)
+        assert design.terminal_location(pad_term) == (
+            design.floorplan.pad_positions[pad_name]
+        )
+
+    def test_occupancy_by_layer_covers_all_nodes(self, design):
+        occ = design.occupancy_by_layer()
+        for route in design.routes.values():
+            for layer, x, y in route.nodes:
+                assert (x, y) in occ[layer]
+
+    def test_total_wirelength_sums_routes(self, design):
+        assert design.total_wirelength() == sum(
+            r.total_wirelength for r in design.routes.values()
+        )
+
+    def test_stats_complete(self, design):
+        stats = design.stats()
+        for key in ("gates", "nets", "die_width", "die_height",
+                    "wirelength", "vias", "overflows"):
+            assert key in stats
+
+
+class TestBuildLayoutValidation:
+    def test_invalid_netlist_rejected(self):
+        lib = default_library()
+        nl = Netlist("bad")
+        nl.add_primary_input("a")
+        nl.add_gate("g0", lib["INV_X1"], {"A": "a", "ZN": "n0"})
+        # n0 dangles -> validate() inside build_layout must fail
+        with pytest.raises(Exception, match="no sinks"):
+            build_layout(nl)

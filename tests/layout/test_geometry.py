@@ -1,0 +1,109 @@
+"""Geometry primitives: directions, segments, collinear merging."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout import (
+    HORIZONTAL,
+    VERTICAL,
+    Segment,
+    manhattan,
+    merge_collinear,
+    preferred_axis,
+    preferred_direction,
+)
+
+
+class TestPreferredDirections:
+    def test_m1_horizontal(self):
+        assert preferred_direction(1) == HORIZONTAL
+
+    def test_alternating(self):
+        assert [preferred_direction(l) for l in range(1, 7)] == [
+            "H", "V", "H", "V", "H", "V",
+        ]
+
+    def test_axis_mapping(self):
+        assert preferred_axis(1) == 0  # x
+        assert preferred_axis(2) == 1  # y
+
+    def test_rejects_layer_zero(self):
+        with pytest.raises(ValueError):
+            preferred_direction(0)
+
+
+class TestManhattan:
+    @given(
+        ax=st.integers(-50, 50), ay=st.integers(-50, 50),
+        bx=st.integers(-50, 50), by=st.integers(-50, 50),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_metric_properties(self, ax, ay, bx, by):
+        a, b = (ax, ay), (bx, by)
+        assert manhattan(a, b) == manhattan(b, a)
+        assert manhattan(a, a) == 0
+        assert manhattan(a, b) >= 0
+
+
+class TestSegment:
+    def test_rejects_diagonal(self):
+        with pytest.raises(ValueError, match="axis-aligned"):
+            Segment(1, 0, 0, 3, 3)
+
+    def test_rejects_unnormalised(self):
+        with pytest.raises(ValueError, match="normalised"):
+            Segment(1, 5, 0, 2, 0)
+
+    def test_make_normalises(self):
+        seg = Segment.make(1, (5, 0), (2, 0))
+        assert (seg.x1, seg.x2) == (2, 5)
+
+    def test_length_and_points(self):
+        seg = Segment(1, 2, 3, 5, 3)
+        assert seg.length == 3
+        assert seg.points() == [(2, 3), (3, 3), (4, 3), (5, 3)]
+
+    def test_direction(self):
+        assert Segment(1, 0, 0, 4, 0).direction == HORIZONTAL
+        assert Segment(1, 0, 0, 0, 4).direction == VERTICAL
+
+    def test_point_segment_takes_layer_preference(self):
+        assert Segment(1, 2, 2, 2, 2).direction == HORIZONTAL
+        assert Segment(2, 2, 2, 2, 2).direction == VERTICAL
+
+    def test_is_preferred(self):
+        assert Segment(1, 0, 0, 4, 0).is_preferred  # H wire on H layer
+        assert not Segment(1, 0, 0, 0, 4).is_preferred  # V jog on H layer
+
+
+class TestMergeCollinear:
+    def test_single_run(self):
+        segs = merge_collinear([(0, 0), (1, 0), (2, 0)], layer=1)
+        assert segs == [Segment(1, 0, 0, 2, 0)]
+
+    def test_l_shape_shares_corner(self):
+        points = [(0, 0), (1, 0), (2, 0), (2, 1), (2, 2)]
+        segs = merge_collinear(points, layer=1)
+        assert Segment(1, 0, 0, 2, 0) in segs
+        assert Segment(1, 2, 0, 2, 2) in segs
+
+    def test_isolated_point(self):
+        segs = merge_collinear([(5, 5)], layer=2)
+        assert segs == [Segment(2, 5, 5, 5, 5)]
+
+    def test_empty(self):
+        assert merge_collinear([], layer=1) == []
+
+    @given(
+        st.sets(
+            st.tuples(st.integers(0, 8), st.integers(0, 8)),
+            min_size=1, max_size=25,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_covers_all_points(self, points):
+        """Every input point appears in at least one merged segment."""
+        segs = merge_collinear(sorted(points), layer=1)
+        covered = {p for s in segs for p in s.points()}
+        assert points <= covered

@@ -1,0 +1,109 @@
+"""Placer invariants: legality, determinism, proximity quality."""
+
+import numpy as np
+import pytest
+
+from repro.layout import make_floorplan, place
+from repro.netlist import RandomLogicGenerator, build_suite_design
+from repro.netlist.benchmarks import TINY_DESIGNS
+
+
+@pytest.fixture(scope="module")
+def netlist():
+    return RandomLogicGenerator().generate("placetest", 150, seed=11)
+
+
+@pytest.fixture(scope="module")
+def placed(netlist):
+    fp = make_floorplan(netlist)
+    return fp, place(netlist, fp)
+
+
+class TestFloorplan:
+    def test_die_fits_cells(self, netlist):
+        fp = make_floorplan(netlist, utilization=0.55)
+        total_sites = sum(
+            g.cell.width_sites + 1 for g in netlist.gates.values()
+        )
+        assert fp.width * fp.height >= total_sites
+
+    def test_higher_utilization_smaller_die(self, netlist):
+        loose = make_floorplan(netlist, utilization=0.4)
+        tight = make_floorplan(netlist, utilization=0.8)
+        assert tight.width * tight.height < loose.width * loose.height
+
+    def test_rejects_bad_utilization(self, netlist):
+        with pytest.raises(ValueError):
+            make_floorplan(netlist, utilization=1.5)
+
+    def test_all_ports_have_pads_on_boundary(self, netlist):
+        fp = make_floorplan(netlist)
+        ports = set(netlist.primary_inputs) | set(netlist.primary_outputs)
+        assert set(fp.pad_positions) == ports
+        for x, y in fp.pad_positions.values():
+            assert x in (0, fp.width - 1) or y in (0, fp.height - 1)
+
+
+class TestPlacementLegality:
+    def test_all_gates_placed_in_die(self, netlist, placed):
+        fp, placement = placed
+        assert set(placement.locations) == set(netlist.gates)
+        for x, y in placement.locations.values():
+            assert fp.contains(x, y)
+
+    def test_no_overlaps(self, netlist, placed):
+        fp, placement = placed
+        occupied = set()
+        for name, (cx, cy) in placement.locations.items():
+            width = netlist.gates[name].cell.width_sites
+            x0 = cx - width // 2
+            for dx in range(width):
+                site = (x0 + dx, cy)
+                assert site not in occupied, f"overlap at {site}"
+                occupied.add(site)
+
+    def test_deterministic(self, netlist):
+        fp = make_floorplan(netlist)
+        a = place(netlist, fp, seed=0)
+        b = place(netlist, fp, seed=0)
+        assert a.locations == b.locations
+
+
+class TestPlacementQuality:
+    def test_better_than_random(self, netlist, placed):
+        """Quadratic placement must beat random placement on HPWL by a
+        wide margin — this is the regularity the whole attack rests on."""
+        fp, placement = placed
+        rng = np.random.default_rng(0)
+        random_locs = {
+            name: (
+                int(rng.integers(fp.width)),
+                int(rng.integers(fp.height)),
+            )
+            for name in netlist.gates
+        }
+        from repro.layout import Placement
+
+        random_placement = Placement(random_locs, fp)
+        assert placement.hpwl(netlist) < 0.7 * random_placement.hpwl(netlist)
+
+    def test_connected_gates_are_close(self, netlist, placed):
+        """Median distance of connected gate pairs is far below the die
+        half-perimeter."""
+        fp, placement = placed
+        dists = []
+        for net in netlist.signal_nets():
+            terms = [t for t in net.terminals() if not t.is_port]
+            if len(terms) < 2:
+                continue
+            ax, ay = placement.locations[terms[0].owner]
+            bx, by = placement.locations[terms[1].owner]
+            dists.append(abs(ax - bx) + abs(ay - by))
+        assert np.median(dists) < 0.25 * fp.half_perimeter
+
+    def test_tiny_suite_places(self):
+        for spec in TINY_DESIGNS:
+            nl = build_suite_design(spec)
+            fp = make_floorplan(nl)
+            placement = place(nl, fp)
+            assert len(placement.locations) == nl.n_gates

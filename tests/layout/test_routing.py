@@ -1,0 +1,182 @@
+"""Router invariants: connectivity, legality, preferred directions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout import (
+    Floorplan,
+    Router,
+    build_layout,
+    is_via_edge,
+    preferred_axis,
+)
+from repro.layout.routing import demand_thresholds
+from repro.netlist import RandomLogicGenerator
+
+
+def connected(route) -> bool:
+    """All nodes of a route reachable through its edges."""
+    if len(route.nodes) <= 1:
+        return True
+    adj = {}
+    for a, b in route.edges:
+        adj.setdefault(a, []).append(b)
+        adj.setdefault(b, []).append(a)
+    start = next(iter(route.nodes))
+    seen = {start}
+    stack = [start]
+    while stack:
+        u = stack.pop()
+        for v in adj.get(u, []):
+            if v not in seen:
+                seen.add(v)
+                stack.append(v)
+    return seen == route.nodes
+
+
+@pytest.fixture(scope="module")
+def design():
+    nl = RandomLogicGenerator().generate("routetest", 120, seed=21)
+    return build_layout(nl)
+
+
+class TestSingleNetRouting:
+    def test_two_pin_l_shape(self):
+        fp = Floorplan(20, 20)
+        router = Router(fp)
+        route = router.route_net("n", [(2, 2), (7, 9)])
+        assert connected(route)
+        assert (1, 2, 2) in route.nodes
+        assert (1, 7, 9) in route.nodes
+
+    def test_single_pin_net_trivial(self):
+        router = Router(Floorplan(10, 10))
+        route = router.route_net("n", [(3, 3)])
+        assert route.nodes == {(1, 3, 3)}
+        assert not route.edges
+
+    def test_coincident_pins(self):
+        router = Router(Floorplan(10, 10))
+        route = router.route_net("n", [(3, 3), (3, 3)])
+        assert connected(route)
+
+    def test_multi_pin_spanning_tree(self):
+        router = Router(Floorplan(30, 30))
+        pins = [(2, 2), (25, 3), (4, 20), (20, 25)]
+        route = router.route_net("n", pins)
+        assert connected(route)
+        for xy in pins:
+            assert (1, xy[0], xy[1]) in route.nodes
+
+    @given(
+        pins=st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 15)),
+            min_size=2, max_size=6,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_any_pin_set_routes_connected(self, pins):
+        router = Router(Floorplan(16, 16))
+        route = router.route_net("n", pins)
+        assert connected(route)
+        for xy in set(pins):
+            assert (1, xy[0], xy[1]) in route.nodes
+
+
+class TestLayerAssignment:
+    def test_short_connection_stays_low(self):
+        router = Router(Floorplan(40, 40), thresholds=(3, 9, 28))
+        route = router.route_net("n", [(5, 5), (6, 6)])
+        assert max(n[0] for n in route.nodes) <= 2
+
+    def test_long_connection_climbs(self):
+        router = Router(Floorplan(60, 60), thresholds=(3, 9, 28))
+        route = router.route_net("n", [(2, 2), (50, 50)])
+        assert max(n[0] for n in route.nodes) >= 5
+
+    def test_demand_thresholds_quantiles(self):
+        lengths = list(range(1, 101))
+        t1, t2, t3 = demand_thresholds(lengths)
+        assert t1 == 3
+        assert 75 <= t2 <= 85
+        assert t3 >= 95
+
+    def test_demand_thresholds_strictly_increasing(self):
+        t1, t2, t3 = demand_thresholds([1, 1, 1, 1])
+        assert t1 < t2 < t3
+
+    def test_demand_thresholds_empty_rejected(self):
+        with pytest.raises(ValueError):
+            demand_thresholds([])
+
+
+class TestFullRouting:
+    def test_every_net_connected(self, design):
+        for name, route in design.routes.items():
+            assert connected(route), f"net {name} disconnected"
+
+    def test_all_edges_legal(self, design):
+        fp = design.floorplan
+        for route in design.routes.values():
+            for a, b in route.edges:
+                if is_via_edge((a, b)):
+                    assert a[1:] == b[1:]
+                    assert abs(a[0] - b[0]) == 1
+                else:
+                    assert a[0] == b[0]
+                    assert abs(a[1] - b[1]) + abs(a[2] - b[2]) == 1
+                for layer, x, y in (a, b):
+                    assert 1 <= layer <= fp.n_layers
+                    assert fp.contains(x, y)
+
+    def test_wiring_mostly_preferred_direction(self, design):
+        """Preferred-direction wiring dominates, with some jogs allowed
+        (the paper observes non-preferred wires in congested designs)."""
+        preferred = 0
+        total = 0
+        for route in design.routes.values():
+            for a, b in route.wire_edges():
+                axis = 0 if a[2] == b[2] else 1
+                total += 1
+                if preferred_axis(a[0]) == axis:
+                    preferred += 1
+        assert total > 0
+        assert preferred / total > 0.9
+
+    def test_wirelength_accounting(self, design):
+        for route in design.routes.values():
+            assert (
+                sum(route.wirelength_by_layer().values())
+                == route.total_wirelength
+            )
+            assert sum(route.vias_by_cut().values()) == len(route.via_edges())
+
+    def test_segments_cover_wire_edges(self, design):
+        for route in design.routes.values():
+            seg_len = sum(s.length for s in route.segments())
+            assert seg_len == route.total_wirelength
+
+    def test_capacity_respected_mostly(self, design):
+        """Soft overflow is allowed but must be rare."""
+        over = design.routing_stats.overflowed_edges
+        assert over <= 0.02 * max(design.routing_stats.total_wirelength, 1)
+
+    def test_stats_populated(self, design):
+        stats = design.routing_stats
+        assert stats.connections > 0
+        assert stats.total_wirelength > 0
+        assert stats.total_vias > 0
+
+    def test_routing_deterministic(self):
+        from repro.layout import make_floorplan, place
+        from repro.netlist import RandomLogicGenerator
+
+        nl = RandomLogicGenerator().generate("determ", 60, seed=77)
+        fp = make_floorplan(nl)
+        placement = place(nl, fp)
+        first = Router(fp).route_netlist(nl, placement)
+        second = Router(fp).route_netlist(nl, placement)
+        assert set(first) == set(second)
+        for name in first:
+            assert first[name].edges == second[name].edges

@@ -1,0 +1,114 @@
+"""Benchmark suite: Table 3 fidelity, scaling, determinism."""
+
+import pytest
+
+from repro.netlist import (
+    PAPER_AVERAGES,
+    TABLE3_BY_NAME,
+    TABLE3_SPECS,
+    TINY_DESIGNS,
+    TRAINING_DESIGNS,
+    VALIDATION_DESIGNS,
+    build_benchmark,
+    build_suite_design,
+    scaled_gate_count,
+)
+
+
+class TestTable3Transcription:
+    def test_sixteen_designs(self):
+        assert len(TABLE3_SPECS) == 16
+
+    def test_paper_m1_average_ccr(self):
+        """The transcribed per-design CCRs must reproduce the paper's
+        averages (excluding timeout rows, as the paper does)."""
+        rows = [s.m1 for s in TABLE3_SPECS if s.m1.ccr_flow is not None]
+        avg_flow = sum(r.ccr_flow for r in rows) / len(rows)
+        avg_dl = sum(r.ccr_dl for r in rows) / len(rows)
+        assert avg_flow == pytest.approx(PAPER_AVERAGES["m1"]["ccr_flow"], abs=0.05)
+        assert avg_dl == pytest.approx(PAPER_AVERAGES["m1"]["ccr_dl"], abs=0.05)
+
+    def test_paper_m3_average_ccr(self):
+        rows = [s.m3 for s in TABLE3_SPECS if s.m3.ccr_flow is not None]
+        avg_flow = sum(r.ccr_flow for r in rows) / len(rows)
+        avg_dl = sum(r.ccr_dl for r in rows) / len(rows)
+        assert avg_flow == pytest.approx(PAPER_AVERAGES["m3"]["ccr_flow"], abs=0.05)
+        assert avg_dl == pytest.approx(PAPER_AVERAGES["m3"]["ccr_dl"], abs=0.05)
+
+    def test_paper_ccr_ratios(self):
+        """1.21x on M1 and 1.12x on M3 — the headline numbers."""
+        m1 = PAPER_AVERAGES["m1"]
+        m3 = PAPER_AVERAGES["m3"]
+        assert m1["ccr_dl"] / m1["ccr_flow"] == pytest.approx(1.21, abs=0.01)
+        assert m3["ccr_dl"] / m3["ccr_flow"] == pytest.approx(1.12, abs=0.01)
+
+    def test_timeouts_marked_consistently(self):
+        for spec in TABLE3_SPECS:
+            for row in (spec.m1, spec.m3):
+                assert (row.ccr_flow is None) == (row.runtime_flow is None)
+
+    def test_m3_problem_smaller_than_m1(self):
+        for spec in TABLE3_SPECS:
+            assert spec.m3.sinks < spec.m1.sinks
+            assert spec.m3.sources < spec.m1.sources
+
+
+class TestScaling:
+    def test_monotone(self):
+        sizes = [scaled_gate_count(s) for s in (100, 500, 2000, 10_000, 90_000)]
+        assert sizes == sorted(sizes)
+        assert len(set(sizes)) == len(sizes)
+
+    def test_floor_of_fifty(self):
+        assert scaled_gate_count(10) == 50
+
+    def test_largest_design_capped(self):
+        assert scaled_gate_count(84_292) < 1_500
+
+    def test_ordering_preserved_across_table3(self):
+        by_paper = sorted(TABLE3_SPECS, key=lambda s: s.m1.sinks)
+        scaled = [s.target_gates for s in by_paper]
+        assert scaled == sorted(scaled)
+
+
+class TestBuilders:
+    def test_all_benchmarks_build_and_validate(self):
+        for spec in TABLE3_SPECS:
+            nl = build_benchmark(spec.name)
+            nl.validate()
+            # generators hit the target within structure-imposed slack
+            assert nl.n_gates >= 0.8 * spec.target_gates
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            build_benchmark("c404")
+
+    def test_benchmarks_deterministic(self):
+        a = build_benchmark("c880")
+        b = build_benchmark("c880")
+        assert a.stats() == b.stats()
+
+    def test_c6288_is_multiplier_flavoured(self):
+        assert TABLE3_BY_NAME["c6288"].flavor == "arith"
+        nl = build_benchmark("c6288")
+        functions = {g.cell.function for g in nl.gates.values()}
+        assert functions <= {"AND2", "XOR2", "OR2"}
+
+    def test_itc99_designs_are_sequential(self):
+        for name in ("b11", "b13", "b7"):
+            nl = build_benchmark(name)
+            assert nl.stats()["sequential"] > 0
+
+    def test_suites_have_paper_counts(self):
+        assert len(TRAINING_DESIGNS) == 9  # "9 training designs"
+        assert len(VALIDATION_DESIGNS) == 5  # "5 validation designs"
+        assert len(TINY_DESIGNS) == 3
+
+    def test_suite_designs_build(self):
+        for design in TINY_DESIGNS + VALIDATION_DESIGNS[:2]:
+            nl = build_suite_design(design)
+            nl.validate()
+
+    def test_training_flavours_cover_all(self):
+        flavors = {d.flavor for d in TRAINING_DESIGNS}
+        assert flavors == {"rand", "seq", "parity", "arith"}

@@ -1,0 +1,122 @@
+"""Generator invariants: validity, determinism, structure, statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist import (
+    RandomLogicGenerator,
+    array_multiplier,
+    parity_tree,
+    ripple_carry_adder,
+)
+
+
+class TestRandomLogic:
+    @given(
+        n_gates=st.integers(5, 120),
+        seed=st.integers(0, 1000),
+        dff=st.sampled_from([0.0, 0.15]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_generated_netlists_are_valid(self, n_gates, seed, dff):
+        nl = RandomLogicGenerator().generate(
+            "t", n_gates, seed=seed, dff_fraction=dff
+        )
+        nl.validate()
+        assert nl.n_gates == n_gates
+
+    def test_deterministic(self):
+        a = RandomLogicGenerator().generate("t", 80, seed=7)
+        b = RandomLogicGenerator().generate("t", 80, seed=7)
+        assert {g for g in a.gates} == {g for g in b.gates}
+        for name in a.gates:
+            assert a.gates[name].connections == b.gates[name].connections
+
+    def test_seed_changes_structure(self):
+        a = RandomLogicGenerator().generate("t", 80, seed=1)
+        b = RandomLogicGenerator().generate("t", 80, seed=2)
+        diffs = sum(
+            a.gates[n].connections != b.gates[n].connections
+            for n in a.gates
+            if n in b.gates
+        )
+        assert diffs > 10
+
+    def test_fanout_capped(self):
+        gen = RandomLogicGenerator(fanout_cap=8, high_fanout_cap=24)
+        nl = gen.generate("t", 300, seed=3)
+        assert max(n.fanout for n in nl.signal_nets()) <= 24
+
+    def test_fanout_distribution_skewed_low(self):
+        """Most nets drive 1-3 sinks, like synthesised logic."""
+        nl = RandomLogicGenerator().generate("t", 400, seed=4)
+        fanouts = np.array([n.fanout for n in nl.signal_nets()])
+        assert np.median(fanouts) <= 3
+        assert fanouts.mean() < 4
+
+    def test_sequential_fraction(self):
+        nl = RandomLogicGenerator().generate("t", 300, seed=5, dff_fraction=0.2)
+        stats = nl.stats()
+        assert 0.1 <= stats["sequential"] / stats["gates"] <= 0.3
+
+    def test_feedback_creates_dff_cycles_only(self):
+        """Feedback must be legal: validate() accepts it (cycles are
+        broken by flip-flops)."""
+        nl = RandomLogicGenerator().generate(
+            "t", 200, seed=6, dff_fraction=0.2, feedback_fraction=1.0
+        )
+        nl.validate()
+
+    def test_rejects_zero_gates(self):
+        with pytest.raises(ValueError):
+            RandomLogicGenerator().generate("t", 0, seed=0)
+
+    def test_few_dangling_outputs(self):
+        """The unused-queue heuristic keeps dangling logic rare."""
+        nl = RandomLogicGenerator().generate("t", 500, seed=8)
+        assert len(nl.primary_outputs) < 0.15 * nl.n_gates
+
+
+class TestStructuredGenerators:
+    @pytest.mark.parametrize("bits", [1, 4, 8])
+    def test_ripple_carry_adder_valid(self, bits):
+        nl = ripple_carry_adder("rca", bits)
+        nl.validate()
+        # 5 gates per bit; outputs = bits sums + carry out
+        assert nl.n_gates == 5 * bits
+        assert len(nl.primary_outputs) == bits + 1
+
+    def test_ripple_carry_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            ripple_carry_adder("rca", 0)
+
+    @pytest.mark.parametrize("bits", [2, 4, 7])
+    def test_array_multiplier_valid(self, bits):
+        nl = array_multiplier("mul", bits)
+        nl.validate()
+        # product has 2*bits output bits
+        assert len(nl.primary_outputs) == 2 * bits
+        assert nl.n_gates >= bits * bits  # at least the partial products
+
+    def test_array_multiplier_gate_count_scales_quadratically(self):
+        small = array_multiplier("m", 4).n_gates
+        large = array_multiplier("m", 8).n_gates
+        assert 3.0 < large / small <= 5.0
+
+    @pytest.mark.parametrize("width,n_trees", [(2, 1), (8, 1), (32, 4)])
+    def test_parity_tree_valid(self, width, n_trees):
+        nl = parity_tree("par", width, n_trees=n_trees)
+        nl.validate()
+        assert len(nl.primary_outputs) == n_trees
+
+    def test_parity_tree_is_pure_xor(self):
+        nl = parity_tree("par", 16, n_trees=2)
+        assert all(g.cell.function == "XOR2" for g in nl.gates.values())
+
+    def test_parity_trees_share_inputs(self):
+        """Reconvergence: later trees reuse the same primary inputs."""
+        nl = parity_tree("par", 16, n_trees=3, seed=1)
+        assert len(nl.primary_inputs) == 16
+        assert max(n.fanout for n in nl.signal_nets()) >= 2

@@ -1,0 +1,115 @@
+"""Netlist structural semantics and validation."""
+
+import pytest
+
+from repro.cells import default_library
+from repro.netlist import Netlist, NetlistError
+
+
+@pytest.fixture
+def lib():
+    return default_library()
+
+
+def tiny_netlist(lib):
+    """pi0, pi1 -> NAND2 g0 -> INV g1 -> po (n1)."""
+    nl = Netlist("tiny")
+    nl.add_primary_input("pi0")
+    nl.add_primary_input("pi1")
+    nl.add_gate("g0", lib["NAND2_X1"], {"A1": "pi0", "A2": "pi1", "ZN": "n0"})
+    nl.add_gate("g1", lib["INV_X1"], {"A": "n0", "ZN": "n1"})
+    nl.add_primary_output("n1")
+    return nl
+
+
+class TestConstruction:
+    def test_tiny_netlist_valid(self, lib):
+        nl = tiny_netlist(lib)
+        nl.validate()
+        assert nl.n_gates == 2
+        assert nl.total_sink_pins() == 4  # g0.A1, g0.A2, g1.A + the PO pad
+
+    def test_duplicate_gate_rejected(self, lib):
+        nl = tiny_netlist(lib)
+        with pytest.raises(NetlistError, match="duplicate"):
+            nl.add_gate("g0", lib["INV_X1"], {"A": "n1", "ZN": "n2"})
+
+    def test_wrong_pins_rejected(self, lib):
+        nl = Netlist("x")
+        nl.add_primary_input("a")
+        with pytest.raises(NetlistError, match="pins"):
+            nl.add_gate("g0", lib["INV_X1"], {"WRONG": "a", "ZN": "n0"})
+
+    def test_double_driver_rejected(self, lib):
+        nl = Netlist("x")
+        nl.add_primary_input("a")
+        nl.add_gate("g0", lib["INV_X1"], {"A": "a", "ZN": "n0"})
+        with pytest.raises(NetlistError, match="driven twice"):
+            nl.add_gate("g1", lib["INV_X1"], {"A": "a", "ZN": "n0"})
+
+    def test_driving_primary_input_rejected(self, lib):
+        nl = Netlist("x")
+        nl.add_primary_input("a")
+        with pytest.raises(NetlistError, match="already driven"):
+            nl.add_primary_input("a")
+
+
+class TestValidation:
+    def test_undriven_net_caught(self, lib):
+        nl = Netlist("x")
+        nl.add_gate("g0", lib["INV_X1"], {"A": "floating", "ZN": "n0"})
+        nl.add_primary_output("n0")
+        with pytest.raises(NetlistError, match="no driver"):
+            nl.validate()
+
+    def test_dangling_net_caught(self, lib):
+        nl = Netlist("x")
+        nl.add_primary_input("a")
+        nl.add_gate("g0", lib["INV_X1"], {"A": "a", "ZN": "n0"})
+        with pytest.raises(NetlistError, match="no sinks"):
+            nl.validate()
+
+    def test_combinational_cycle_caught(self, lib):
+        nl = Netlist("x")
+        nl.add_primary_input("a")
+        nl.add_gate("g0", lib["NAND2_X1"], {"A1": "a", "A2": "n1", "ZN": "n0"})
+        nl.add_gate("g1", lib["INV_X1"], {"A": "n0", "ZN": "n1"})
+        nl.add_primary_output("n0")
+        with pytest.raises(NetlistError, match="cycle"):
+            nl.validate()
+
+    def test_cycle_through_dff_is_legal(self, lib):
+        nl = Netlist("x")
+        nl.add_primary_input("a")
+        nl.add_gate("g0", lib["NAND2_X1"], {"A1": "a", "A2": "q", "ZN": "n0"})
+        nl.add_gate("ff", lib["DFF_X1"], {"D": "n0", "Q": "q"})
+        nl.add_primary_output("n0")
+        nl.validate()
+
+
+class TestQueries:
+    def test_driver_gate(self, lib):
+        nl = tiny_netlist(lib)
+        assert nl.driver_gate(nl.nets["n0"]).name == "g0"
+        assert nl.driver_gate(nl.nets["pi0"]) is None
+
+    def test_signal_nets_excludes_incomplete(self, lib):
+        nl = tiny_netlist(lib)
+        names = {n.name for n in nl.signal_nets()}
+        assert names == {"pi0", "pi1", "n0", "n1"}
+
+    def test_fanout_histogram(self, lib):
+        nl = tiny_netlist(lib)
+        hist = nl.fanout_histogram()
+        assert hist == {1: 4}
+
+    def test_topological_order(self, lib):
+        nl = tiny_netlist(lib)
+        order = nl.topological_order()
+        assert order.index("g0") < order.index("g1")
+
+    def test_stats_keys(self, lib):
+        stats = tiny_netlist(lib).stats()
+        assert stats["gates"] == 2
+        assert stats["sequential"] == 0
+        assert stats["primary_inputs"] == 2

@@ -1,0 +1,84 @@
+"""Structural Verilog writer/parser round-trips."""
+
+import pytest
+
+from repro.netlist import (
+    RandomLogicGenerator,
+    VerilogParseError,
+    parse_verilog,
+    ripple_carry_adder,
+    write_verilog,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_logic_roundtrip(self, seed):
+        original = RandomLogicGenerator().generate("rt", 60, seed=seed)
+        recovered = parse_verilog(write_verilog(original))
+        assert recovered.name == original.name
+        assert set(recovered.gates) == set(original.gates)
+        for name, gate in original.gates.items():
+            assert recovered.gates[name].connections == gate.connections
+            assert recovered.gates[name].cell.name == gate.cell.name
+        assert recovered.primary_inputs == original.primary_inputs
+        assert recovered.primary_outputs == original.primary_outputs
+
+    def test_sequential_roundtrip(self):
+        original = RandomLogicGenerator().generate(
+            "seq", 80, seed=3, dff_fraction=0.2
+        )
+        recovered = parse_verilog(write_verilog(original))
+        assert recovered.stats() == original.stats()
+
+    def test_structured_roundtrip(self):
+        original = ripple_carry_adder("rca8", 8)
+        recovered = parse_verilog(write_verilog(original))
+        assert recovered.stats() == original.stats()
+
+
+class TestWriter:
+    def test_output_is_plausible_verilog(self):
+        nl = ripple_carry_adder("rca2", 2)
+        text = write_verilog(nl)
+        assert text.startswith("module rca2 (")
+        assert "endmodule" in text
+        assert "XOR2_X1" in text
+        assert text.count("input ") == len(nl.primary_inputs)
+
+    def test_comments_stripped_on_parse(self):
+        nl = ripple_carry_adder("rca2", 2)
+        text = "// header comment\n" + write_verilog(nl).replace(
+            "endmodule", "/* tail */ endmodule"
+        )
+        recovered = parse_verilog(text)
+        assert recovered.stats() == nl.stats()
+
+
+class TestParserErrors:
+    def test_empty_input(self):
+        with pytest.raises(VerilogParseError, match="empty"):
+            parse_verilog("")
+
+    def test_unknown_cell(self):
+        text = (
+            "module m (a, z);\n  input a;\n  output z;\n"
+            "  MYSTERY_X9 g0 (.A(a), .ZN(z));\nendmodule\n"
+        )
+        with pytest.raises(VerilogParseError, match="MYSTERY_X9"):
+            parse_verilog(text)
+
+    def test_invalid_netlist_rejected(self):
+        # z is declared output but never driven
+        text = (
+            "module m (a, z);\n  input a;\n  output z;\n"
+            "  wire n0;\n  INV_X1 g0 (.A(a), .ZN(n0));\n"
+            "  INV_X1 g1 (.A(n0), .ZN(z));\n  INV_X1 g2 (.A(a), .ZN(n0));\n"
+            "endmodule\n"
+        )
+        with pytest.raises(VerilogParseError):
+            parse_verilog(text)
+
+    def test_truncated_input(self):
+        with pytest.raises(VerilogParseError):
+            parse_verilog("module m (a")

@@ -1,0 +1,112 @@
+"""im2col / col2im correctness, including the Table 2 size progression."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import col2im, conv_output_size, im2col, same_padding
+
+
+def naive_conv2d(x, weight, kernel, stride):
+    """Reference direct convolution (SAME padding), NCHW."""
+    n, c, h, w = x.shape
+    out_c = weight.shape[1]
+    ph = same_padding(h, kernel, stride)
+    pw = same_padding(w, kernel, stride)
+    xp = np.pad(x, ((0, 0), (0, 0), ph, pw))
+    oh = conv_output_size(h, kernel, stride)
+    ow = conv_output_size(w, kernel, stride)
+    out = np.zeros((n, out_c, oh, ow))
+    w4 = weight.reshape(c, kernel, kernel, out_c)
+    for i in range(oh):
+        for j in range(ow):
+            patch = xp[:, :, i * stride : i * stride + kernel, j * stride : j * stride + kernel]
+            out[:, :, i, j] = np.einsum("nckl,cklo->no", patch, w4)
+    return out
+
+
+class TestPadding:
+    def test_table2_progression(self):
+        """99 -> 33 -> 11 -> 4 with kernel 3 stride 3, exactly as Table 2."""
+        sizes = [99]
+        for _ in range(3):
+            sizes.append(conv_output_size(sizes[-1], kernel=3, stride=3))
+        assert sizes == [99, 33, 11, 4]
+
+    def test_stride1_keeps_size(self):
+        for size in (1, 2, 7, 33, 99):
+            assert conv_output_size(size, 3, 1) == size
+
+    def test_same_padding_stride1_kernel3(self):
+        assert same_padding(9, 3, 1) == (1, 1)
+
+    def test_same_padding_no_pad_when_divisible(self):
+        assert same_padding(99, 3, 3) == (0, 0)
+
+    def test_same_padding_indivisible(self):
+        before, after = same_padding(11, 3, 3)
+        assert (before, after) == (0, 1)
+
+
+class TestIm2col:
+    def test_matches_naive_convolution_stride1(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 3, 7, 6))
+        weight = rng.standard_normal((3 * 9, 4))
+        cols, _ = im2col(x, kernel=3, stride=1)
+        out = (cols @ weight).reshape(2, 7, 6, 4).transpose(0, 3, 1, 2)
+        np.testing.assert_allclose(out, naive_conv2d(x, weight, 3, 1), atol=1e-12)
+
+    def test_matches_naive_convolution_stride3(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((1, 2, 11, 11))
+        weight = rng.standard_normal((2 * 9, 5))
+        cols, _ = im2col(x, kernel=3, stride=3)
+        oh = conv_output_size(11, 3, 3)
+        out = (cols @ weight).reshape(1, oh, oh, 5).transpose(0, 3, 1, 2)
+        np.testing.assert_allclose(out, naive_conv2d(x, weight, 3, 3), atol=1e-12)
+
+    def test_single_pixel_image(self):
+        x = np.arange(3.0).reshape(1, 3, 1, 1)
+        cols, _ = im2col(x, kernel=3, stride=1)
+        assert cols.shape == (1, 27)
+        # centre taps hold the pixel, the rest is padding
+        assert np.count_nonzero(cols) == 2  # channels 1 and 2 are non-zero
+
+    @given(
+        n=st.integers(1, 2),
+        c=st.integers(1, 3),
+        h=st.integers(1, 9),
+        w=st.integers(1, 9),
+        stride=st.sampled_from([1, 2, 3]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_shapes(self, n, c, h, w, stride):
+        x = np.zeros((n, c, h, w))
+        cols, padded = im2col(x, kernel=3, stride=stride)
+        oh = conv_output_size(h, 3, stride)
+        ow = conv_output_size(w, 3, stride)
+        assert cols.shape == (n * oh * ow, c * 9)
+        assert padded[0] == n and padded[1] == c
+
+
+class TestCol2imAdjoint:
+    """col2im must be the exact adjoint of im2col: <Ax, y> == <x, A*y>."""
+
+    @given(
+        c=st.integers(1, 3),
+        h=st.integers(1, 8),
+        w=st.integers(1, 8),
+        stride=st.sampled_from([1, 2, 3]),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_adjoint_property(self, c, h, w, stride, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((1, c, h, w))
+        cols, padded = im2col(x, kernel=3, stride=stride)
+        y = rng.standard_normal(cols.shape)
+        back = col2im(y, padded, (h, w), kernel=3, stride=stride)
+        np.testing.assert_allclose(
+            np.sum(cols * y), np.sum(x * back), rtol=1e-10, atol=1e-10
+        )

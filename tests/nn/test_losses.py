@@ -1,0 +1,159 @@
+"""Loss semantics: Eq. (3)/(6) values and Eq. (4)/(7) gradient identities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    check_loss_gradients,
+    softmax_probabilities,
+    softmax_regression_loss,
+    two_class_loss,
+    two_class_probabilities,
+)
+
+
+class TestSoftmaxRegressionLoss:
+    def test_uniform_scores_loss_is_log_n(self):
+        scores = np.zeros((1, 8))
+        loss, _ = softmax_regression_loss(scores, np.array([3]))
+        assert loss == pytest.approx(np.log(8))
+
+    def test_perfect_prediction_loss_near_zero(self):
+        scores = np.full((1, 5), -50.0)
+        scores[0, 2] = 50.0
+        loss, _ = softmax_regression_loss(scores, np.array([2]))
+        assert loss < 1e-6
+
+    def test_gradient_is_softmax_minus_onehot(self):
+        """Eq. (7): dl/ds_j = p_j - [j == t]."""
+        rng = np.random.default_rng(0)
+        scores = rng.standard_normal((1, 6))
+        _, grad = softmax_regression_loss(scores, np.array([4]))
+        prob = softmax_probabilities(scores)
+        expected = prob.copy()
+        expected[0, 4] -= 1.0
+        np.testing.assert_allclose(grad, expected, rtol=1e-6)
+
+    def test_gradient_rows_sum_to_zero(self):
+        """Paper Sec 4.3: positive and negative gradient parts balance."""
+        rng = np.random.default_rng(1)
+        scores = rng.standard_normal((7, 9))
+        _, grad = softmax_regression_loss(scores, np.arange(7) % 9)
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(2)
+        scores = rng.standard_normal((3, 5))
+        check_loss_gradients(
+            softmax_regression_loss, scores, np.array([0, 2, 4])
+        )
+
+    def test_mask_excludes_candidates(self):
+        scores = np.array([[0.0, 100.0, 0.0]])
+        mask = np.array([[True, False, True]])
+        loss_masked, grad = softmax_regression_loss(scores, np.array([0]), mask)
+        assert loss_masked == pytest.approx(np.log(2))
+        assert grad[0, 1] == 0.0
+
+    def test_mask_gradcheck(self):
+        rng = np.random.default_rng(3)
+        scores = rng.standard_normal((2, 4))
+        mask = np.array([[True, True, False, True], [True, True, True, False]])
+        check_loss_gradients(
+            softmax_regression_loss, scores, np.array([1, 0]), mask
+        )
+
+    def test_rejects_masked_target(self):
+        with pytest.raises(ValueError, match="masked"):
+            softmax_regression_loss(
+                np.zeros((1, 3)), np.array([1]), np.array([[True, False, True]])
+            )
+
+    def test_rejects_target_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            softmax_regression_loss(np.zeros((1, 3)), np.array([3]))
+
+    def test_extreme_scores_stay_finite(self):
+        scores = np.array([[1000.0, -1000.0, 500.0]])
+        loss, grad = softmax_regression_loss(scores, np.array([1]))
+        assert np.isfinite(loss)
+        assert np.all(np.isfinite(grad))
+
+    @given(
+        n=st.integers(2, 12),
+        t=st.integers(0, 11),
+        seed=st.integers(0, 9999),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_loss_positive_and_grad_balanced(self, n, t, seed):
+        t = t % n
+        rng = np.random.default_rng(seed)
+        scores = rng.standard_normal((1, n)) * 3
+        loss, grad = softmax_regression_loss(scores, np.array([t]))
+        assert loss >= 0.0
+        assert grad[0, t] <= 0.0  # target pushed up
+        assert np.all(np.delete(grad[0], t) >= 0.0)  # others pushed down
+        np.testing.assert_allclose(grad.sum(), 0.0, atol=1e-12)
+
+
+class TestTwoClassLoss:
+    def test_uniform_scores_loss_is_log2(self):
+        scores = np.zeros((1, 4, 2))
+        loss, _ = two_class_loss(scores, np.array([1]))
+        assert loss == pytest.approx(np.log(2))
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(4)
+        scores = rng.standard_normal((2, 4, 2))
+        check_loss_gradients(two_class_loss, scores, np.array([0, 3]))
+
+    def test_gradient_antisymmetry(self):
+        """Eq. (4): dl/ds+ = -dl/ds- for every candidate."""
+        rng = np.random.default_rng(5)
+        scores = rng.standard_normal((3, 5, 2))
+        _, grad = two_class_loss(scores, np.array([0, 1, 2]))
+        np.testing.assert_allclose(grad[..., 0], -grad[..., 1], atol=1e-12)
+
+    def test_imbalance_the_paper_criticises(self):
+        """With many candidates, the positive sample's gradient share shrinks
+        like 1/n — the imbalance problem motivating Eq. (6)."""
+        scores = np.zeros((1, 50, 2))
+        _, grad = two_class_loss(scores, np.array([0]))
+        positive_pull = abs(grad[0, 0, 1])
+        negative_push = np.abs(grad[0, 1:, 1]).sum()
+        assert negative_push > 10 * positive_pull
+
+    def test_probabilities_sum_correctly(self):
+        rng = np.random.default_rng(6)
+        scores = rng.standard_normal((2, 3, 2))
+        p = two_class_probabilities(scores)
+        assert p.shape == (2, 3)
+        assert np.all((p > 0) & (p < 1))
+
+    def test_mask_zeroes_padded_gradient(self):
+        scores = np.zeros((1, 3, 2))
+        mask = np.array([[True, True, False]])
+        _, grad = two_class_loss(scores, np.array([0]), mask)
+        np.testing.assert_allclose(grad[0, 2], 0.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match=r"\(batch, n, 2\)"):
+            two_class_loss(np.zeros((1, 3)), np.array([0]))
+
+
+class TestLossComparison:
+    def test_softmax_separates_top_candidate_better(self):
+        """The softmax loss focuses gradient on the most confusable negative
+        (the argmax), unlike the two-class loss — the core claim of Sec 4.3."""
+        scores = np.array([[2.0, 1.9, -3.0, -3.0]])  # candidate 1 nearly wins
+        _, grad_soft = softmax_regression_loss(scores, np.array([0]))
+        # gradient on the near-winner dominates the far losers
+        assert grad_soft[0, 1] > 5 * grad_soft[0, 2]
+
+        two = np.stack([np.zeros_like(scores), scores], axis=-1)
+        _, grad_two = two_class_loss(two, np.array([0]))
+        ratio_soft = grad_soft[0, 1] / max(grad_soft[0, 2], 1e-12)
+        ratio_two = grad_two[0, 1, 1] / max(grad_two[0, 2, 1], 1e-12)
+        assert ratio_soft > ratio_two

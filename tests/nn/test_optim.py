@@ -1,0 +1,101 @@
+"""Optimiser and LR-schedule behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Parameter, StepDecay
+
+
+def quadratic_problem(seed=0):
+    """Minimise ||x - target||^2; returns (param, target, step_fn)."""
+    rng = np.random.default_rng(seed)
+    target = rng.standard_normal(6)
+    p = Parameter(np.zeros(6))
+
+    def compute_grad():
+        p.grad[...] = 2.0 * (p.value - target)
+
+    return p, target, compute_grad
+
+
+class TestSGD:
+    def test_single_step_math(self):
+        p = Parameter(np.array([1.0, 2.0]))
+        p.grad[...] = np.array([0.5, -0.5])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.value, [0.95, 2.05])
+
+    def test_momentum_accumulates(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad[...] = 1.0
+        opt.step()
+        first = p.value.copy()
+        p.grad[...] = 1.0
+        opt.step()
+        # second step moves further than the first (velocity built up)
+        assert abs(p.value[0] - first[0]) > abs(first[0])
+
+    def test_converges_on_quadratic(self):
+        p, target, compute_grad = quadratic_problem()
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            compute_grad()
+            opt.step()
+        np.testing.assert_allclose(p.value, target, atol=1e-6)
+
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p, target, compute_grad = quadratic_problem(seed=3)
+        opt = Adam([p], lr=0.05)
+        for _ in range(500):
+            opt.zero_grad()
+            compute_grad()
+            opt.step()
+        np.testing.assert_allclose(p.value, target, atol=1e-4)
+
+    def test_first_step_size_is_lr(self):
+        """With bias correction, the first Adam step is ~lr regardless of
+        gradient magnitude."""
+        for scale in (1e-3, 1.0, 1e3):
+            p = Parameter(np.zeros(1))
+            opt = Adam([p], lr=0.01)
+            p.grad[...] = scale
+            opt.step()
+            assert p.value[0] == pytest.approx(-0.01, rel=1e-4)
+
+    def test_zero_grad(self):
+        p = Parameter(np.zeros(2))
+        opt = Adam([p])
+        p.grad[...] = 5.0
+        opt.zero_grad()
+        assert np.all(p.grad == 0)
+
+
+class TestStepDecay:
+    def test_paper_schedule(self):
+        """lr = 0.001 decayed to 60% every 20 epochs."""
+        p = Parameter(np.zeros(1))
+        opt = Adam([p], lr=1e-3)
+        sched = StepDecay(opt, factor=0.6, every=20)
+        lrs = [sched.step_epoch() for _ in range(60)]
+        assert lrs[18] == pytest.approx(1e-3)
+        assert lrs[19] == pytest.approx(0.6e-3)  # epoch 20
+        assert lrs[39] == pytest.approx(0.36e-3)  # epoch 40
+        assert lrs[59] == pytest.approx(0.216e-3)  # epoch 60
+
+    def test_rejects_bad_factor(self):
+        p = Parameter(np.zeros(1))
+        with pytest.raises(ValueError):
+            StepDecay(Adam([p]), factor=1.5)
+
+    def test_rejects_bad_interval(self):
+        p = Parameter(np.zeros(1))
+        with pytest.raises(ValueError):
+            StepDecay(Adam([p]), every=0)

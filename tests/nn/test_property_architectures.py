@@ -1,0 +1,114 @@
+"""Property-based checks over randomly composed architectures."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    Conv2D,
+    Dense,
+    GlobalAvgPool,
+    LeakyReLU,
+    ResidualBlock,
+    Sequential,
+    check_module_gradients,
+    conv_output_size,
+)
+
+
+@st.composite
+def mlp_architectures(draw):
+    """A random small MLP: widths, residual blocks, seeds."""
+    n_layers = draw(st.integers(1, 3))
+    widths = [draw(st.integers(2, 6)) for _ in range(n_layers + 1)]
+    use_res = draw(st.booleans())
+    seed = draw(st.integers(0, 10_000))
+    return widths, use_res, seed
+
+
+class TestRandomMLPs:
+    @given(arch=mlp_architectures(), batch=st.integers(1, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_gradients_correct_for_any_architecture(self, arch, batch):
+        widths, use_res, seed = arch
+        rng = np.random.default_rng(seed)
+        layers = []
+        for w_in, w_out in zip(widths, widths[1:]):
+            layers.append(Dense(w_in, w_out, rng=rng))
+            layers.append(LeakyReLU())
+        if use_res:
+            layers.append(ResidualBlock(widths[-1], n_layers=1, rng=rng))
+        net = Sequential(*layers)
+        x = rng.standard_normal((batch, widths[0]))
+        x = np.where(np.abs(x) < 0.05, x + 0.1, x)  # keep off ReLU kinks
+        check_module_gradients(net, x, atol=1e-5)
+
+    @given(arch=mlp_architectures())
+    @settings(max_examples=10, deadline=None)
+    def test_save_load_roundtrip_any_architecture(self, arch, tmp_path_factory):
+        widths, use_res, seed = arch
+        rng = np.random.default_rng(seed)
+        layers = []
+        for w_in, w_out in zip(widths, widths[1:]):
+            layers.append(Dense(w_in, w_out, rng=rng))
+        if use_res:
+            layers.append(ResidualBlock(widths[-1], n_layers=1, rng=rng))
+        net = Sequential(*layers)
+        x = rng.standard_normal((2, widths[0])).astype(np.float64)
+        expected = net(x)
+
+        state = net.state_dict()
+        rng2 = np.random.default_rng(seed + 1)
+        layers2 = []
+        for w_in, w_out in zip(widths, widths[1:]):
+            layers2.append(Dense(w_in, w_out, rng=rng2))
+        if use_res:
+            layers2.append(ResidualBlock(widths[-1], n_layers=1, rng=rng2))
+        other = Sequential(*layers2)
+        other.load_state_dict(state)
+        np.testing.assert_allclose(other(x), expected, rtol=1e-6)
+
+
+class TestRandomConvStacks:
+    @given(
+        channels=st.lists(st.integers(1, 4), min_size=1, max_size=3),
+        strides=st.lists(st.sampled_from([1, 2, 3]), min_size=1, max_size=3),
+        size=st.integers(5, 15),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_spatial_dims_follow_stride_product(
+        self, channels, strides, size, seed
+    ):
+        strides = strides[: len(channels)]
+        channels = channels[: len(strides)]
+        rng = np.random.default_rng(seed)
+        layers = []
+        in_ch = 2
+        for ch, stride in zip(channels, strides):
+            layers.append(Conv2D(in_ch, ch, stride=stride, rng=rng))
+            layers.append(LeakyReLU())
+            in_ch = ch
+        net = Sequential(*layers)
+        x = rng.standard_normal((1, 2, size, size)).astype(np.float32)
+        out = net(x)
+        expected = size
+        for stride in strides:
+            expected = conv_output_size(expected, 3, stride)
+        assert out.shape == (1, channels[-1], expected, expected)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=8, deadline=None)
+    def test_conv_pool_dense_pipeline_backward_shapes(self, seed):
+        rng = np.random.default_rng(seed)
+        net = Sequential(
+            Conv2D(1, 3, stride=2, rng=rng),
+            LeakyReLU(),
+            GlobalAvgPool(),
+            Dense(3, 2, rng=rng),
+        )
+        x = rng.standard_normal((2, 1, 7, 7)).astype(np.float32)
+        out = net(x)
+        grad = net.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+        assert all(np.isfinite(p.grad).all() for p in net.parameters())

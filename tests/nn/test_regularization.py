@@ -1,0 +1,140 @@
+"""Dropout, gradient clipping and weight decay."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dense,
+    Dropout,
+    Parameter,
+    Sequential,
+    apply_weight_decay,
+    clip_gradient_norm,
+)
+
+
+class TestDropout:
+    def test_identity_in_eval_mode(self):
+        layer = Dropout(0.5)
+        layer.eval()
+        x = np.random.default_rng(0).standard_normal((4, 8))
+        np.testing.assert_array_equal(layer(x), x)
+
+    def test_zero_rate_is_identity(self):
+        layer = Dropout(0.0)
+        x = np.ones((3, 3))
+        np.testing.assert_array_equal(layer(x), x)
+
+    def test_training_mode_zeroes_and_rescales(self):
+        layer = Dropout(0.5, seed=1)
+        layer.train()
+        x = np.ones((200, 50))
+        out = layer(x)
+        zero_fraction = (out == 0).mean()
+        assert 0.4 < zero_fraction < 0.6
+        kept = out[out != 0]
+        np.testing.assert_allclose(kept, 2.0)  # inverted dropout scaling
+
+    def test_expectation_preserved(self):
+        layer = Dropout(0.3, seed=2)
+        layer.train()
+        x = np.ones((500, 100))
+        assert layer(x).mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(0.5, seed=3)
+        layer.train()
+        x = np.ones((10, 10))
+        out = layer(x)
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad == 0, out == 0)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_in_sequential_pipeline(self):
+        rng = np.random.default_rng(4)
+        net = Sequential(Dense(4, 4, rng=rng), Dropout(0.5, seed=5))
+        net.train()
+        x = rng.standard_normal((6, 4))
+        out = net(x)
+        grad = net.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+
+class TestClipGradientNorm:
+    def test_small_gradients_untouched(self):
+        p = Parameter(np.zeros(4))
+        p.grad[...] = 0.1
+        norm = clip_gradient_norm([p], max_norm=10.0)
+        assert norm == pytest.approx(0.2)
+        np.testing.assert_allclose(p.grad, 0.1)
+
+    def test_large_gradients_scaled_to_max(self):
+        p = Parameter(np.zeros(4))
+        p.grad[...] = 100.0
+        clip_gradient_norm([p], max_norm=1.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_global_norm_across_parameters(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        a.grad[...] = 3.0
+        b.grad[...] = 4.0
+        norm = clip_gradient_norm([a, b], max_norm=2.5)
+        assert norm == pytest.approx(5.0)
+        # proportions preserved after scaling
+        assert a.grad[0] / b.grad[0] == pytest.approx(0.75)
+
+    def test_rejects_bad_norm(self):
+        with pytest.raises(ValueError):
+            clip_gradient_norm([Parameter(np.zeros(1))], max_norm=0.0)
+
+
+class TestWeightDecay:
+    def test_weights_shrink(self):
+        w = Parameter(np.full((2, 2), 10.0))
+        apply_weight_decay([w], decay=0.1, lr=0.5)
+        np.testing.assert_allclose(w.value, 10.0 - 0.5 * 0.1 * 10.0)
+
+    def test_biases_untouched(self):
+        b = Parameter(np.full(4, 10.0))  # 1-D: a bias
+        apply_weight_decay([b], decay=0.1, lr=0.5)
+        np.testing.assert_allclose(b.value, 10.0)
+
+    def test_zero_decay_noop(self):
+        w = Parameter(np.full((2, 2), 3.0))
+        apply_weight_decay([w], decay=0.0, lr=0.5)
+        np.testing.assert_allclose(w.value, 3.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            apply_weight_decay([Parameter(np.zeros((2, 2)))], -0.1, 0.1)
+
+
+class TestConfigIntegration:
+    def test_regularised_attack_trains(self):
+        """The knobs compose with the full attack without breaking it."""
+        from repro.core import AttackConfig, DLAttack
+        from repro.layout import build_layout
+        from repro.netlist import RandomLogicGenerator
+        from repro.split import split_design
+
+        nl = RandomLogicGenerator().generate("reg", 50, seed=401)
+        split = split_design(build_layout(nl), 3)
+        cfg = AttackConfig.tiny().with_(
+            epochs=3, dropout=0.2, weight_decay=1e-4, grad_clip=5.0
+        )
+        attack = DLAttack(cfg, split_layer=3)
+        attack.train([split])
+        assert attack.log.losses[-1] < attack.log.losses[0] * 2
+
+    def test_config_validation(self):
+        from repro.core import AttackConfig
+
+        with pytest.raises(ValueError):
+            AttackConfig(dropout=1.5)
+        with pytest.raises(ValueError):
+            AttackConfig(weight_decay=-1.0)
+        with pytest.raises(ValueError):
+            AttackConfig(grad_clip=0.0)

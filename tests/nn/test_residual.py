@@ -1,0 +1,58 @@
+"""Residual block semantics: y = x + F(x), gradients flow through both paths."""
+
+import numpy as np
+
+from repro.nn import Dense, ResidualBlock, check_module_gradients
+
+
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestResidualBlock:
+    def test_zero_branch_is_identity(self):
+        block = ResidualBlock(4, n_layers=2, rng=rng())
+        for layer in block.layers:
+            if isinstance(layer, Dense):
+                layer.weight.value[...] = 0.0
+                layer.bias.value[...] = 0.0
+        x = rng().standard_normal((3, 4))
+        np.testing.assert_allclose(block(x), x)
+
+    def test_output_is_input_plus_branch(self):
+        block = ResidualBlock(4, n_layers=3, rng=rng())
+        x = rng().standard_normal((2, 4))
+        out = block(x)
+        branch = x.copy()
+        for layer in block.layers:
+            branch = layer(branch)
+        np.testing.assert_allclose(out, x + branch, rtol=1e-6)
+
+    def test_three_fc_layers_by_default(self):
+        block = ResidualBlock(8, rng=rng())
+        dense_layers = [l for l in block.layers if isinstance(l, Dense)]
+        assert len(dense_layers) == 3
+        assert all(l.weight.shape == (8, 8) for l in dense_layers)
+
+    def test_skip_connection_passes_gradient_even_with_dead_branch(self):
+        block = ResidualBlock(3, n_layers=1, rng=rng())
+        for layer in block.layers:
+            if isinstance(layer, Dense):
+                layer.weight.value[...] = 0.0
+                layer.bias.value[...] = -10.0  # LeakyReLU mostly closed
+        x = rng().standard_normal((2, 3))
+        block(x)
+        grad = block.backward(np.ones((2, 3)))
+        # skip path alone guarantees gradient magnitude >= ~1
+        assert np.all(np.abs(grad) >= 0.9)
+
+    def test_gradcheck(self):
+        block = ResidualBlock(3, n_layers=2, rng=rng())
+        x = rng().standard_normal((4, 3))
+        x = np.where(np.abs(x) < 0.05, x + 0.1, x)
+        check_module_gradients(block, x, atol=1e-5)
+
+    def test_gradcheck_grouped_input(self):
+        block = ResidualBlock(2, n_layers=1, rng=rng())
+        x = rng().standard_normal((2, 3, 2)) + 0.2
+        check_module_gradients(block, x, atol=1e-5)

@@ -1,0 +1,117 @@
+"""Fragment extraction invariants (paper Fig. 1 semantics)."""
+
+import pytest
+
+from repro.layout import build_layout
+from repro.netlist import RandomLogicGenerator
+from repro.split import SINK, SOURCE, extract_fragments, split_design
+from repro.split.fragments import THROUGH
+
+
+@pytest.fixture(scope="module")
+def design():
+    nl = RandomLogicGenerator().generate("splittest", 120, seed=31)
+    return build_layout(nl)
+
+
+@pytest.fixture(scope="module", params=[1, 3])
+def split(design, request):
+    return split_design(design, request.param)
+
+
+class TestExtraction:
+    def test_rejects_bad_layer(self, design):
+        with pytest.raises(ValueError):
+            extract_fragments(design, 0)
+        with pytest.raises(ValueError):
+            extract_fragments(design, design.floorplan.n_layers)
+
+    def test_fragments_partition_cut_net_wiring(self, split):
+        """Per net, fragments are disjoint and cover all FEOL nodes."""
+        by_net = {}
+        for frag in split.fragments:
+            by_net.setdefault(frag.net, []).append(frag)
+        for net, frags in by_net.items():
+            route = split.design.routes[net]
+            feol = {n for n in route.nodes if n[0] <= split.split_layer}
+            union = set()
+            for frag in frags:
+                assert not (union & frag.nodes), f"{net}: overlapping fragments"
+                union |= frag.nodes
+            assert union == feol, f"{net}: fragments don't cover FEOL wiring"
+
+    def test_fragment_wiring_stays_feol(self, split):
+        for frag in split.fragments:
+            assert all(n[0] <= split.split_layer for n in frag.nodes)
+            for a, b in frag.edges:
+                assert a[0] <= split.split_layer
+                assert b[0] <= split.split_layer
+
+    def test_every_fragment_has_virtual_pins(self, split):
+        for frag in split.fragments:
+            assert frag.virtual_pins, f"fragment {frag.fragment_id} has no VPs"
+
+    def test_one_source_fragment_per_cut_net(self, split):
+        by_net = {}
+        for frag in split.fragments:
+            if frag.kind == SOURCE:
+                by_net.setdefault(frag.net, []).append(frag)
+        for frags in by_net.values():
+            assert len(frags) == 1
+
+    def test_truth_maps_sink_to_same_net_source(self, split):
+        for sink_id, source_id in split.truth.items():
+            sink = split.fragment(sink_id)
+            source = split.fragment(source_id)
+            assert sink.kind == SINK
+            assert source.kind == SOURCE
+            assert sink.net == source.net
+
+    def test_every_sink_fragment_in_truth(self, split):
+        for frag in split.sink_fragments:
+            assert frag.fragment_id in split.truth
+
+    def test_sink_counts_positive(self, split):
+        for frag in split.sink_fragments:
+            assert frag.n_sinks >= 1
+
+    def test_source_fragments_contain_driver(self, split):
+        for frag in split.source_fragments:
+            assert frag.driver is not None
+
+    def test_through_fragments_have_no_pins(self, split):
+        for frag in split.through_fragments:
+            assert frag.kind == THROUGH
+            assert frag.driver is None
+            assert not frag.sinks
+
+    def test_uncut_nets_produce_no_fragments(self, split):
+        fragment_nets = {f.net for f in split.fragments}
+        for name, route in split.design.routes.items():
+            crosses = any(n[0] > split.split_layer for n in route.nodes)
+            if not crosses:
+                assert name not in fragment_nets
+
+    def test_virtual_pins_sit_on_split_layer_wiring(self, split):
+        for frag in split.fragments:
+            for vp in frag.virtual_pins:
+                assert (split.split_layer, vp.x, vp.y) in frag.nodes
+
+
+class TestFragmentGeometry:
+    def test_wirelength_by_layer_totals(self, split):
+        for frag in split.fragments:
+            total = sum(frag.wirelength_by_layer().values())
+            wire_edges = [e for e in frag.edges if e[0][0] == e[1][0]]
+            assert total == len(wire_edges)
+
+    def test_m1_split_counts_more_hidden_pins_than_m3(self, design):
+        m1 = split_design(design, 1)
+        m3 = split_design(design, 3)
+        assert m1.n_hidden_sink_pins > m3.n_hidden_sink_pins
+        assert len(m1.sink_fragments) > len(m3.sink_fragments)
+
+    def test_stats_keys(self, split):
+        stats = split.stats()
+        assert stats["sink_fragments"] == len(split.sink_fragments)
+        assert stats["hidden_sink_pins"] == split.n_hidden_sink_pins

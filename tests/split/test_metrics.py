@@ -1,0 +1,81 @@
+"""CCR (Eq. 1) and list-metric semantics."""
+
+import pytest
+
+from repro.layout import build_layout
+from repro.netlist import RandomLogicGenerator
+from repro.split import (
+    candidate_list_recall,
+    ccr,
+    fragment_accuracy,
+    mean_candidate_list_size,
+    split_design,
+)
+
+
+@pytest.fixture(scope="module")
+def split():
+    nl = RandomLogicGenerator().generate("metrictest", 60, seed=41)
+    return split_design(build_layout(nl), 1)
+
+
+class TestCCR:
+    def test_perfect_assignment_is_100(self, split):
+        assert ccr(split, dict(split.truth)) == pytest.approx(100.0)
+
+    def test_empty_assignment_is_0(self, split):
+        assert ccr(split, {}) == pytest.approx(0.0)
+
+    def test_wrong_assignment_is_0(self, split):
+        sources = [f.fragment_id for f in split.source_fragments]
+        wrong = {}
+        for sink_id, true_src in split.truth.items():
+            wrong[sink_id] = next(s for s in sources if s != true_src)
+        assert ccr(split, wrong) == pytest.approx(0.0)
+
+    def test_sink_weighted(self, split):
+        """Eq. 1 weights fragments by their sink count c_i."""
+        frags = sorted(
+            split.sink_fragments, key=lambda f: f.n_sinks, reverse=True
+        )
+        heaviest = frags[0]
+        only_heaviest = {
+            heaviest.fragment_id: split.truth[heaviest.fragment_id]
+        }
+        expected = 100.0 * heaviest.n_sinks / split.n_hidden_sink_pins
+        assert ccr(split, only_heaviest) == pytest.approx(expected)
+
+    def test_partial_between_bounds(self, split):
+        half = dict(list(split.truth.items())[::2])
+        value = ccr(split, half)
+        assert 0.0 < value < 100.0
+
+    def test_monotone_in_correct_picks(self, split):
+        items = list(split.truth.items())
+        prev = 0.0
+        for k in range(0, len(items) + 1, max(1, len(items) // 4)):
+            value = ccr(split, dict(items[:k]))
+            assert value >= prev
+            prev = value
+
+
+class TestFragmentAccuracy:
+    def test_matches_ccr_direction(self, split):
+        assert fragment_accuracy(split, dict(split.truth)) == 100.0
+        assert fragment_accuracy(split, {}) == 0.0
+
+
+class TestListMetrics:
+    def test_recall_full_lists(self, split):
+        lists = {
+            f.fragment_id: [split.truth[f.fragment_id]]
+            for f in split.sink_fragments
+        }
+        assert candidate_list_recall(split, lists) == 100.0
+
+    def test_recall_empty_lists(self, split):
+        assert candidate_list_recall(split, {}) == 0.0
+
+    def test_mean_size(self):
+        assert mean_candidate_list_size({1: [1, 2], 2: [3, 4, 5, 6]}) == 3.0
+        assert mean_candidate_list_size({}) == 0.0

@@ -1,0 +1,100 @@
+"""SplitLayout API: deltas, occupancy, truth queries."""
+
+import numpy as np
+import pytest
+
+from repro.layout import build_layout
+from repro.netlist import RandomLogicGenerator
+from repro.split import VPP, split_design
+
+
+@pytest.fixture(scope="module")
+def design():
+    nl = RandomLogicGenerator().generate("sltest", 80, seed=131)
+    return build_layout(nl)
+
+
+@pytest.fixture(scope="module")
+def split_m1(design):
+    return split_design(design, 1)
+
+
+@pytest.fixture(scope="module")
+def split_m2(design):
+    return split_design(design, 2)
+
+
+class TestAxes:
+    def test_m1_preferred_axis_is_x(self, split_m1):
+        assert split_m1.preferred_axis == 0
+
+    def test_m2_preferred_axis_is_y(self, split_m2):
+        assert split_m2.preferred_axis == 1
+
+    def test_vpp_deltas_respect_axis(self, split_m1, split_m2):
+        for split in (split_m1, split_m2):
+            sink = split.sink_fragments[0]
+            source = split.source_fragments[0]
+            vpp = VPP(sink.virtual_pins[0], source.virtual_pins[0])
+            d_p, d_n = split.vpp_deltas(vpp)
+            dx = source.virtual_pins[0].x - sink.virtual_pins[0].x
+            dy = source.virtual_pins[0].y - sink.virtual_pins[0].y
+            if split.preferred_axis == 0:
+                assert (d_p, d_n) == (dx, dy)
+            else:
+                assert (d_p, d_n) == (dy, dx)
+
+
+class TestTruthQueries:
+    def test_is_positive_matches_truth(self, split_m1):
+        sink = split_m1.sink_fragments[0]
+        true_source = split_m1.fragment(split_m1.truth[sink.fragment_id])
+        positive = VPP(sink.virtual_pins[0], true_source.virtual_pins[0])
+        assert split_m1.is_positive(positive)
+        other = next(
+            f
+            for f in split_m1.source_fragments
+            if f.fragment_id != true_source.fragment_id
+        )
+        negative = VPP(sink.virtual_pins[0], other.virtual_pins[0])
+        assert not split_m1.is_positive(negative)
+
+    def test_fragment_lookup(self, split_m1):
+        for frag in split_m1.fragments[:5]:
+            assert split_m1.fragment(frag.fragment_id) is frag
+
+    def test_unknown_fragment_raises(self, split_m1):
+        with pytest.raises(KeyError):
+            split_m1.fragment(10**9)
+
+
+class TestOccupancy:
+    def test_shape_tracks_split_layer(self, design, split_m1, split_m2):
+        fp = design.floorplan
+        assert split_m1.occupancy_grids().shape == (1, fp.width, fp.height)
+        assert split_m2.occupancy_grids().shape == (2, fp.width, fp.height)
+
+    def test_counts_match_routes(self, design, split_m2):
+        occ = split_m2.occupancy_grids()
+        expected = np.zeros_like(occ)
+        for route in design.routes.values():
+            for layer, x, y in route.nodes:
+                if layer <= 2:
+                    expected[layer - 1, x, y] += 1
+        np.testing.assert_array_equal(occ, expected)
+
+    def test_nonempty_where_wiring_exists(self, split_m1):
+        assert split_m1.occupancy_grids().sum() > 0
+
+
+class TestStatsConsistency:
+    def test_hidden_pins_bounded_by_total(self, design, split_m1):
+        total_sinks = design.netlist.total_sink_pins()
+        assert 0 < split_m1.n_hidden_sink_pins <= total_sinks
+
+    def test_multi_vp_counter(self, split_m1):
+        stats = split_m1.stats()
+        actual = sum(
+            1 for f in split_m1.fragments if len(f.virtual_pins) > 1
+        )
+        assert stats["multi_vp_fragments"] == actual

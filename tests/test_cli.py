@@ -1,0 +1,54 @@
+"""CLI surface: python -m repro."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.pipeline import clear_memo
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    clear_memo()
+    yield
+    clear_memo()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for cmd in ("info", "quickstart", "build", "attack", "table3", "figure5"):
+            args = parser.parse_args(
+                [cmd] + (["tiny_a"] if cmd in ("build", "attack") else [])
+            )
+            assert callable(args.fn)
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "cell library" in out
+        assert "c6288" in out
+
+    def test_build(self, capsys, tmp_path):
+        out_path = tmp_path / "tiny.def"
+        assert main(["build", "tiny_a", "--out", str(out_path)]) == 0
+        assert out_path.exists()
+        assert "wirelength" in capsys.readouterr().out
+
+    def test_attack_baselines(self, capsys):
+        assert main(
+            ["attack", "tiny_a", "--layer", "3", "--attacks", "proximity", "flow"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "proximity" in out
+        assert "networkflow" in out
+
+    def test_unknown_design_errors(self):
+        with pytest.raises(KeyError):
+            main(["build", "not_a_design"])

@@ -1,0 +1,118 @@
+"""End-to-end integration: the full reproduction flow at tiny scale.
+
+Property-based over generator seeds: any small design must survive the
+whole pipeline with all cross-module invariants intact, and the trained
+attack must behave like an attack (valid assignments, CCR within the
+candidate-recall ceiling).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import NetworkFlowAttack, ProximityAttack
+from repro.core import AttackConfig, DLAttack, build_candidates, candidate_recall
+from repro.layout import build_layout
+from repro.netlist import RandomLogicGenerator
+from repro.split import ccr, split_design
+
+
+@given(seed=st.integers(0, 10_000), dff=st.sampled_from([0.0, 0.15]))
+@settings(max_examples=8, deadline=None)
+def test_pipeline_invariants_hold_for_any_seed(seed, dff):
+    """netlist -> layout -> split -> candidates, invariants end to end."""
+    netlist = RandomLogicGenerator().generate(
+        f"prop{seed}", 35, seed=seed, dff_fraction=dff
+    )
+    netlist.validate()
+    design = build_layout(netlist)
+
+    # all pins on wiring, all routes connected (via fragment extraction,
+    # which raises on violations)
+    for layer in (1, 2, 3):
+        split = split_design(design, layer)
+        # truth covers exactly the sink fragments
+        assert set(split.truth) == {
+            f.fragment_id for f in split.sink_fragments
+        }
+        # perfect assignment gives 100 % CCR
+        assert ccr(split, dict(split.truth)) == pytest.approx(100.0)
+        # candidate lists respect n and recall is sane
+        candidates = build_candidates(split, 5)
+        assert all(len(v) <= 5 for v in candidates.values())
+        assert 0.0 <= candidate_recall(split, candidates) <= 1.0
+
+
+class TestFullAttackFlow:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        splits = []
+        for seed in (201, 202, 203):
+            nl = RandomLogicGenerator().generate(f"flow{seed}", 60, seed=seed)
+            splits.append(split_design(build_layout(nl), 3))
+        return splits
+
+    @pytest.fixture(scope="class")
+    def attack(self, corpus):
+        attack = DLAttack(AttackConfig.tiny().with_(epochs=10), split_layer=3)
+        attack.train(corpus[:2])
+        return attack
+
+    def test_ccr_bounded_by_candidate_recall(self, corpus, attack):
+        """'If the positive VPP is not included, the predicted connection
+        will definitely be wrong' — CCR can never beat candidate recall."""
+        test = corpus[2]
+        candidates = build_candidates(test, attack.config.n_candidates)
+        hits = 0
+        total = 0
+        for frag in test.sink_fragments:
+            total += frag.n_sinks
+            truth = test.truth[frag.fragment_id]
+            if any(
+                v.source_fragment == truth
+                for v in candidates[frag.fragment_id]
+            ):
+                hits += frag.n_sinks
+        ceiling = 100.0 * hits / total
+        assert ccr(test, attack.select(test)) <= ceiling + 1e-9
+
+    def test_all_attacks_produce_valid_assignments(self, corpus, attack):
+        test = corpus[2]
+        sources = {f.fragment_id for f in test.source_fragments}
+        sinks = {f.fragment_id for f in test.sink_fragments}
+        for result in (
+            attack.attack(test),
+            ProximityAttack().attack(test),
+            NetworkFlowAttack().attack(test),
+        ):
+            assert set(result.assignment) <= sinks
+            assert set(result.assignment.values()) <= sources
+
+    def test_attacks_agree_on_easy_fragments(self, corpus, attack):
+        """Sanity: the DL attack and proximity agree on a decent share of
+        fragments (proximity is the dominant feature)."""
+        test = corpus[2]
+        dl = attack.select(test)
+        prox = ProximityAttack().select(test)
+        common = set(dl) & set(prox)
+        agree = sum(1 for k in common if dl[k] == prox[k])
+        assert agree / len(common) > 0.3
+
+    def test_dl_attack_is_deterministic_across_instances(self, corpus):
+        test = corpus[2]
+        results = []
+        for _ in range(2):
+            attack = DLAttack(
+                AttackConfig.tiny().with_(epochs=3), split_layer=3
+            )
+            attack.train(corpus[:1])
+            results.append(attack.select(test))
+        assert results[0] == results[1]
+
+
+def test_quick_attack_demo_runs():
+    from repro import quick_attack_demo
+
+    report = quick_attack_demo()
+    assert "CCR" in report
+    assert "M3" in report
