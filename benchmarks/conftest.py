@@ -5,6 +5,10 @@ models) are produced once and cached in ``.repro_cache`` — the same
 cache the experiment scripts use, so a prior
 ``python scripts/run_full_experiments.py`` makes the benchmarks start
 warm.  Reports regenerated here are written to ``results/``.
+
+The whole tier carries the ``slow`` pytest marker (deselect with
+``-m "not slow"``); the harness entry points it calls honour
+``REPRO_WORKERS`` for multi-process fan-out on multi-core hosts.
 """
 
 from __future__ import annotations

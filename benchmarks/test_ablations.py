@@ -21,6 +21,8 @@ from repro.eval import render_table, run_candidate_list_comparison
 
 from conftest import save_report
 
+pytestmark = pytest.mark.slow
+
 DESIGN = "c880"
 LAYER = 3
 

@@ -1,90 +1,83 @@
 """Benchmark: defense ablation (the paper's future-work direction).
 
-Sweeps placement perturbation and net lifting on one design, measuring
-how the baseline attacks degrade and what the defenses cost in
-wirelength — the security/PPA trade-off a defender navigates.  Written
-to ``results/defense_bench.txt``.
+Sweeps placement perturbation and net lifting on one design via
+:func:`repro.defense.run_defense_sweep`, measuring how the proximity
+attack degrades and what the defenses cost in wirelength — the
+security/PPA trade-off a defender navigates.  Every sweep point is an
+independent build-and-attack cell, so the sweep honours
+``REPRO_WORKERS`` for multi-process fan-out.  Written to
+``results/defense_bench.txt``.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.attacks import ProximityAttack
-from repro.defense import lifted_layout, perturbed_layout
-from repro.eval import render_table
-from repro.layout import build_layout
-from repro.netlist import build_benchmark
-from repro.split import ccr, split_design
+from repro.defense import run_defense_sweep
 
 from conftest import save_report
 
+pytestmark = pytest.mark.slow
+
 DESIGN = "c880"
 SPLIT_LAYER = 3
-PERTURBATIONS = (0.0, 4.0, 8.0, 16.0)
-LIFT_FRACTIONS = (0.0, 0.25, 0.5)
+PERTURBATIONS = (4.0, 8.0, 16.0)
+LIFT_FRACTIONS = (0.25, 0.5)
 
 
 @pytest.fixture(scope="module")
-def netlist():
-    return build_benchmark(DESIGN)
-
-
-def proximity_ccr(design):
-    split = split_design(design, SPLIT_LAYER)
-    return ccr(split, ProximityAttack().attack(split).assignment), split
-
-
-def test_perturbation_sweep(benchmark, netlist):
-    """CCR and wirelength vs perturbation strength."""
-
-    def sweep():
-        rows = []
-        for strength in PERTURBATIONS:
-            design = (
-                build_layout(netlist)
-                if strength == 0.0
-                else perturbed_layout(netlist, strength=strength)
-            )
-            attack_ccr, split = proximity_ccr(design)
-            rows.append(
-                (strength, attack_ccr, design.total_wirelength(),
-                 split.n_hidden_sink_pins)
-            )
-        return rows
-
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    save_report(
-        "defense_bench.txt",
-        render_table(
-            ["perturbation", "prox CCR %", "wirelength", "hidden pins"],
-            [[f"{r[0]:.0f}", f"{r[1]:.1f}", str(r[2]), str(r[3])] for r in rows],
-            title=f"Placement perturbation on {DESIGN} (M{SPLIT_LAYER} split)",
-        ),
+def sweep_report():
+    report = run_defense_sweep(
+        DESIGN,
+        split_layer=SPLIT_LAYER,
+        perturbations=PERTURBATIONS,
+        lift_fractions=LIFT_FRACTIONS,
+        with_flow=False,  # proximity only: keeps the benchmark budget
     )
-    base_ccr = rows[0][1]
-    strongest_ccr = rows[-1][1]
-    assert strongest_ccr < base_ccr, "defense had no effect on the attack"
-    base_wl = rows[0][2]
-    assert rows[-1][2] > base_wl, "perturbation should cost wirelength"
+    save_report("defense_bench.txt", report.render())
+    return report
 
 
-def test_lifting_sweep(benchmark, netlist):
+def test_defense_sweep_runtime(benchmark):
+    """Times the build-and-attack sweep itself (single point so the
+    benchmark measures the real work, not table rendering)."""
+    report = benchmark.pedantic(
+        run_defense_sweep,
+        args=(DESIGN,),
+        kwargs=dict(
+            split_layer=SPLIT_LAYER,
+            perturbations=(PERTURBATIONS[0],),
+            lift_fractions=(),
+            with_flow=False,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(report.cells) == 2  # baseline + one perturbation
+
+
+def test_perturbation_sweep(sweep_report):
+    """CCR and wirelength vs perturbation strength."""
+    base = sweep_report.baseline
+    perturbed = [c for c in sweep_report.cells if c.kind == "perturb"]
+    assert len(perturbed) == len(PERTURBATIONS)
+    strongest = max(perturbed, key=lambda c: c.strength)
+    assert strongest.ccr_proximity < base.ccr_proximity, (
+        "defense had no effect on the attack"
+    )
+    assert strongest.wirelength > base.wirelength, (
+        "perturbation should cost wirelength"
+    )
+
+
+def test_lifting_sweep(sweep_report):
     """Hidden pins and CCR vs lift fraction."""
-
-    def sweep():
-        rows = []
-        for fraction in LIFT_FRACTIONS:
-            design = (
-                build_layout(netlist)
-                if fraction == 0.0
-                else lifted_layout(netlist, lift_fraction=fraction)
-            )
-            attack_ccr, split = proximity_ccr(design)
-            rows.append((fraction, attack_ccr, split.n_hidden_sink_pins))
-        return rows
-
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    hidden = [r[2] for r in rows]
+    base = sweep_report.baseline
+    lifted = sorted(
+        (c for c in sweep_report.cells if c.kind == "lift"),
+        key=lambda c: c.strength,
+    )
+    assert len(lifted) == len(LIFT_FRACTIONS)
+    hidden = [base.hidden_pins] + [c.hidden_pins for c in lifted]
     assert hidden == sorted(hidden), "lifting must monotonically hide more pins"
     assert hidden[-1] > 2 * hidden[0], "50% lifting should hide far more pins"

@@ -18,6 +18,8 @@ from repro.pipeline import trained_attack
 
 from conftest import save_report
 
+pytestmark = pytest.mark.slow
+
 # Subset of the full harness list (scripts/run_full_experiments.py runs
 # all eight): keeps the benchmark pass inside its time budget.
 FIGURE5_DESIGNS = ["c432", "c880", "c1355", "b11", "b13"]
@@ -57,6 +59,9 @@ def test_regenerate_figure5(benchmark, figure5_report):
 def test_variant_inference_time(benchmark, variant, bench_config, split_of):
     """Figure 5(b): inference time per variant on one design."""
     attack = trained_attack(3, variant_config(bench_config, variant))
+    # Cache-free, like run_figure5: a warm feature/embedding cache would
+    # reduce all three variants to npz-load time.
+    attack.use_disk_cache = False
     split = split_of("c880", 3)
     result = benchmark.pedantic(
         attack.attack, args=(split,), rounds=1, iterations=1

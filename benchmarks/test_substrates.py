@@ -23,6 +23,8 @@ from repro.netlist import RandomLogicGenerator, build_benchmark
 from repro.nn import softmax_regression_loss
 from repro.split import split_design
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def netlist():

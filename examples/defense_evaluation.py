@@ -10,66 +10,35 @@ as future work; this example quantifies both on one design:
   connections (costs vias/wirelength) and flood the candidate space.
 
 For each defense strength the proximity and network-flow attacks run on
-the defended layout, along with the security/PPA trade-off.
+the defended layout, along with the security/PPA trade-off.  Every
+sweep point builds and attacks its own layout, so the sweep fans out
+over worker processes with ``--workers`` (or ``REPRO_WORKERS``).
 
-Run:  python examples/defense_evaluation.py [--design c880]
+Run:  python examples/defense_evaluation.py [--design c880] [--workers 4]
 """
 
 import argparse
 
-from repro.attacks import NetworkFlowAttack, ProximityAttack
-from repro.defense import lifted_layout, perturbed_layout
-from repro.eval import render_table
-from repro.layout import build_layout
-from repro.netlist import build_benchmark
-from repro.split import ccr, split_design
-
-SPLIT_LAYER = 3
-
-
-def attack_row(design, label, baseline_wl):
-    split = split_design(design, SPLIT_LAYER)
-    prox = ccr(split, ProximityAttack().attack(split).assignment)
-    flow = ccr(split, NetworkFlowAttack().attack(split).assignment)
-    overhead = design.total_wirelength() / baseline_wl - 1.0
-    return [
-        label,
-        str(len(split.sink_fragments)),
-        f"{split.n_hidden_sink_pins}",
-        f"{prox:.1f}",
-        f"{flow:.1f}",
-        f"{100 * overhead:+.1f}%",
-    ]
+from repro.defense import run_defense_sweep
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--design", default="c880")
+    parser.add_argument("--layer", type=int, default=3)
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: $REPRO_WORKERS or serial; 0 = all cores)",
+    )
     args = parser.parse_args()
 
-    netlist = build_benchmark(args.design)
-    baseline = build_layout(netlist)
-    baseline_wl = baseline.total_wirelength()
-
-    rows = [attack_row(baseline, "undefended", baseline_wl)]
-    for strength in (4.0, 8.0, 16.0):
-        defended = perturbed_layout(netlist, strength=strength)
-        rows.append(
-            attack_row(defended, f"perturb +-{strength:.0f} tracks", baseline_wl)
-        )
-    for fraction in (0.25, 0.5):
-        defended = lifted_layout(netlist, lift_fraction=fraction)
-        rows.append(
-            attack_row(defended, f"lift {int(100 * fraction)}% of nets", baseline_wl)
-        )
-
-    print(
-        render_table(
-            ["Defense", "#Sk", "hidden pins", "prox CCR %", "flow CCR %", "WL cost"],
-            rows,
-            title=f"Defenses on {args.design}, split after M{SPLIT_LAYER}",
-        )
+    report = run_defense_sweep(
+        args.design,
+        split_layer=args.layer,
+        workers=args.workers,
+        progress=lambda m: print(f"  .. {m}"),
     )
+    print(report.render())
     print(
         "\nReading: lower CCR = better security; "
         "hidden pins rise under lifting (more of the design is in the BEOL); "

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Wall-clock benchmark of the Table 3 evaluation path.
+
+Times ``run_table3`` on a design subset with the benchmark config and a
+warm layout cache — the measurement behind the engine speedup numbers
+in ``results/perf_engine.txt``.  Run it against the current tree, or
+point PYTHONPATH at an older checkout to measure a baseline:
+
+    PYTHONPATH=src python scripts/bench_engine.py --label new-serial
+    PYTHONPATH=/tmp/seedtree/src python scripts/bench_engine.py --label seed
+
+Trained weights are expected in the shared ``.repro_cache`` (train them
+once beforehand with any run); training time is excluded so the number
+isolates the evaluation hot path the engine rework targets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import json
+import time
+
+from repro.core import AttackConfig
+from repro.eval import run_table3
+
+DEFAULT_DESIGNS = ["c432", "c880", "c1355", "b11", "b13", "c2670"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--designs", nargs="+", default=DEFAULT_DESIGNS)
+    parser.add_argument("--layers", type=int, nargs="+", default=[1, 3])
+    parser.add_argument("--flow-timeout", type=float, default=30.0)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--label", default="run")
+    args = parser.parse_args()
+
+    config = AttackConfig.benchmark()
+    kwargs = dict(
+        designs=args.designs,
+        split_layers=tuple(args.layers),
+        config=config,
+        flow_timeout_s=args.flow_timeout,
+    )
+    # Older checkouts have no ``workers`` parameter; only pass it where
+    # it exists so the same script times both sides.
+    if "workers" in inspect.signature(run_table3).parameters:
+        kwargs["workers"] = args.workers
+
+    start = time.perf_counter()
+    report = run_table3(**kwargs)
+    elapsed = time.perf_counter() - start
+
+    summary = {
+        "label": args.label,
+        "designs": args.designs,
+        "layers": args.layers,
+        "workers": args.workers,
+        "wall_clock_s": round(elapsed, 2),
+        "rows": len(report.rows),
+        "ccr_dl": {
+            f"{r.design}/M{r.split_layer}": round(r.ccr_dl, 4)
+            for r in report.rows
+        },
+    }
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

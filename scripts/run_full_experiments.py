@@ -11,7 +11,9 @@ so re-runs and the pytest benchmarks reuse them.
 
 ``--quick`` restricts Table 3 to a six-design subset and is meant for a
 ~15-minute sanity pass; the full run regenerates all 16 designs on both
-split layers.
+split layers.  ``--workers N`` (or ``REPRO_WORKERS``) fans the designs,
+split layers and ablation variants out over N worker processes
+coordinated by the disk cache (``0`` = one per CPU core).
 """
 
 from __future__ import annotations
@@ -43,6 +45,10 @@ def main() -> int:
     parser.add_argument("--skip-table3", action="store_true")
     parser.add_argument("--skip-figure5", action="store_true")
     parser.add_argument("--out", default="results")
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: $REPRO_WORKERS or serial; 0 = all cores)",
+    )
     args = parser.parse_args()
 
     out = Path(args.out)
@@ -53,7 +59,9 @@ def main() -> int:
     if not args.skip_table3:
         designs = QUICK_DESIGNS if args.quick else [s.name for s in TABLE3_SPECS]
         log(f"Table 3: {len(designs)} designs, split layers M1+M3")
-        report = run_table3(designs=designs, config=config, progress=log)
+        report = run_table3(
+            designs=designs, config=config, progress=log, workers=args.workers
+        )
         (out / "table3.txt").write_text(report.render() + "\n")
         (out / "table3.md").write_text(report.to_markdown() + "\n")
         print(report.render())
@@ -75,7 +83,8 @@ def main() -> int:
     if not args.skip_figure5:
         log(f"Figure 5: {len(FIGURE5_DESIGNS)} designs, M3 ablation")
         report5 = run_figure5(
-            designs=FIGURE5_DESIGNS, split_layer=3, config=config, progress=log
+            designs=FIGURE5_DESIGNS, split_layer=3, config=config,
+            progress=log, workers=args.workers,
         )
         (out / "figure5.txt").write_text(report5.render() + "\n")
         print(report5.render())

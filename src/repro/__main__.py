@@ -9,6 +9,11 @@ build       place & route one named design, print stats, optionally
 attack      run one or more attacks on a named design at a split layer
 table3      regenerate (a subset of) Table 3
 figure5     regenerate the Figure 5 ablation
+defense     sweep the placement/lifting defenses on one design
+
+``table3``, ``figure5`` and ``defense`` accept ``--workers N`` (or the
+``REPRO_WORKERS`` environment variable) to fan the work out over worker
+processes coordinated by the ``.repro_cache`` disk cache.
 """
 
 from __future__ import annotations
@@ -96,6 +101,7 @@ def cmd_table3(args) -> int:
         config=AttackConfig.benchmark(),
         flow_timeout_s=args.flow_timeout,
         progress=lambda m: print(f"  .. {m}"),
+        workers=args.workers,
     )
     print(report.render())
     return 0
@@ -109,6 +115,21 @@ def cmd_figure5(args) -> int:
         designs=args.designs,
         split_layer=3,
         config=AttackConfig.benchmark(),
+        progress=lambda m: print(f"  .. {m}"),
+        workers=args.workers,
+    )
+    print(report.render())
+    return 0
+
+
+def cmd_defense(args) -> int:
+    from repro.defense import run_defense_sweep
+
+    report = run_defense_sweep(
+        args.design,
+        split_layer=args.layer,
+        with_flow=not args.no_flow,
+        workers=args.workers,
         progress=lambda m: print(f"  .. {m}"),
     )
     print(report.render())
@@ -142,17 +163,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_attack.set_defaults(fn=cmd_attack)
 
+    workers_help = (
+        "worker processes (default: $REPRO_WORKERS or serial; 0 = all cores)"
+    )
     p_t3 = sub.add_parser("table3", help="regenerate Table 3")
     p_t3.add_argument("--designs", nargs="*", default=None)
     p_t3.add_argument("--layers", type=int, nargs="+", default=[1, 3])
     p_t3.add_argument("--flow-timeout", type=float, default=120.0)
+    p_t3.add_argument("--workers", type=int, default=None, help=workers_help)
     p_t3.set_defaults(fn=cmd_table3)
 
     p_f5 = sub.add_parser("figure5", help="regenerate Figure 5")
     p_f5.add_argument(
         "--designs", nargs="+", default=["c432", "c880", "c1355", "b11"]
     )
+    p_f5.add_argument("--workers", type=int, default=None, help=workers_help)
     p_f5.set_defaults(fn=cmd_figure5)
+
+    p_def = sub.add_parser("defense", help="defense sweep on one design")
+    p_def.add_argument("design")
+    p_def.add_argument("--layer", type=int, default=3)
+    p_def.add_argument(
+        "--no-flow", action="store_true",
+        help="skip the (slow) network-flow attack",
+    )
+    p_def.add_argument("--workers", type=int, default=None, help=workers_help)
+    p_def.set_defaults(fn=cmd_defense)
     return parser
 
 

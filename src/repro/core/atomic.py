@@ -1,0 +1,45 @@
+"""Atomic file writes shared by the disk caches.
+
+Every cache in the pipeline (layout DEF text, trained weights, feature
+tensors, embedding tables) may be written concurrently by executor
+workers racing on the same key.  Writing to a temp file in the target
+directory and ``os.replace``-ing it onto the final name keeps readers
+from ever observing a torn file; the last writer simply wins.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+
+def _atomic_write(path: Path, mode: str, write: Callable) -> None:
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.stem, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, mode) as handle:
+            write(handle)
+        os.replace(tmp_name, path)
+    except Exception:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Atomically write ``text`` to ``path``."""
+    _atomic_write(path, "w", lambda handle: handle.write(text))
+
+
+def atomic_savez(path: Path, arrays: dict[str, np.ndarray]) -> None:
+    """Atomically write a compressed npz of ``arrays`` to ``path``."""
+    _atomic_write(
+        path, "wb", lambda handle: np.savez_compressed(handle, **arrays)
+    )

@@ -10,6 +10,7 @@ ablation).
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 
@@ -27,7 +28,8 @@ from ..nn import (
 from ..split.metrics import AttackResult, ccr
 from ..split.split import SplitLayout
 from .config import AttackConfig
-from .dataset import Batch, SplitDataset, make_batch
+from .atomic import atomic_savez
+from .dataset import Batch, SplitDataset, feature_cache_dir, make_batch
 from .model import SplitNet
 from .vector_features import FeatureNormalizer
 
@@ -48,9 +50,18 @@ class DLAttack:
 
     name = "dl-attack"
 
-    def __init__(self, config: AttackConfig | None = None, split_layer: int = 1):
+    def __init__(
+        self,
+        config: AttackConfig | None = None,
+        split_layer: int = 1,
+        use_disk_cache: bool = True,
+    ):
         self.config = config or AttackConfig.fast()
         self.split_layer = split_layer
+        # Gates the feature-tensor and embedding-table disk caches; the
+        # pipeline's trained_attack(use_disk_cache=...) passes through so
+        # cache-free runs really touch no disk.
+        self.use_disk_cache = use_disk_cache
         self.model = SplitNet(self.config, split_layer)
         self.normalizer = FeatureNormalizer()
         self.log = TrainLog()
@@ -69,20 +80,24 @@ class DLAttack:
                     f"attack is for M{self.split_layer}, got a "
                     f"M{split.split_layer} training layout"
                 )
-        datasets = [SplitDataset(s, self.config) for s in train_splits]
+        datasets = [
+            SplitDataset(s, self.config, use_disk_cache=self.use_disk_cache)
+            for s in train_splits
+        ]
         rows = [d.all_vector_rows() for d in datasets if d.groups]
         if not rows or not any(r.shape[0] for r in rows):
             raise ValueError("no candidate groups in the training corpus")
         self.normalizer.fit(np.concatenate(rows, axis=0))
 
         work: list[tuple[SplitDataset, int]] = []
+        subsample_rng = np.random.default_rng(self.config.seed)
         for dataset in datasets:
             indices = [
                 i for i, g in enumerate(dataset.groups) if g.target is not None
             ]
-            limit = self.config.max_train_groups_per_design
-            if limit is not None:
-                indices = indices[:limit]
+            indices = _subsample_indices(
+                indices, self.config.max_train_groups_per_design, subsample_rng
+            )
             work.extend((dataset, i) for i in indices)
         if not work:
             raise ValueError("no trainable groups (positives all pruned)")
@@ -186,21 +201,104 @@ class DLAttack:
             )
         if not self.normalizer.fitted:
             raise RuntimeError("attack is not trained")
-        dataset = SplitDataset(split, self.config)
-        assignment: dict[int, int] = {}
+        dataset = SplitDataset(
+            split, self.config, use_disk_cache=self.use_disk_cache
+        )
         self.model.eval()
+        if self.config.use_images:
+            return self._select_deduplicated(dataset)
+        assignment: dict[int, int] = {}
         batch_size = self.config.batch_groups
         for start in range(0, len(dataset.groups), batch_size):
             groups = dataset.groups[start : start + batch_size]
             batch = make_batch(dataset, groups, self.normalizer, False)
             scores = self.model(batch.vec, batch.src_images, batch.sink_images)
-            probs = self._connection_scores(scores)
-            probs = np.where(batch.mask, probs, -np.inf)
-            choices = probs.argmax(axis=1)
-            for group, choice in zip(groups, choices):
-                vpp = group.vpps[int(choice)]
-                assignment[group.sink_fragment_id] = vpp.source_fragment
+            self._assign_choices(groups, batch.mask, scores, assignment)
         return assignment
+
+    # Conv-tower batch size for unique-image embedding; bounds the
+    # activation memory the tower caches per call.
+    _EMBED_CHUNK = 64
+
+    def _select_deduplicated(self, dataset: SplitDataset) -> dict[int, int]:
+        """Inference that embeds each unique image once.
+
+        Candidate groups share source images heavily (8-10x duplication
+        on the Table 3 suite), so the conv tower — the inference
+        bottleneck — runs over the dataset's unique-image table and the
+        per-group embeddings are gathered by index.  The embedding table
+        is itself a deterministic function of (weights, image table) and
+        is disk-cached next to the feature tensors, keyed by both.
+        """
+        tensors = dataset.tensors
+        emb_table = self._embedding_table(dataset)
+        assignment: dict[int, int] = {}
+        batch_size = self.config.batch_groups
+        for start in range(0, len(dataset.groups), batch_size):
+            groups = dataset.groups[start : start + batch_size]
+            idx = np.array([g.index for g in groups], dtype=np.intp)
+            vec = self.normalizer.transform(tensors.vec[idx])
+            scores = self.model.forward_from_embeddings(
+                vec,
+                emb_table[tensors.src_index[idx]],
+                emb_table[tensors.sink_index[idx]],
+            )
+            self._assign_choices(
+                groups, tensors.mask[idx], scores, assignment
+            )
+        return assignment
+
+    def _embedding_table(self, dataset: SplitDataset) -> np.ndarray:
+        """(U, fc_width) tower embeddings of the unique-image table,
+        loaded from the feature cache when possible."""
+        table = dataset.tensors.image_table
+        width = self.config.fc_width
+        cache_root = feature_cache_dir() if self.use_disk_cache else None
+        path = None
+        if cache_root is not None:
+            path = (
+                cache_root
+                / f"emb_{dataset.cache_key}_{self._weights_tag()}.npz"
+            )
+            if path.exists():
+                try:
+                    with np.load(path) as data:
+                        emb = data["emb"]
+                    if emb.shape == (table.shape[0], width):
+                        return emb.astype(np.float32, copy=False)
+                except Exception:
+                    pass  # unreadable/stale: re-embed
+        table_f = table.astype(np.float32)
+        emb_table = np.concatenate([
+            self.model.embed_images(table_f[start : start + self._EMBED_CHUNK])
+            for start in range(0, table_f.shape[0], self._EMBED_CHUNK)
+        ])
+        if path is not None:
+            atomic_savez(path, {"emb": emb_table})
+        return emb_table
+
+    def _weights_tag(self) -> str:
+        """Content hash of the model parameters (embedding cache key)."""
+        digest = hashlib.sha256()
+        state = self.model.state_dict()
+        for key in sorted(state):
+            digest.update(key.encode())
+            digest.update(np.ascontiguousarray(state[key]).tobytes())
+        return digest.hexdigest()[:16]
+
+    def _assign_choices(
+        self,
+        groups: list,
+        mask: np.ndarray,
+        scores: np.ndarray,
+        assignment: dict[int, int],
+    ) -> None:
+        probs = self._connection_scores(scores)
+        probs = np.where(mask, probs, -np.inf)
+        choices = probs.argmax(axis=1)
+        for group, choice in zip(groups, choices):
+            vpp = group.vpps[int(choice)]
+            assignment[group.sink_fragment_id] = vpp.source_fragment
 
     def _connection_scores(self, scores: np.ndarray) -> np.ndarray:
         if self.config.loss == "two_class":
@@ -213,11 +311,14 @@ class DLAttack:
 
     # -- persistence --------------------------------------------------
     def save(self, path) -> None:
+        from pathlib import Path
+
         state = self.model.state_dict()
         state["__norm_mean"] = self.normalizer.state()["mean"]
         state["__norm_std"] = self.normalizer.state()["std"]
         state["__split_layer"] = np.array([self.split_layer])
-        np.savez_compressed(path, **state)
+        # Atomic: executor workers may race training the same config.
+        atomic_savez(Path(path), state)
 
     def load(self, path) -> None:
         with np.load(path) as data:
@@ -233,6 +334,22 @@ class DLAttack:
                 k: data[k] for k in data.files if not k.startswith("__")
             }
             self.model.load_state_dict(model_state)
+
+
+def _subsample_indices(
+    indices: list[int], limit: int | None, rng: np.random.Generator
+) -> list[int]:
+    """Uniform, seeded subsample of ``indices``, order-preserving.
+
+    Taking the *first* N labeled groups would bias training toward early
+    sink fragments (fragment ids correlate with netlist order, hence
+    with placement region); a uniform draw keeps the subsample
+    representative while staying deterministic for a given config seed.
+    """
+    if limit is None or len(indices) <= limit:
+        return indices
+    picked = rng.choice(len(indices), size=limit, replace=False)
+    return [indices[i] for i in np.sort(picked)]
 
 
 def _concat_batches(batches: list[Batch]) -> Batch:

@@ -15,6 +15,15 @@ of binary layer-bit planes at three scales:
 
 Rendered as a float-ready uint8 tensor of shape
 ``(n_scales * 2m, image_size, image_size)``.
+
+Rendering is **window-local**: each fragment's FEOL nodes are indexed
+sparsely once, and both the own-fragment and other-fragment bit planes
+are materialised only inside the ``image_size * max(scale)`` window
+around the pin.  All scales are centred crops of that one window and
+the multi-scale pooling is vectorised across layers, so the per-pin
+cost is O(window + fragment nodes), independent of the die area.  The
+previous dense full-die path is kept as ``render_reference`` and the
+parity tests assert the two are bit-identical.
 """
 
 from __future__ import annotations
@@ -36,6 +45,10 @@ class ImageExtractor:
         # occupancy[l-1, x, y] = number of nets with wiring at (l, x, y)
         self.occupancy = split.occupancy_grids()
         self._cache: dict[tuple[int, int, int], np.ndarray] = {}
+        # fragment_id -> (layer-1, x, y) arrays of FEOL nodes, built once
+        self._frag_nodes: dict[
+            int, tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = {}
 
     @property
     def n_channels(self) -> int:
@@ -53,13 +66,67 @@ class ImageExtractor:
 
     def _render(self, fragment: Fragment, vp: VirtualPin) -> np.ndarray:
         size = self.config.image_size
+        scales = self.config.image_scales
+        tracks_max = size * max(scales)
+
+        own_win = self._own_window(fragment, vp.x, vp.y, tracks_max)
+        occ_win = _window_stack(self.occupancy, vp.x, vp.y, tracks_max)
+        other_win = (occ_win - own_win).clip(min=0)
+
+        planes: list[np.ndarray] = []
+        for scale in scales:
+            tracks = size * scale
+            off = tracks_max // 2 - tracks // 2
+            for win in (own_win, other_win):
+                crop = win[:, off : off + tracks, off : off + tracks]
+                # Own/other bits: highest layer first (most significant),
+                # hence the reversal of the layer axis.
+                planes.append(_pool_planes(crop, scale)[::-1])
+        return np.concatenate(planes).astype(np.uint8)
+
+    def _fragment_index(
+        self, fragment: Fragment
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sparse (layer-1, x, y) arrays of the fragment's FEOL nodes."""
+        idx = self._frag_nodes.get(fragment.fragment_id)
+        if idx is None:
+            nodes = [
+                (layer - 1, x, y)
+                for layer, x, y in fragment.nodes
+                if layer <= self.m
+            ]
+            if nodes:
+                arr = np.asarray(nodes, dtype=np.intp)
+                idx = (arr[:, 0], arr[:, 1], arr[:, 2])
+            else:
+                empty = np.zeros(0, dtype=np.intp)
+                idx = (empty, empty, empty)
+            self._frag_nodes[fragment.fragment_id] = idx
+        return idx
+
+    def _own_window(
+        self, fragment: Fragment, cx: int, cy: int, tracks: int
+    ) -> np.ndarray:
+        """(m, tracks, tracks) int16 own-fragment wiring around (cx, cy)."""
+        layers, xs, ys = self._fragment_index(fragment)
+        half = tracks // 2
+        x0, y0 = cx - half, cy - half
+        out = np.zeros((self.m, tracks, tracks), dtype=np.int16)
+        inside = (xs >= x0) & (xs < x0 + tracks) & (ys >= y0) & (ys < y0 + tracks)
+        out[layers[inside], xs[inside] - x0, ys[inside] - y0] = 1
+        return out
+
+    # -- reference renderer -----------------------------------------------
+    def render_reference(self, fragment: Fragment, vp: VirtualPin) -> np.ndarray:
+        """The original dense full-die renderer, kept as the ground truth
+        for the window-local fast path (see the parity tests)."""
+        size = self.config.image_size
         own = self._own_grid(fragment)
         other = (self.occupancy - own).clip(min=0)
 
         planes: list[np.ndarray] = []
         for scale in self.config.image_scales:
             tracks = size * scale
-            # Own-fragment bits: highest layer first (most significant).
             for layer in range(self.m, 0, -1):
                 window = _window(own[layer - 1], vp.x, vp.y, tracks)
                 planes.append(_pool_max(window, scale))
@@ -98,6 +165,24 @@ def _window(grid: np.ndarray, cx: int, cy: int, tracks: int) -> np.ndarray:
     return out
 
 
+def _window_stack(
+    grids: np.ndarray, cx: int, cy: int, tracks: int
+) -> np.ndarray:
+    """Like :func:`_window` but crops all layer planes of a (m, W, H)
+    stack at once."""
+    half = tracks // 2
+    x0, y0 = cx - half, cy - half
+    out = np.zeros((grids.shape[0], tracks, tracks), dtype=grids.dtype)
+    gx0, gy0 = max(0, x0), max(0, y0)
+    gx1 = min(grids.shape[1], x0 + tracks)
+    gy1 = min(grids.shape[2], y0 + tracks)
+    if gx1 > gx0 and gy1 > gy0:
+        out[:, gx0 - x0 : gx1 - x0, gy0 - y0 : gy1 - y0] = grids[
+            :, gx0:gx1, gy0:gy1
+        ]
+    return out
+
+
 def _pool_max(window: np.ndarray, scale: int) -> np.ndarray:
     """Max-pool an (S*s, S*s) window to (S, S): a region's bit is set if
     any of its tracks holds wiring."""
@@ -105,4 +190,14 @@ def _pool_max(window: np.ndarray, scale: int) -> np.ndarray:
         return (window > 0).astype(np.uint8)
     size = window.shape[0] // scale
     pooled = window.reshape(size, scale, size, scale).max(axis=(1, 3))
+    return (pooled > 0).astype(np.uint8)
+
+
+def _pool_planes(windows: np.ndarray, scale: int) -> np.ndarray:
+    """Max-pool an (m, S*s, S*s) window stack to (m, S, S) in one shot."""
+    if scale == 1:
+        return (windows > 0).astype(np.uint8)
+    m = windows.shape[0]
+    size = windows.shape[1] // scale
+    pooled = windows.reshape(m, size, scale, size, scale).max(axis=(2, 4))
     return (pooled > 0).astype(np.uint8)

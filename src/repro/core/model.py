@@ -151,6 +151,47 @@ class SplitNet(Module):
             return scores[..., 0]
         return scores
 
+    # -- deduplicated inference ----------------------------------------
+    def embed_images(self, images: np.ndarray) -> np.ndarray:
+        """Tower embeddings (K, fc_width) for a stack of (K, C, S, S)
+        images.
+
+        Inference-only building block: candidate groups share source
+        images heavily (one popular source fragment is a candidate of
+        many sinks), so the attack embeds each *unique* image once and
+        gathers, instead of re-convolving every duplicate per group.
+        """
+        if not self.use_images:
+            raise RuntimeError("model configured without images")
+        return self.tower(images)
+
+    def forward_from_embeddings(
+        self,
+        vec: np.ndarray,
+        src_emb: np.ndarray,
+        sink_emb: np.ndarray,
+    ) -> np.ndarray:
+        """Scores from precomputed tower embeddings (inference only;
+        the tower activations needed for its backward pass are not
+        retained for the gathered duplicates).
+
+        ``vec``: (B, n, F); ``src_emb``: (B, n, width); ``sink_emb``:
+        (B, width).  Mirrors :meth:`forward` after the conv tower.
+        """
+        batch, n, _ = vec.shape
+        width = self.config.fc_width
+        out = self.vector_branch(vec)
+        sink_bcast = np.broadcast_to(
+            sink_emb[:, None, :], (batch, n, width)
+        ).copy()
+        combined = np.concatenate([src_emb, sink_bcast], axis=2)
+        img_out = self.image_combine(combined)
+        merged = np.concatenate([out, img_out], axis=2)
+        scores = self.trunk(merged)
+        if self.out_dim == 1:
+            return scores[..., 0]
+        return scores
+
     def backward(self, grad_scores: np.ndarray) -> None:
         """Back-propagate from d loss / d scores; accumulates gradients."""
         if self._shape is None:

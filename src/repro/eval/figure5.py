@@ -18,8 +18,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.config import AttackConfig
-from ..pipeline.flow import get_split, trained_attack
+from ..pipeline.flow import (
+    cache_dir,
+    default_train_names,
+    get_split,
+    trained_attack,
+)
+from ..pipeline.parallel import parallel_map, resolve_workers
 from ..split.metrics import ccr
+from .table3 import _warm_layout_job
 from .tables import render_bars, render_table
 
 VARIANTS = ("two-class", "vec", "vec&img")
@@ -97,6 +104,99 @@ class Figure5Report:
         )
 
 
+def _train_variant_job(
+    variant: str,
+    base: AttackConfig,
+    split_layer: int,
+    train_names: tuple[str, ...] | None,
+) -> str:
+    """Worker job: train (or load) one ablation variant's attack."""
+    trained_attack(
+        split_layer, variant_config(base, variant), train_names=train_names
+    )
+    return variant
+
+
+def _figure5_cell_job(
+    variant: str,
+    name: str,
+    base: AttackConfig,
+    split_layer: int,
+    train_names: tuple[str, ...] | None,
+) -> tuple[str, str, float, float]:
+    """Worker job: one (variant, design) evaluation from the disk cache."""
+    attack = trained_attack(
+        split_layer, variant_config(base, variant), train_names=train_names
+    )
+    split = get_split(name, split_layer)
+    # Figure 5(b) compares the *inference cost* of the variants, so the
+    # timed attack must actually extract features and run the conv
+    # tower — warm feature/embedding caches would otherwise report the
+    # image variant as free.
+    attack.use_disk_cache = False
+    result = attack.attack(split)
+    return variant, name, ccr(split, result.assignment), result.runtime_s
+
+
+def _run_figure5_parallel(
+    designs: list[str],
+    split_layer: int,
+    base: AttackConfig,
+    train_names: tuple[str, ...] | None,
+    workers: int,
+    progress,
+) -> Figure5Report:
+    report = Figure5Report(split_layer=split_layer)
+    if progress:
+        progress(f"parallel run: {workers} workers over {len(VARIANTS)} variants")
+    # Warm the layout cache first — eval designs and the training
+    # corpus — otherwise concurrent variant jobs would place-and-route
+    # the same designs repeatedly.
+    warm_names = list(designs) + [
+        n
+        for n in (train_names or default_train_names())
+        if n not in set(designs)
+    ]
+    parallel_map(
+        _warm_layout_job,
+        [(name,) for name in warm_names],
+        workers=workers,
+        progress=progress,
+        label="layouts",
+    )
+    parallel_map(
+        _train_variant_job,
+        [(v, base, split_layer, train_names) for v in VARIANTS],
+        workers=workers,
+        progress=progress,
+        label="variants",
+    )
+    cells = [
+        (variant, name, base, split_layer, train_names)
+        for variant in VARIANTS
+        for name in designs
+    ]
+    outcomes = parallel_map(
+        _figure5_cell_job,
+        cells,
+        workers=workers,
+        progress=progress,
+        label="cells",
+    )
+    for variant in VARIANTS:
+        ccrs = {n: c for v, n, c, _t in outcomes if v == variant}
+        total_time = sum(t for v, _n, _c, t in outcomes if v == variant)
+        report.results.append(
+            Figure5Result(
+                variant=variant,
+                avg_ccr=sum(ccrs.values()) / len(ccrs),
+                avg_inference_s=total_time / len(ccrs),
+                per_design_ccr=ccrs,
+            )
+        )
+    return report
+
+
 def run_figure5(
     designs: list[str],
     split_layer: int = 3,
@@ -104,9 +204,23 @@ def run_figure5(
     train_names: tuple[str, ...] | None = None,
     use_disk_cache: bool = True,
     progress=None,
+    workers: int | None = None,
 ) -> Figure5Report:
-    """Train the three Figure 5 variants and evaluate them."""
+    """Train the three Figure 5 variants and evaluate them.
+
+    ``workers`` > 1 (or ``REPRO_WORKERS``) trains the variants and runs
+    the per-design evaluations in parallel worker processes,
+    coordinated by the disk cache.  Note that with workers > 1 the
+    per-design inference timings are wall-clock under CPU contention
+    between concurrent cells; use a serial run when the absolute
+    Figure 5(b) numbers matter.
+    """
     base = config or AttackConfig.fast()
+    n_workers = resolve_workers(workers)
+    if n_workers > 1 and use_disk_cache and cache_dir() is not None:
+        return _run_figure5_parallel(
+            designs, split_layer, base, train_names, n_workers, progress
+        )
     report = Figure5Report(split_layer=split_layer)
     splits = {name: get_split(name, split_layer, use_disk_cache) for name in designs}
     for variant in VARIANTS:
@@ -118,6 +232,9 @@ def run_figure5(
             train_names=train_names,
             use_disk_cache=use_disk_cache,
         )
+        # Cache-free inference: Figure 5(b) compares the variants'
+        # inference cost, which warm feature/embedding caches would hide.
+        attack.use_disk_cache = False
         ccrs: dict[str, float] = {}
         total_time = 0.0
         for name, split in splits.items():

@@ -1,19 +1,27 @@
-"""repro.pipeline — end-to-end flow orchestration with caching."""
+"""repro.pipeline — end-to-end flow orchestration with caching and
+multi-process fan-out (see :mod:`repro.pipeline.parallel`)."""
 
 from .flow import (
+    attack_weight_path,
     build_netlist,
     cache_dir,
     clear_memo,
+    default_train_names,
     get_layout,
     get_split,
     trained_attack,
 )
+from .parallel import parallel_map, resolve_workers
 
 __all__ = [
+    "attack_weight_path",
     "build_netlist",
     "cache_dir",
     "clear_memo",
+    "default_train_names",
     "get_layout",
     "get_split",
+    "parallel_map",
+    "resolve_workers",
     "trained_attack",
 ]

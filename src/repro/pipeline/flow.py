@@ -7,11 +7,19 @@ their inputs.  This module memoises them:
 * layouts are cached in memory and on disk (DEF-like text) keyed by
   design name;
 * trained attacks are cached on disk (npz weights) keyed by a stable
-  hash of the configuration, split layer and training suite.
+  hash of the configuration, split layer and training suite;
+* per-dataset feature tensors (vector features + unique-image tables)
+  are cached by :mod:`repro.core.dataset` under ``features/``, keyed by
+  the layout content hash and the feature-relevant config fields.
 
 Set the environment variable ``REPRO_CACHE_DIR`` to relocate the cache
 (defaults to ``.repro_cache`` in the working directory); set it to the
-empty string to disable disk caching.
+empty string to disable disk caching.  The disk cache also serves as
+the coordination medium for the multi-process executor
+(:mod:`repro.pipeline.parallel`): worker processes share layouts,
+weights and feature tensors purely through these files, so parallel
+runs need ``REPRO_CACHE_DIR`` enabled.  Worker count comes from the
+``workers=`` parameters or the ``REPRO_WORKERS`` environment variable.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ import hashlib
 import os
 from pathlib import Path
 
+from ..core.atomic import atomic_write_text
 from ..core.attack import DLAttack
 from ..core.config import AttackConfig
 from ..layout.def_io import read_def, write_def
@@ -84,7 +93,7 @@ def get_layout(name: str, use_disk_cache: bool = True) -> Design:
     if design is None:
         design = build_layout(netlist)
         if def_path is not None:
-            def_path.write_text(write_def(design))
+            atomic_write_text(def_path, write_def(design))
     _layout_memo[name] = design
     return design
 
@@ -115,6 +124,27 @@ def _config_fingerprint(
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
+def default_train_names() -> tuple[str, ...]:
+    """The paper's 9-design training corpus."""
+    return tuple(d.name for d in TRAINING_DESIGNS)
+
+
+def attack_weight_path(
+    config: AttackConfig,
+    split_layer: int,
+    train_names: tuple[str, ...] | None = None,
+) -> Path | None:
+    """Disk-cache location of a trained attack's weights (None when the
+    disk cache is disabled)."""
+    disk = cache_dir()
+    if disk is None:
+        return None
+    if train_names is None:
+        train_names = default_train_names()
+    tag = _config_fingerprint(config, split_layer, train_names)
+    return disk / f"dl_attack_m{split_layer}_{tag}.npz"
+
+
 def trained_attack(
     split_layer: int,
     config: AttackConfig | None = None,
@@ -129,14 +159,15 @@ def trained_attack(
     """
     config = config or AttackConfig.fast()
     if train_names is None:
-        train_names = tuple(d.name for d in TRAINING_DESIGNS)
-    attack = DLAttack(config, split_layer)
+        train_names = default_train_names()
+    attack = DLAttack(config, split_layer, use_disk_cache=use_disk_cache)
 
-    disk = cache_dir() if use_disk_cache else None
-    weight_path = None
-    if disk is not None:
-        tag = _config_fingerprint(config, split_layer, train_names)
-        weight_path = disk / f"dl_attack_m{split_layer}_{tag}.npz"
+    weight_path = (
+        attack_weight_path(config, split_layer, train_names)
+        if use_disk_cache
+        else None
+    )
+    if weight_path is not None:
         if weight_path.exists():
             try:
                 attack.load(weight_path)

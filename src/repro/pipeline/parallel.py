@@ -1,0 +1,105 @@
+"""Multi-process fan-out for the experiment pipeline.
+
+The evaluation suites (Table 3, Figure 5, the defense sweeps) decompose
+into independent cells — build-layout -> split -> train -> evaluate per
+(design, split layer) or per (variant, design) — whose only shared
+state is the deterministic disk cache of :mod:`repro.pipeline.flow`
+(layouts as DEF text, trained models as npz, feature tensors under
+``features/``).  That makes process-level parallelism safe: every
+worker recomputes-or-loads through the same cache keys, and cache
+writes are atomic, so the fan-out needs no locks and produces results
+identical to the serial path.
+
+Knobs
+-----
+* ``workers=`` parameter on :func:`parallel_map` and the harness entry
+  points (``run_table3``, ``run_figure5``, ``run_defense_sweep``, the
+  CLI ``--workers`` flags);
+* ``REPRO_WORKERS`` environment variable — the default when
+  ``workers`` is None (unset/empty means serial);
+* ``workers=0`` means "one per CPU core".
+
+Serial execution (``workers`` resolving to 1) never spawns processes,
+so the default behaviour and test determinism are unchanged.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Sequence
+
+__all__ = ["parallel_map", "resolve_workers"]
+
+
+def _square_probe(x: int) -> int:
+    """Picklable no-op job used by tests and worker health checks."""
+    return x * x
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Effective worker count: explicit arg > $REPRO_WORKERS > serial.
+
+    ``0`` (from either source) expands to the CPU count.
+    """
+    if workers is None:
+        env = os.environ.get("REPRO_WORKERS", "").strip()
+        if not env:
+            return 1
+        try:
+            workers = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_WORKERS must be an integer, got {env!r}"
+            ) from None
+    if workers == 0:
+        return os.cpu_count() or 1
+    return max(1, workers)
+
+
+def _mp_context():
+    """Prefer fork (cheap, inherits warm in-memory caches) when present."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-Unix platforms
+        return multiprocessing.get_context()
+
+
+def parallel_map(
+    fn: Callable[..., Any],
+    jobs: Sequence[tuple],
+    workers: int | None = None,
+    progress: Callable[[str], None] | None = None,
+    label: str = "jobs",
+) -> list[Any]:
+    """Run ``fn(*job)`` for every job, preserving job order in the result.
+
+    With an effective worker count of 1 (the default), runs in-process
+    with no multiprocessing machinery at all.  ``fn`` must be a
+    module-level callable and the job tuples picklable when running
+    with more than one worker.
+    """
+    jobs = list(jobs)
+    n_workers = min(resolve_workers(workers), max(len(jobs), 1))
+    if n_workers <= 1:
+        results = []
+        for i, job in enumerate(jobs):
+            results.append(fn(*job))
+            if progress:
+                progress(f"{label}: {i + 1}/{len(jobs)} done (serial)")
+        return results
+
+    with ProcessPoolExecutor(
+        max_workers=n_workers, mp_context=_mp_context()
+    ) as pool:
+        futures = [pool.submit(fn, *job) for job in jobs]
+        results = []
+        for i, future in enumerate(futures):
+            results.append(future.result())
+            if progress:
+                progress(
+                    f"{label}: {i + 1}/{len(jobs)} done "
+                    f"({n_workers} workers)"
+                )
+    return results

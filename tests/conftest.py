@@ -1,0 +1,22 @@
+"""Session-wide isolation for the fast test tier.
+
+The unit tests build layouts and datasets directly; without isolation
+the feature-tensor and layout caches of :mod:`repro.pipeline.flow` /
+:mod:`repro.core.dataset` would write into the repository's shared
+``.repro_cache`` (which is reserved for the committed warm benchmark
+artifacts).  Point ``REPRO_CACHE_DIR`` at a session-scoped temp
+directory instead; tests that need finer-grained isolation still
+monkeypatch it per test.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_repro_cache(tmp_path_factory):
+    patcher = pytest.MonkeyPatch()
+    patcher.setenv(
+        "REPRO_CACHE_DIR", str(tmp_path_factory.mktemp("repro_cache"))
+    )
+    yield
+    patcher.undo()

@@ -1,0 +1,126 @@
+"""Precomputed feature tensors: slicing parity, disk cache round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.core import AttackConfig, FeatureNormalizer, SplitDataset, make_batch
+from repro.core.dataset import feature_cache_dir
+from repro.core.vector_features import group_vector_features
+from repro.layout import build_layout
+from repro.netlist import RandomLogicGenerator
+from repro.split import split_design
+
+
+@pytest.fixture(scope="module")
+def split():
+    nl = RandomLogicGenerator().generate("tensortest", 70, seed=23)
+    return split_design(build_layout(nl), 3)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+class TestTensorShapes:
+    def test_tensor_shapes(self, split):
+        cfg = AttackConfig.tiny()
+        ds = SplitDataset(split, cfg)
+        g, n = len(ds.groups), cfg.n_candidates
+        t = ds.tensors
+        assert t.vec.shape[0] == g and t.vec.shape[1] == n
+        assert t.mask.shape == (g, n)
+        assert t.targets.shape == (g,)
+        assert t.image_table.shape[0] >= 1
+        assert t.src_index.shape == (g, n)
+        assert t.sink_index.shape == (g,)
+        # padding row 0 is all zero and every padded slot points at it
+        assert not t.image_table[0].any()
+        assert np.all(t.src_index[~t.mask] == 0)
+
+    def test_group_views_alias_tensors(self, split):
+        ds = SplitDataset(split, AttackConfig.tiny())
+        for g in ds.groups[:5]:
+            assert np.shares_memory(g.vec, ds.tensors.vec)
+            assert g.vec.base is ds.tensors.vec
+
+    def test_vec_matches_per_group_recompute(self, split):
+        cfg = AttackConfig.tiny()
+        ds = SplitDataset(split, cfg)
+        for g in ds.groups[:10]:
+            vec, mask = group_vector_features(
+                split, g.vpps, cfg.n_candidates, cfg.max_feature_layers
+            )
+            assert np.array_equal(ds.tensors.vec[g.index], vec)
+            assert np.array_equal(ds.tensors.mask[g.index], mask)
+
+    def test_images_match_extractor(self, split):
+        cfg = AttackConfig.tiny()
+        ds = SplitDataset(split, cfg)
+        group = ds.groups[0]
+        src, sink = ds.group_images(group)
+        for i, vpp in enumerate(group.vpps[: cfg.n_candidates]):
+            frag = split.fragment(vpp.source_fragment)
+            expected = ds.images.image(frag, vpp.source_vp)
+            assert np.array_equal(src[i], expected.astype(np.float32))
+        sink_frag = split.fragment(group.sink_fragment_id)
+        expected = ds.images.image(sink_frag, sink_frag.virtual_pins[0])
+        assert np.array_equal(sink, expected.astype(np.float32))
+
+
+class TestBatchSlicing:
+    def test_make_batch_matches_manual_assembly(self, split):
+        cfg = AttackConfig.tiny()
+        ds = SplitDataset(split, cfg)
+        norm = FeatureNormalizer().fit(ds.all_vector_rows())
+        groups = ds.groups[:4]
+        batch = make_batch(ds, groups, norm, with_targets=False)
+        expected_vec = np.stack([norm.transform(g.vec) for g in groups])
+        assert np.array_equal(batch.vec, expected_vec)
+        pairs = [ds.group_images(g) for g in groups]
+        assert np.array_equal(
+            batch.src_images, np.stack([p[0] for p in pairs])
+        )
+        assert np.array_equal(
+            batch.sink_images, np.stack([p[1] for p in pairs])
+        )
+
+
+class TestDiskCache:
+    def test_cache_roundtrip_is_identical(self, split):
+        cfg = AttackConfig.tiny()
+        first = SplitDataset(split, cfg)
+        cache_root = feature_cache_dir()
+        files = list(cache_root.glob("*.npz"))
+        assert len(files) == 1, "expected one cached tensor file"
+        second = SplitDataset(split, cfg)  # warm: loads from disk
+        t1, t2 = first.tensors, second.tensors
+        assert np.array_equal(t1.vec, t2.vec)
+        assert np.array_equal(t1.mask, t2.mask)
+        assert np.array_equal(t1.targets, t2.targets)
+        assert np.array_equal(t1.image_table, t2.image_table)
+        assert np.array_equal(t1.src_index, t2.src_index)
+        assert np.array_equal(t1.sink_index, t2.sink_index)
+
+    def test_cache_key_sensitive_to_config(self, split):
+        SplitDataset(split, AttackConfig.tiny())
+        SplitDataset(split, AttackConfig.tiny().with_(n_candidates=4))
+        files = list(feature_cache_dir().glob("*.npz"))
+        assert len(files) == 2
+
+    def test_corrupt_cache_recomputed(self, split):
+        cfg = AttackConfig.tiny()
+        SplitDataset(split, cfg)
+        (path,) = feature_cache_dir().glob("*.npz")
+        path.write_bytes(b"not an npz file")
+        ds = SplitDataset(split, cfg)  # must silently recompute
+        assert ds.tensors.vec.shape[0] == len(ds.groups)
+
+    def test_cache_disabled_by_env(self, split, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "")
+        ds = SplitDataset(split, AttackConfig.tiny())
+        assert ds.tensors.vec.shape[0] == len(ds.groups)
+
+    def test_cache_opt_out_parameter(self, split):
+        SplitDataset(split, AttackConfig.tiny(), use_disk_cache=False)
+        assert not list(feature_cache_dir().glob("*.npz"))

@@ -1,0 +1,66 @@
+"""Seeded subsampling of training groups (max_train_groups_per_design).
+
+The cap used to take the *first* N labeled groups — a biased subsample
+skewed toward early sink fragments.  It must instead be a uniform,
+seed-deterministic draw.
+"""
+
+import numpy as np
+
+from repro.core.attack import _subsample_indices
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestSubsampleIndices:
+    def test_no_limit_keeps_all(self):
+        indices = list(range(10))
+        assert _subsample_indices(indices, None, rng()) == indices
+
+    def test_under_limit_keeps_all(self):
+        indices = list(range(5))
+        assert _subsample_indices(indices, 10, rng()) == indices
+
+    def test_respects_limit(self):
+        picked = _subsample_indices(list(range(100)), 10, rng())
+        assert len(picked) == 10
+        assert len(set(picked)) == 10
+
+    def test_not_first_n(self):
+        """The draw must not degenerate to the old biased prefix."""
+        picked = _subsample_indices(list(range(1000)), 50, rng())
+        assert picked != list(range(50))
+
+    def test_order_preserving(self):
+        picked = _subsample_indices(list(range(100)), 20, rng())
+        assert picked == sorted(picked)
+
+    def test_deterministic_for_seed(self):
+        a = _subsample_indices(list(range(100)), 10, rng(7))
+        b = _subsample_indices(list(range(100)), 10, rng(7))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = _subsample_indices(list(range(1000)), 10, rng(1))
+        b = _subsample_indices(list(range(1000)), 10, rng(2))
+        assert a != b
+
+    def test_subsample_is_of_given_indices(self):
+        indices = [3, 17, 42, 99, 256, 1024]
+        picked = _subsample_indices(indices, 3, rng())
+        assert set(picked) <= set(indices)
+
+    def test_roughly_uniform(self):
+        """Across many draws, late indices must be picked about as often
+        as early ones (the old prefix rule picked them never)."""
+        n, limit, draws = 100, 10, 200
+        counts = np.zeros(n)
+        g = rng(0)
+        for _ in range(draws):
+            for i in _subsample_indices(list(range(n)), limit, g):
+                counts[i] += 1
+        first_half = counts[: n // 2].sum()
+        second_half = counts[n // 2 :].sum()
+        assert second_half > 0.7 * first_half

@@ -1,5 +1,6 @@
 """Timeout wrapper used for the flow-attack budget."""
 
+import threading
 import time
 
 from repro.eval import run_with_timeout
@@ -39,3 +40,59 @@ class TestRunWithTimeout:
     def test_timer_cleared_after_use(self):
         run_with_timeout(lambda: None, limit_s=0.05)
         time.sleep(0.1)  # would fire a stale alarm if not cleared
+
+
+def _run_in_thread(fn):
+    """Run ``fn`` on a worker thread (the non-SIGALRM path) and return
+    its result or re-raise its exception."""
+    box = {}
+
+    def target():
+        try:
+            box["value"] = fn()
+        except BaseException as exc:  # noqa: BLE001 - relayed to caller
+            box["error"] = exc
+
+    thread = threading.Thread(target=target)
+    thread.start()
+    thread.join(timeout=30.0)
+    assert not thread.is_alive(), "worker thread wedged"
+    if "error" in box:
+        raise box["error"]
+    return box["value"]
+
+
+class TestNonMainThreadEnforcement:
+    """Off the main thread the budget must be *enforced* (the callable
+    terminated at the deadline), not merely observed afterwards —
+    regression for the old run-to-completion fallback."""
+
+    def test_budget_enforced_not_observed(self):
+        def slow():
+            time.sleep(10.0)
+            return "finished"
+
+        start = time.perf_counter()
+        result = _run_in_thread(lambda: run_with_timeout(slow, limit_s=0.3))
+        elapsed = time.perf_counter() - start
+        assert result.timed_out
+        assert result.value is None
+        assert elapsed < 5.0, (
+            f"timeout merely observed: waited {elapsed:.1f}s for a 0.3s budget"
+        )
+
+    def test_fast_call_returns_value(self):
+        result = _run_in_thread(lambda: run_with_timeout(lambda: 42, limit_s=5.0))
+        assert not result.timed_out
+        assert result.value == 42
+
+    def test_exceptions_propagate_from_subprocess(self):
+        def boom():
+            raise RuntimeError("boom in child")
+
+        try:
+            _run_in_thread(lambda: run_with_timeout(boom, limit_s=5.0))
+        except RuntimeError as exc:
+            assert "boom in child" in str(exc)
+        else:  # pragma: no cover
+            raise AssertionError("exception swallowed")
