@@ -18,6 +18,7 @@ from pathlib import Path
 import pytest
 
 from repro.core import AttackConfig
+from repro.core.atomic import atomic_write_text
 from repro.pipeline import get_split, trained_attack
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
@@ -25,7 +26,7 @@ RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 def save_report(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    (RESULTS_DIR / name).write_text(text + "\n")
+    atomic_write_text(RESULTS_DIR / name, text + "\n")
 
 
 @pytest.fixture(scope="session")

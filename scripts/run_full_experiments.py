@@ -19,13 +19,14 @@ coordinated by the disk cache (``0`` = one per CPU core).
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
 
 from repro.core import AttackConfig
+from repro.core.atomic import atomic_write_json, atomic_write_text
 from repro.eval import run_figure5, run_table3
+from repro.experiments import ResultsStore
 from repro.netlist import TABLE3_SPECS
 
 QUICK_DESIGNS = ["c432", "c880", "c1355", "b11", "b13", "c2670"]
@@ -55,15 +56,22 @@ def main() -> int:
     out.mkdir(parents=True, exist_ok=True)
     config = AttackConfig.benchmark()
     summary: dict = {"config": "benchmark", "quick": args.quick}
+    # The runs go through the sweep engine: every scenario outcome is
+    # appended to the results store, and completed scenarios resume from
+    # it — re-running this script after an interrupt (or with a wider
+    # design list) only computes the missing cells.
+    store = ResultsStore(out / "experiments.jsonl")
+    log(f"results store: {store.path} ({len(store)} scenarios)")
 
     if not args.skip_table3:
         designs = QUICK_DESIGNS if args.quick else [s.name for s in TABLE3_SPECS]
         log(f"Table 3: {len(designs)} designs, split layers M1+M3")
         report = run_table3(
-            designs=designs, config=config, progress=log, workers=args.workers
+            designs=designs, config=config, progress=log, workers=args.workers,
+            store=store,
         )
-        (out / "table3.txt").write_text(report.render() + "\n")
-        (out / "table3.md").write_text(report.to_markdown() + "\n")
+        atomic_write_text(out / "table3.txt", report.render() + "\n")
+        atomic_write_text(out / "table3.md", report.to_markdown() + "\n")
         print(report.render())
         summary["table3"] = {
             f"m{layer}": report.averages(layer) for layer in (1, 3)
@@ -84,9 +92,9 @@ def main() -> int:
         log(f"Figure 5: {len(FIGURE5_DESIGNS)} designs, M3 ablation")
         report5 = run_figure5(
             designs=FIGURE5_DESIGNS, split_layer=3, config=config,
-            progress=log, workers=args.workers,
+            progress=log, workers=args.workers, store=store,
         )
-        (out / "figure5.txt").write_text(report5.render() + "\n")
+        atomic_write_text(out / "figure5.txt", report5.render() + "\n")
         print(report5.render())
         summary["figure5"] = {
             r.variant: {
@@ -98,8 +106,10 @@ def main() -> int:
         summary["figure5_gains"] = report5.gains()
         log("Figure 5 done")
 
-    (out / "summary.json").write_text(json.dumps(summary, indent=2) + "\n")
-    log(f"wrote {out}/summary.json")
+    atomic_write_json(out / "summary.json", summary)
+    store.to_csv(out / "experiments.csv")
+    log(f"wrote {out}/summary.json and {out}/experiments.csv "
+        f"({len(store)} scenarios in the store)")
     return 0
 
 

@@ -18,6 +18,10 @@ import sys
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core.atomic import atomic_write_text  # noqa: E402
 BEGIN_T3 = "<!-- TABLE3_SUMMARY -->"
 BEGIN_F5 = "<!-- FIGURE5_SUMMARY -->"
 END = "<!-- /GENERATED -->"
@@ -104,7 +108,8 @@ def main() -> int:
     text = experiments.read_text()
     text = replace_block(text, BEGIN_T3, table3_block(summary))
     text = replace_block(text, BEGIN_F5, figure5_block(summary))
-    experiments.write_text(text)
+    # Atomic: a crash mid-write must not leave a truncated EXPERIMENTS.md.
+    atomic_write_text(experiments, text)
     print("EXPERIMENTS.md updated")
     return 0
 

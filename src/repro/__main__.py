@@ -10,15 +10,23 @@ attack      run one or more attacks on a named design at a split layer
 table3      regenerate (a subset of) Table 3
 figure5     regenerate the Figure 5 ablation
 defense     sweep the placement/lifting defenses on one design
+scenarios   list registered scenario grids, or expand one into specs
+sweep       run a registered scenario grid through the DAG engine
 
-``table3``, ``figure5`` and ``defense`` accept ``--workers N`` (or the
-``REPRO_WORKERS`` environment variable) to fan the work out over worker
-processes coordinated by the ``.repro_cache`` disk cache.
+``attack``, ``table3``, ``figure5``, ``defense`` and ``sweep`` accept
+``--workers N`` (or the ``REPRO_WORKERS`` environment variable) to fan
+the work out over worker processes coordinated by the ``.repro_cache``
+disk cache.  All of them run through :mod:`repro.experiments`: results
+append to the queryable store (``results/experiments.jsonl`` by
+default; relocate with ``REPRO_RESULTS_DIR`` or ``--store``), and
+scenarios already in the store are resumed, not recomputed — pass
+``--fresh`` to force re-evaluation.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 
@@ -64,30 +72,50 @@ def cmd_build(args) -> int:
     return 0
 
 
-def cmd_attack(args) -> int:
-    from repro.attacks import NetworkFlowAttack, ProximityAttack
-    from repro.core import AttackConfig
-    from repro.pipeline import get_split, trained_attack
-    from repro.split import ccr
+def _open_store(args):
+    from repro.experiments import ResultsStore
 
-    split = get_split(args.design, args.layer)
-    print(
-        f"{args.design} M{args.layer}: {len(split.sink_fragments)} sink / "
-        f"{len(split.source_fragments)} source fragments"
+    return ResultsStore(getattr(args, "store", None) or None)
+
+
+def cmd_attack(args) -> int:
+    from repro.core import AttackConfig
+    from repro.experiments import ScenarioSpec, run_sweep
+
+    # Single-design runs go through the same engine as the big
+    # harnesses, so they share the layout/feature/weight caches, the
+    # --workers fan-out and the results store.
+    specs = [
+        ScenarioSpec(
+            design=args.design,
+            split_layer=args.layer,
+            attack=attack,
+            config=AttackConfig.benchmark() if attack == "dl" else None,
+        )
+        for attack in ("proximity", "flow", "dl")
+        if attack in args.attacks
+    ]
+    result = run_sweep(
+        specs,
+        store=_open_store(args),
+        workers=args.workers,
+        resume=not args.fresh,
     )
-    if "proximity" in args.attacks:
-        result = ProximityAttack().attack(split)
-        print(f"  proximity   CCR={ccr(split, result.assignment):6.2f}% "
-              f"({result.runtime_s:.2f}s)")
-    if "flow" in args.attacks:
-        result = NetworkFlowAttack().attack(split)
-        print(f"  networkflow CCR={ccr(split, result.assignment):6.2f}% "
-              f"({result.runtime_s:.2f}s)")
-    if "dl" in args.attacks:
-        attack = trained_attack(args.layer, AttackConfig.benchmark())
-        result = attack.attack(split)
-        print(f"  dl          CCR={ccr(split, result.assignment):6.2f}% "
-              f"({result.runtime_s:.2f}s)")
+    # Fragment counts come from the records, so a fully store-resumed
+    # invocation never has to build the layout just for this banner.
+    sizes = result.records[0]
+    print(
+        f"{args.design} M{args.layer}: {sizes.n_sink_fragments} sink / "
+        f"{sizes.n_source_fragments} source fragments"
+    )
+    shown = {"proximity": "proximity", "flow": "networkflow", "dl": "dl"}
+    for spec, record in zip(result.specs, result.records):
+        name = shown[spec.attack]
+        if record.status != "ok":
+            print(f"  {name:11s} {record.status}")
+            continue
+        print(f"  {name:11s} CCR={record.ccr:6.2f}% "
+              f"({record.runtime_s:.2f}s)")
     return 0
 
 
@@ -102,6 +130,8 @@ def cmd_table3(args) -> int:
         flow_timeout_s=args.flow_timeout,
         progress=lambda m: print(f"  .. {m}"),
         workers=args.workers,
+        store=None if args.no_store else _open_store(args),
+        resume=not args.fresh,
     )
     print(report.render())
     return 0
@@ -117,6 +147,8 @@ def cmd_figure5(args) -> int:
         config=AttackConfig.benchmark(),
         progress=lambda m: print(f"  .. {m}"),
         workers=args.workers,
+        store=None if args.no_store else _open_store(args),
+        resume=not args.fresh,
     )
     print(report.render())
     return 0
@@ -131,8 +163,94 @@ def cmd_defense(args) -> int:
         with_flow=not args.no_flow,
         workers=args.workers,
         progress=lambda m: print(f"  .. {m}"),
+        store=None if args.no_store else _open_store(args),
+        resume=not args.fresh,
     )
     print(report.render())
+    return 0
+
+
+def _parse_grid_params(pairs) -> dict:
+    """``--param key=value`` pairs; values are JSON, else comma lists,
+    else raw strings."""
+    params = {}
+    for pair in pairs or []:
+        key, sep, raw = pair.partition("=")
+        if not sep:
+            raise SystemExit(f"--param expects key=value, got {pair!r}")
+        try:
+            value = json.loads(raw)
+        except json.JSONDecodeError:
+            value = tuple(raw.split(",")) if "," in raw else raw
+        params[key.replace("-", "_")] = value
+    return params
+
+
+def cmd_scenarios(args) -> int:
+    from repro.experiments import build_grid, list_grids
+
+    if not args.grid:
+        print("registered scenario grids:")
+        for grid in list_grids():
+            print(f"  {grid.name:15s} {grid.description}")
+            defaults = ", ".join(
+                f"{k}={v!r}" for k, v in grid.parameters().items()
+            )
+            print(f"  {'':15s} params: {defaults}")
+        return 0
+    specs = build_grid(args.grid, **_parse_grid_params(args.param))
+    for spec in specs:
+        print(spec.describe())
+    print(f"{len(specs)} scenarios ({len({s.scenario_hash for s in specs})} "
+          "distinct)")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.experiments import (
+        build_grid,
+        defense_report,
+        figure5_report,
+        render_records,
+        run_sweep,
+        table3_report,
+    )
+
+    params = _parse_grid_params(args.param)
+    specs = build_grid(args.grid, **params)
+    if not specs:
+        print(f"grid {args.grid!r} expanded to 0 scenarios")
+        return 0
+    store = _open_store(args)
+    result = run_sweep(
+        specs,
+        store=store,
+        workers=args.workers,
+        progress=lambda m: print(f"  .. {m}"),
+        resume=not args.fresh,
+    )
+    if args.grid == "table3":
+        print(table3_report(
+            result.records,
+            flow_timeout_s=params.get("flow_timeout_s", 120.0),
+            train_seconds=result.train_seconds,
+        ).render())
+    elif args.grid == "figure5":
+        print(figure5_report(
+            result.records, split_layer=specs[0].split_layer
+        ).render())
+    elif args.grid == "defense-sweep":
+        print(defense_report(
+            result.records,
+            design=specs[0].design,
+            split_layer=specs[0].split_layer,
+        ).render())
+    else:
+        print(render_records(result.records, title=f"sweep: {args.grid}"))
+    print(
+        f"{result.executed} evaluated, {result.reused} from store "
+        f"-> {store.path}"
+    )
     return 0
 
 
@@ -153,6 +271,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--out", help="write DEF-like layout here")
     p_build.set_defaults(fn=cmd_build)
 
+    workers_help = (
+        "worker processes (default: $REPRO_WORKERS or serial; 0 = all cores)"
+    )
+    store_help = (
+        "results store JSONL (default: $REPRO_RESULTS_DIR or "
+        "results/experiments.jsonl)"
+    )
+
     p_attack = sub.add_parser("attack", help="attack a design")
     p_attack.add_argument("design")
     p_attack.add_argument("--layer", type=int, default=3)
@@ -161,16 +287,30 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["proximity", "flow", "dl"],
         help="dl trains/loads the benchmark-config model (slow cold)",
     )
+    p_attack.add_argument(
+        "--workers", type=int, default=None, help=workers_help
+    )
+    p_attack.add_argument("--store", default=None, help=store_help)
+    p_attack.add_argument(
+        "--fresh", action="store_true",
+        help="re-evaluate even if the results store has these scenarios",
+    )
     p_attack.set_defaults(fn=cmd_attack)
 
-    workers_help = (
-        "worker processes (default: $REPRO_WORKERS or serial; 0 = all cores)"
-    )
     p_t3 = sub.add_parser("table3", help="regenerate Table 3")
     p_t3.add_argument("--designs", nargs="*", default=None)
     p_t3.add_argument("--layers", type=int, nargs="+", default=[1, 3])
     p_t3.add_argument("--flow-timeout", type=float, default=120.0)
     p_t3.add_argument("--workers", type=int, default=None, help=workers_help)
+    p_t3.add_argument("--store", default=None, help=store_help)
+    p_t3.add_argument(
+        "--no-store", action="store_true",
+        help="bypass the sweep engine/results store (direct harness run)",
+    )
+    p_t3.add_argument(
+        "--fresh", action="store_true",
+        help="re-evaluate even if the results store has these scenarios",
+    )
     p_t3.set_defaults(fn=cmd_table3)
 
     p_f5 = sub.add_parser("figure5", help="regenerate Figure 5")
@@ -178,6 +318,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--designs", nargs="+", default=["c432", "c880", "c1355", "b11"]
     )
     p_f5.add_argument("--workers", type=int, default=None, help=workers_help)
+    p_f5.add_argument("--store", default=None, help=store_help)
+    p_f5.add_argument(
+        "--no-store", action="store_true",
+        help="bypass the sweep engine/results store (direct harness run)",
+    )
+    p_f5.add_argument(
+        "--fresh", action="store_true",
+        help="re-evaluate even if the results store has these scenarios",
+    )
     p_f5.set_defaults(fn=cmd_figure5)
 
     p_def = sub.add_parser("defense", help="defense sweep on one design")
@@ -188,7 +337,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the (slow) network-flow attack",
     )
     p_def.add_argument("--workers", type=int, default=None, help=workers_help)
+    p_def.add_argument("--store", default=None, help=store_help)
+    p_def.add_argument(
+        "--no-store", action="store_true",
+        help="bypass the sweep engine/results store (direct harness run)",
+    )
+    p_def.add_argument(
+        "--fresh", action="store_true",
+        help="re-evaluate even if the results store has these scenarios",
+    )
     p_def.set_defaults(fn=cmd_defense)
+
+    p_sc = sub.add_parser(
+        "scenarios", help="list scenario grids / expand one into specs"
+    )
+    p_sc.add_argument("grid", nargs="?", default=None)
+    p_sc.add_argument(
+        "--param", action="append", metavar="KEY=VALUE",
+        help="grid parameter (JSON value, comma list, or raw string); "
+        "repeatable",
+    )
+    p_sc.set_defaults(fn=cmd_scenarios)
+
+    p_sw = sub.add_parser(
+        "sweep", help="run a registered scenario grid through the DAG engine"
+    )
+    p_sw.add_argument("grid")
+    p_sw.add_argument(
+        "--param", action="append", metavar="KEY=VALUE",
+        help="grid parameter (JSON value, comma list, or raw string); "
+        "repeatable",
+    )
+    p_sw.add_argument("--workers", type=int, default=None, help=workers_help)
+    p_sw.add_argument("--store", default=None, help=store_help)
+    p_sw.add_argument(
+        "--fresh", action="store_true",
+        help="re-evaluate even if the results store has these scenarios",
+    )
+    p_sw.set_defaults(fn=cmd_sweep)
     return parser
 
 

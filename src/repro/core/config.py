@@ -80,6 +80,29 @@ class AttackConfig:
     def with_(self, **changes) -> "AttackConfig":
         return replace(self, **changes)
 
+    # -- serialisation -----------------------------------------------------
+    # ``extras`` is excluded on both sides: it is compare=False scratch
+    # space and never part of a configuration's identity (the pipeline's
+    # cache fingerprints skip it for the same reason).
+    _TUPLE_FIELDS = ("image_scales", "conv_channels")
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict (tuples become lists, ``extras`` dropped)."""
+        payload = {k: v for k, v in vars(self).items() if k != "extras"}
+        for key in self._TUPLE_FIELDS:
+            payload[key] = list(payload[key])
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AttackConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        data = dict(payload)
+        data.pop("extras", None)
+        for key in cls._TUPLE_FIELDS:
+            if key in data:
+                data[key] = tuple(data[key])
+        return cls(**data)
+
     # -- presets -----------------------------------------------------------
     @classmethod
     def paper(cls) -> "AttackConfig":

@@ -126,8 +126,36 @@ def run_defense_sweep(
     with_flow: bool = True,
     workers: int | None = None,
     progress=None,
+    store=None,
+    resume: bool = True,
 ) -> DefenseSweepReport:
-    """Sweep the defenses on one design, one parallel job per layout."""
+    """Sweep the defenses on one design, one parallel job per layout.
+
+    Passing a ``store`` (:class:`repro.experiments.ResultsStore`)
+    routes the sweep through the DAG engine via the ``defense-sweep``
+    registry grid: each defended layout is built once and shared by the
+    proximity and flow cells attacking it, results land in the store,
+    and completed cells resume from it.
+    """
+    if store is not None:
+        from ..experiments import build_grid, defense_report, run_sweep
+
+        specs = build_grid(
+            "defense-sweep",
+            design=design,
+            split_layer=split_layer,
+            perturbations=perturbations,
+            lift_fractions=lift_fractions,
+            with_flow=with_flow,
+        )
+        result = run_sweep(
+            specs, store=store, workers=workers, progress=progress,
+            resume=resume,
+        )
+        return defense_report(
+            result.records, design=design, split_layer=split_layer
+        )
+
     jobs: list[tuple] = [(design, split_layer, "baseline", 0.0, with_flow)]
     jobs += [
         (design, split_layer, "perturb", s, with_flow) for s in perturbations

@@ -205,6 +205,8 @@ def run_figure5(
     use_disk_cache: bool = True,
     progress=None,
     workers: int | None = None,
+    store=None,
+    resume: bool = True,
 ) -> Figure5Report:
     """Train the three Figure 5 variants and evaluate them.
 
@@ -214,8 +216,40 @@ def run_figure5(
     per-design inference timings are wall-clock under CPU contention
     between concurrent cells; use a serial run when the absolute
     Figure 5(b) numbers matter.
+
+    Passing a ``store`` (:class:`repro.experiments.ResultsStore`)
+    routes the run through the sweep engine via the ``figure5``
+    registry grid: one trained model per variant is shared across every
+    design cell, results land in the store, and completed cells resume
+    from it.
     """
     base = config or AttackConfig.fast()
+    # Like run_table3: the engine path shares trained variants between
+    # nodes through the weight cache, so it requires the disk cache.
+    if store is not None and use_disk_cache and cache_dir() is not None:
+        from ..experiments import build_grid, figure5_report, run_sweep
+
+        specs = build_grid(
+            "figure5",
+            designs=designs,
+            split_layer=split_layer,
+            config=base,
+            train_names=train_names,
+        )
+        result = run_sweep(
+            specs, store=store, workers=workers, progress=progress,
+            resume=resume,
+        )
+        return figure5_report(result.records, split_layer=split_layer)
+    if store is not None:
+        import warnings
+
+        warnings.warn(
+            "run_figure5: store= ignored (requires the disk cache); "
+            "results will not be recorded",
+            stacklevel=2,
+        )
+
     n_workers = resolve_workers(workers)
     if n_workers > 1 and use_disk_cache and cache_dir() is not None:
         return _run_figure5_parallel(

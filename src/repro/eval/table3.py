@@ -305,6 +305,8 @@ def run_table3(
     progress=None,
     attacks: dict[int, DLAttack] | None = None,
     workers: int | None = None,
+    store=None,
+    resume: bool = True,
 ) -> Table3Report:
     """Regenerate Table 3 (or a subset of it).
 
@@ -313,10 +315,53 @@ def run_table3(
     parallel path produces CCRs identical to the serial one (the
     computation is deterministic and coordinated only through the
     cache).
+
+    Passing a ``store`` (:class:`repro.experiments.ResultsStore`)
+    routes the run through the DAG-aware sweep engine: the grid comes
+    from the ``table3`` registry entry, results are recorded in the
+    store, and completed scenarios are resumed from it instead of
+    recomputed.  CCRs are identical to the direct path (parity-tested).
     """
     config = config or AttackConfig.fast()
     if designs is None:
         designs = [spec.name for spec in TABLE3_SPECS]
+
+    # The engine path needs the disk cache: trained weights are shared
+    # between its train and eval nodes through the weight cache, so
+    # without one every DL cell would retrain.
+    if (
+        store is not None
+        and attacks is None
+        and use_disk_cache
+        and cache_dir() is not None
+    ):
+        from ..experiments import build_grid, run_sweep, table3_report
+
+        specs = build_grid(
+            "table3",
+            designs=designs,
+            split_layers=split_layers,
+            config=config,
+            train_names=train_names,
+            flow_timeout_s=flow_timeout_s,
+        )
+        result = run_sweep(
+            specs, store=store, workers=workers, progress=progress,
+            resume=resume,
+        )
+        return table3_report(
+            result.records,
+            flow_timeout_s=flow_timeout_s,
+            train_seconds=result.train_seconds,
+        )
+    if store is not None:
+        import warnings
+
+        warnings.warn(
+            "run_table3: store= ignored (requires the disk cache and no "
+            "injected attacks); results will not be recorded",
+            stacklevel=2,
+        )
 
     n_workers = resolve_workers(workers)
     if n_workers > 1 and use_disk_cache and cache_dir() is not None:

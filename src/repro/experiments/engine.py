@@ -1,0 +1,368 @@
+"""DAG-aware sweep engine.
+
+A sweep is a list of :class:`~repro.experiments.spec.ScenarioSpec`.
+Planning turns it into a small artifact DAG:
+
+* **layout** nodes — place-and-route one (possibly defended) layout
+  into the disk cache;
+* **train** nodes — train one DL attack per distinct (split layer,
+  config, training corpus) fingerprint; *shared across every scenario
+  with the same training configuration*, so a cross-defense grid with
+  40 DL scenarios and one config trains exactly once;
+* **eval** nodes — run one scenario's attack and produce a
+  :class:`~repro.experiments.store.ScenarioRecord`.
+
+Artifact nodes exist to dedup expensive work across concurrent workers
+and across scenarios; they are dropped from the plan when their cached
+artifact already exists, and eval nodes are dropped when the results
+store already holds their scenario hash (resume-from-store).  A fully
+cached sweep therefore schedules nothing and returns near-instantly.
+
+Execution runs the DAG level by level (every node whose dependencies
+are satisfied) through :func:`repro.pipeline.parallel.parallel_map`, so
+``workers=`` / ``REPRO_WORKERS`` fan each level out over processes
+coordinated by the disk cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..attacks.network_flow import NetworkFlowAttack
+from ..attacks.proximity import ProximityAttack
+from ..core.config import AttackConfig
+from ..eval.timeout import run_with_timeout
+from ..pipeline.flow import (
+    _config_fingerprint,
+    attack_weight_path,
+    cache_dir,
+    defended_layout_tag,
+    get_defended_layout,
+    get_defended_split,
+    trained_attack,
+)
+from ..pipeline.parallel import parallel_map, resolve_workers
+from ..split.metrics import ccr
+from .spec import ScenarioSpec
+from .store import ResultsStore, ScenarioRecord
+
+NodeKey = tuple
+
+
+@dataclass
+class PlanNode:
+    """One schedulable unit of a sweep plan."""
+
+    key: NodeKey  # ("layout", tag) / ("train", layer, tag) / ("eval", hash)
+    kind: str
+    payload: tuple
+    deps: tuple[NodeKey, ...] = ()
+
+
+@dataclass
+class SweepPlan:
+    specs: list[ScenarioSpec]
+    nodes: dict[NodeKey, PlanNode] = field(default_factory=dict)
+    reused: list[ScenarioRecord] = field(default_factory=list)
+
+    def levels(self) -> list[list[PlanNode]]:
+        """Topological levels: every node after all of its deps."""
+        depth: dict[NodeKey, int] = {}
+
+        def node_depth(key: NodeKey) -> int:
+            if key not in depth:
+                node = self.nodes[key]
+                deps = [d for d in node.deps if d in self.nodes]
+                depth[key] = 1 + max(
+                    (node_depth(d) for d in deps), default=-1
+                )
+            return depth[key]
+
+        out: dict[int, list[PlanNode]] = {}
+        for key in self.nodes:
+            out.setdefault(node_depth(key), []).append(self.nodes[key])
+        return [out[level] for level in sorted(out)]
+
+    def counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for node in self.nodes.values():
+            counts[node.kind] = counts.get(node.kind, 0) + 1
+        return counts
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one sweep run: one record per spec, in spec order.
+
+    ``train_seconds`` is keyed by (split layer, config fingerprint) —
+    one entry per train node that actually ran this sweep.
+    """
+
+    specs: list[ScenarioSpec]
+    records: list[ScenarioRecord]
+    executed: int = 0
+    reused: int = 0
+    train_seconds: dict[tuple, float] = field(default_factory=dict)
+
+    def record_for(self, spec: ScenarioSpec) -> ScenarioRecord:
+        by_hash = {r.scenario_hash: r for r in self.records}
+        return by_hash[spec.scenario_hash]
+
+
+# -- evaluation ---------------------------------------------------------
+
+
+def evaluate_scenario(spec: ScenarioSpec) -> ScenarioRecord:
+    """Run one scenario end-to-end and return its record.
+
+    Uses exactly the primitives the legacy harnesses use (cached
+    layouts/splits, ``trained_attack``, the timeout wrapper), so a
+    scenario's CCR is identical to the corresponding harness cell.
+    """
+    d = spec.defense
+    layout = get_defended_layout(spec.design, d.kind, d.strength, d.seed)
+    split = get_defended_split(
+        spec.design, spec.split_layer, d.kind, d.strength, d.seed
+    )
+    status = "ok"
+    train_seconds = None
+    if spec.attack == "proximity":
+        result = ProximityAttack().attack(split)
+        value, runtime = ccr(split, result.assignment), result.runtime_s
+    elif spec.attack == "flow":
+        flow = NetworkFlowAttack()
+        if spec.flow_timeout_s is not None:
+            timed = run_with_timeout(
+                lambda: flow.attack(split), spec.flow_timeout_s
+            )
+            if timed.timed_out:
+                status, value, runtime = "timeout", None, None
+            else:
+                value = ccr(split, timed.value.assignment)
+                runtime = timed.value.runtime_s
+        else:
+            result = flow.attack(split)
+            value, runtime = ccr(split, result.assignment), result.runtime_s
+    else:  # dl
+        attack = trained_attack(
+            spec.split_layer, spec.config, train_names=spec.train_names
+        )
+        # 0.0 means "loaded from the weight cache" (TrainLog default):
+        # record None rather than a fake instant training time.
+        train_seconds = attack.log.train_seconds or None
+        if spec.cache_free_inference:
+            # Figure 5(b) timing mode: warm feature/embedding caches
+            # would hide the image branch's inference cost.
+            attack.use_disk_cache = False
+        result = attack.attack(split)
+        value, runtime = ccr(split, result.assignment), result.runtime_s
+    return ScenarioRecord(
+        scenario_hash=spec.scenario_hash,
+        scenario=spec.to_dict(),
+        status=status,
+        ccr=value,
+        runtime_s=runtime,
+        n_sink_fragments=len(split.sink_fragments),
+        n_source_fragments=len(split.source_fragments),
+        hidden_pins=split.n_hidden_sink_pins,
+        wirelength=layout.total_wirelength(),
+        train_seconds=train_seconds,
+    )
+
+
+# -- worker jobs (module-level: picklable) ------------------------------
+
+
+def _layout_job(design: str, kind: str, strength: float, seed: int) -> str:
+    get_defended_layout(design, kind, strength, seed)
+    return defended_layout_tag(design, kind, strength, seed)
+
+
+def _train_job(
+    split_layer: int, config_payload: dict, train_names: tuple[str, ...]
+) -> float:
+    attack = trained_attack(
+        split_layer, AttackConfig.from_dict(config_payload), train_names
+    )
+    return attack.log.train_seconds
+
+
+def _eval_job(spec_payload: dict) -> dict:
+    return evaluate_scenario(ScenarioSpec.from_dict(spec_payload)).to_dict()
+
+
+_NODE_JOBS = {"layout": _layout_job, "train": _train_job, "eval": _eval_job}
+
+
+def _node_job(kind: str, payload: tuple):
+    return kind, _NODE_JOBS[kind](*payload)
+
+
+# -- planning -----------------------------------------------------------
+
+
+def plan_sweep(
+    specs: list[ScenarioSpec],
+    store: ResultsStore | None = None,
+    resume: bool = True,
+) -> SweepPlan:
+    """Plan a sweep: dedup shared artifacts, drop cached work.
+
+    With ``resume`` (the default), scenarios whose hash is already in
+    ``store`` are resolved from it, and artifact nodes whose cache file
+    exists are pruned (their consumers load them lazily).
+    """
+    plan = SweepPlan(specs=list(specs))
+    disk = cache_dir()
+    wanted: set[NodeKey] = set()
+
+    def add_node(node: PlanNode) -> None:
+        if node.key not in plan.nodes:
+            plan.nodes[node.key] = node
+
+    def layout_node(design: str, kind: str, strength: float, seed: int):
+        tag = defended_layout_tag(design, kind, strength, seed)
+        key = ("layout", tag)
+        add_node(
+            PlanNode(key, "layout", (design, kind, strength, seed))
+        )
+        return key
+
+    for spec in plan.specs:
+        if resume and store is not None:
+            cached = store.get(spec.scenario_hash)
+            if cached is not None:
+                plan.reused.append(cached)
+                continue
+        d = spec.defense
+        deps = [layout_node(spec.design, d.kind, d.strength, d.seed)]
+        # Train nodes only pay off when the weight cache can persist
+        # their artifact; without a disk cache each evaluation trains
+        # in-process anyway, so scheduling a train node would just
+        # train one extra time and discard the result.
+        if spec.attack == "dl" and disk is not None:
+            train_key = (
+                "train",
+                spec.split_layer,
+                _config_fingerprint(
+                    spec.config, spec.split_layer, spec.train_names
+                ),
+            )
+            train_deps = tuple(
+                layout_node(name, "none", 0.0, 0)
+                for name in spec.train_names
+            )
+            add_node(
+                PlanNode(
+                    train_key,
+                    "train",
+                    (
+                        spec.split_layer,
+                        spec.config.to_dict(),
+                        spec.train_names,
+                    ),
+                    deps=train_deps,
+                )
+            )
+            deps.append(train_key)
+        eval_key = ("eval", spec.scenario_hash)
+        add_node(
+            PlanNode(eval_key, "eval", (spec.to_dict(),), deps=tuple(deps))
+        )
+        wanted.add(eval_key)
+
+    # Prune: keep eval nodes, and artifact nodes that (a) feed a kept
+    # node transitively and (b) are not already materialised on disk.
+    keep: set[NodeKey] = set()
+
+    def visit(key: NodeKey) -> None:
+        if key in keep or key not in plan.nodes:
+            return
+        node = plan.nodes[key]
+        if node.kind == "layout" and disk is not None:
+            tag = defended_layout_tag(*node.payload)
+            if (disk / f"{tag}.def").exists():
+                return
+        if node.kind == "train":
+            weight = attack_weight_path(
+                AttackConfig.from_dict(node.payload[1]),
+                node.payload[0],
+                node.payload[2],
+            )
+            if weight is not None and weight.exists():
+                return
+        keep.add(key)
+        for dep in node.deps:
+            visit(dep)
+
+    for key in wanted:
+        visit(key)
+    plan.nodes = {k: v for k, v in plan.nodes.items() if k in keep}
+    return plan
+
+
+# -- execution ----------------------------------------------------------
+
+
+def run_sweep(
+    specs: list[ScenarioSpec],
+    store: ResultsStore | None = None,
+    workers: int | None = None,
+    progress=None,
+    resume: bool = True,
+) -> SweepResult:
+    """Plan and execute a sweep, recording results into ``store``.
+
+    Results for all specs — freshly evaluated and store-resolved — come
+    back in spec order.  ``workers`` / ``REPRO_WORKERS`` fan each DAG
+    level out over worker processes (requires the disk cache, exactly
+    like the legacy harnesses' parallel paths).
+    """
+    plan = plan_sweep(specs, store=store, resume=resume)
+    n_workers = resolve_workers(workers)
+    if n_workers > 1 and cache_dir() is None:
+        n_workers = 1  # no coordination medium: fall back to serial
+    by_hash: dict[str, ScenarioRecord] = {
+        r.scenario_hash: r for r in plan.reused
+    }
+    result = SweepResult(
+        specs=plan.specs, records=[], reused=len(plan.reused)
+    )
+
+    levels = plan.levels()
+    if progress and plan.nodes:
+        counts = plan.counts()
+        progress(
+            "sweep plan: "
+            + ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+            + f" nodes in {len(levels)} levels"
+            + (f" ({result.reused} scenarios from store)" if result.reused else "")
+        )
+    executed = 0
+    for level in levels:
+        outcomes = parallel_map(
+            _node_job,
+            [(node.kind, node.payload) for node in level],
+            workers=n_workers,
+            progress=progress,
+            label="sweep nodes",
+        )
+        level_records: list[ScenarioRecord] = []
+        for node, (kind, value) in zip(level, outcomes):
+            if kind == "train":
+                # Keyed by (layer, config fingerprint): a grid may train
+                # several configs at the same layer (e.g. figure5).
+                result.train_seconds[(node.payload[0], node.key[2])] = value
+            elif kind == "eval":
+                record = ScenarioRecord.from_dict(value)
+                by_hash[record.scenario_hash] = record
+                level_records.append(record)
+        # Persist level by level, so an interrupt or a failing node in a
+        # later level loses at most the in-flight level — finished
+        # evaluations resume from the store on the next run.
+        if store is not None:
+            store.add_many(level_records)
+        executed += len(level_records)
+    result.executed = executed
+    result.records = [by_hash[s.scenario_hash] for s in plan.specs]
+    return result

@@ -1,0 +1,275 @@
+"""Named scenario grids.
+
+A *grid* is a function from a few parameters to a list of
+:class:`~repro.experiments.spec.ScenarioSpec` — the declarative form of
+an experiment campaign.  The legacy harnesses live here as registry
+entries (``table3``, ``figure5``, ``defense-sweep``) that reproduce
+their outputs exactly, alongside grids the bespoke harnesses never
+offered (``attack-matrix``, ``cross-defense``).  Registering a new
+grid is the only step needed to make a new campaign runnable from the
+CLI (``python -m repro sweep <name>``) and queryable from the results
+store.
+
+Use :func:`register` as a decorator::
+
+    @register("my-grid", "what it sweeps")
+    def my_grid(designs=("c432",), split_layers=(1, 3)):
+        return [ScenarioSpec(design=d, split_layer=m, attack="proximity")
+                for d in designs for m in split_layers]
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.config import AttackConfig
+from .spec import DefenseSpec, ScenarioSpec
+
+
+@dataclass(frozen=True)
+class ScenarioGrid:
+    name: str
+    description: str
+    build: Callable[..., list[ScenarioSpec]]
+
+    def parameters(self) -> dict[str, object]:
+        """Grid parameter names and defaults (for ``repro scenarios``)."""
+        return {
+            name: param.default
+            for name, param in inspect.signature(self.build).parameters.items()
+        }
+
+    def __call__(self, **params) -> list[ScenarioSpec]:
+        allowed = set(inspect.signature(self.build).parameters)
+        unknown = set(params) - allowed
+        if unknown:
+            raise TypeError(
+                f"grid {self.name!r} takes no parameters {sorted(unknown)}; "
+                f"allowed: {sorted(allowed)}"
+            )
+        return self.build(**params)
+
+
+GRIDS: dict[str, ScenarioGrid] = {}
+
+
+def register(name: str, description: str):
+    def wrap(fn: Callable[..., list[ScenarioSpec]]):
+        if name in GRIDS:
+            raise ValueError(f"grid {name!r} already registered")
+        GRIDS[name] = ScenarioGrid(name, description, fn)
+        return fn
+
+    return wrap
+
+
+def get_grid(name: str) -> ScenarioGrid:
+    try:
+        return GRIDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown grid {name!r}; registered: {sorted(GRIDS)}"
+        ) from None
+
+
+def list_grids() -> list[ScenarioGrid]:
+    return [GRIDS[name] for name in sorted(GRIDS)]
+
+
+def build_grid(name: str, **params) -> list[ScenarioSpec]:
+    return get_grid(name)(**params)
+
+
+# -- built-in grids -----------------------------------------------------
+
+
+def _seq(value) -> tuple | None:
+    """Coerce a grid parameter to a tuple (CLI ``--param`` may hand a
+    bare scalar where the builder iterates)."""
+    if value is None:
+        return None
+    if isinstance(value, (str, int, float)):
+        return (value,)
+    return tuple(value)
+
+
+def _as_config(config, default) -> AttackConfig:
+    """Accept an AttackConfig, its dict form (JSON ``--param``), or None."""
+    if config is None:
+        return default
+    if isinstance(config, dict):
+        return AttackConfig.from_dict(config)
+    return config
+
+
+def _defense_points(perturbations, lift_fractions, seed) -> list[DefenseSpec]:
+    """Baseline + perturbation strengths + lift fractions, in sweep order."""
+    points = [DefenseSpec()]
+    points += [
+        DefenseSpec(kind="perturb", strength=float(s), seed=seed)
+        for s in _seq(perturbations) or ()
+    ]
+    points += [
+        DefenseSpec(kind="lift", strength=float(f), seed=seed)
+        for f in _seq(lift_fractions) or ()
+    ]
+    return points
+
+
+def _table3_designs():
+    from ..netlist.benchmarks import TABLE3_SPECS
+
+    return [spec.name for spec in TABLE3_SPECS]
+
+
+@register("table3", "flow vs DL attack over the 16-design suite (Table 3)")
+def table3_grid(
+    designs=None,
+    split_layers=(1, 3),
+    config=None,
+    train_names=None,
+    flow_timeout_s=120.0,
+):
+    designs = list(_seq(designs) or _table3_designs())
+    config = _as_config(config, AttackConfig.benchmark())
+    specs = []
+    for layer in _seq(split_layers):
+        for name in designs:
+            specs.append(
+                ScenarioSpec(
+                    design=name,
+                    split_layer=int(layer),
+                    attack="flow",
+                    flow_timeout_s=flow_timeout_s,
+                    tags=("table3",),
+                )
+            )
+            specs.append(
+                ScenarioSpec(
+                    design=name,
+                    split_layer=int(layer),
+                    attack="dl",
+                    config=config,
+                    train_names=train_names,
+                    tags=("table3",),
+                )
+            )
+    return specs
+
+
+@register("figure5", "loss/image-feature ablation on one split layer (Figure 5)")
+def figure5_grid(
+    designs=("c432", "c880", "c1355", "b11"),
+    split_layer=3,
+    config=None,
+    train_names=None,
+):
+    from ..eval.figure5 import VARIANTS, variant_config
+
+    designs = _seq(designs)
+    base = _as_config(config, AttackConfig.benchmark())
+    return [
+        ScenarioSpec(
+            design=name,
+            split_layer=int(split_layer),
+            attack="dl",
+            config=variant_config(base, variant),
+            train_names=train_names,
+            cache_free_inference=True,
+            label=variant,
+            tags=("figure5", variant),
+        )
+        for variant in VARIANTS
+        for name in designs
+    ]
+
+
+@register("defense-sweep", "security/PPA trade-off of the defenses on one design")
+def defense_sweep_grid(
+    design="c432",
+    split_layer=3,
+    perturbations=(4.0, 8.0, 16.0),
+    lift_fractions=(0.25, 0.5),
+    with_flow=True,
+    seed=0,
+):
+    defenses = _defense_points(perturbations, lift_fractions, seed)
+    attacks = ["proximity"] + (["flow"] if with_flow else [])
+    return [
+        ScenarioSpec(
+            design=design,
+            split_layer=int(split_layer),
+            attack=attack,
+            defense=defense,
+            label=defense.label,
+            tags=("defense-sweep",),
+        )
+        for defense in defenses
+        for attack in attacks
+    ]
+
+
+@register("attack-matrix", "every attack on every (design, split layer) cell")
+def attack_matrix_grid(
+    designs=("c432", "c880"),
+    split_layers=(1, 3),
+    attacks=("proximity", "flow", "dl"),
+    config=None,
+    train_names=None,
+    flow_timeout_s=120.0,
+):
+    config = _as_config(config, AttackConfig.benchmark())
+    return [
+        ScenarioSpec(
+            design=name,
+            split_layer=int(layer),
+            attack=attack,
+            config=config if attack == "dl" else None,
+            train_names=train_names if attack == "dl" else None,
+            flow_timeout_s=flow_timeout_s if attack == "flow" else None,
+            tags=("attack-matrix",),
+        )
+        for name in _seq(designs)
+        for layer in _seq(split_layers)
+        for attack in _seq(attacks)
+    ]
+
+
+@register(
+    "cross-defense",
+    "defense x split-layer x attack matrix (the paper's future-work space)",
+)
+def cross_defense_grid(
+    designs=("c432",),
+    split_layers=(1, 3),
+    perturbations=(8.0,),
+    lift_fractions=(0.5,),
+    attacks=("proximity", "dl"),
+    config=None,
+    train_names=None,
+    flow_timeout_s=120.0,
+    seed=0,
+):
+    """Cross product the bespoke harnesses never covered: how every
+    attack degrades under every defense at every split layer."""
+    config = _as_config(config, AttackConfig.benchmark())
+    defenses = _defense_points(perturbations, lift_fractions, seed)
+    return [
+        ScenarioSpec(
+            design=name,
+            split_layer=int(layer),
+            attack=attack,
+            defense=defense,
+            config=config if attack == "dl" else None,
+            train_names=train_names if attack == "dl" else None,
+            flow_timeout_s=flow_timeout_s if attack == "flow" else None,
+            label=defense.label,
+            tags=("cross-defense",),
+        )
+        for name in _seq(designs)
+        for layer in _seq(split_layers)
+        for defense in defenses
+        for attack in _seq(attacks)
+    ]

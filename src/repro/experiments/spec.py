@@ -1,0 +1,189 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is the unit of experimentation: one (design,
+split layer, defense, attack, configuration, budget) combination.  The
+whole evaluation surface of the paper — Table 3 cells, Figure 5
+ablation variants, defense sweep points — and every new grid the
+registry defines is expressed as a list of these specs.
+
+Specs are *data*: they round-trip through plain dicts (and therefore
+JSON), and they are content-hashable.  The hash identifies the
+computation, so it keys the results store and the sweep engine's
+dedup/resume logic; presentation-only fields (``label``, ``tags``) are
+excluded from it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+
+from ..core.config import AttackConfig
+
+ATTACK_KINDS = ("dl", "flow", "proximity")
+DEFENSE_KINDS = ("none", "perturb", "lift")
+
+
+@dataclass(frozen=True)
+class DefenseSpec:
+    """A layout-level defense applied before splitting.
+
+    ``kind`` is one of ``none`` (undefended baseline), ``perturb``
+    (placement perturbation by ``strength`` tracks) or ``lift``
+    (net lifting of a ``strength`` fraction of nets).
+    """
+
+    kind: str = "none"
+    strength: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.kind not in DEFENSE_KINDS:
+            raise ValueError(f"unknown defense kind {self.kind!r}")
+        if self.kind == "none" and self.strength:
+            raise ValueError("undefended layouts take no strength")
+        # Canonicalise numerics: 8 and 8.0 must hash identically.
+        object.__setattr__(self, "strength", float(self.strength))
+        object.__setattr__(self, "seed", int(self.seed))
+
+    @property
+    def label(self) -> str:
+        """The legacy defense-sweep cell label for this defense."""
+        if self.kind == "none":
+            return "undefended"
+        if self.kind == "perturb":
+            return f"perturb +-{self.strength:.0f} tracks"
+        return f"lift {int(100 * self.strength)}% of nets"
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "strength": self.strength, "seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DefenseSpec":
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One attack scenario, fully determined by its fields.
+
+    ``config`` and ``train_names`` only matter for the DL attack and
+    are normalised to ``None`` for the baseline attacks so equivalent
+    scenarios hash identically.  ``flow_timeout_s`` is the network-flow
+    budget (``None`` = unbounded).  ``cache_free_inference`` forces the
+    DL attack to re-extract features at evaluation time — the Figure 5
+    timing mode; it never changes the CCR, only the reported runtime.
+    """
+
+    design: str
+    split_layer: int = 3
+    attack: str = "dl"
+    defense: DefenseSpec = field(default_factory=DefenseSpec)
+    config: AttackConfig | None = None
+    train_names: tuple[str, ...] | None = None
+    flow_timeout_s: float | None = None
+    cache_free_inference: bool = False
+    # presentation only — excluded from the content hash
+    label: str = ""
+    tags: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if self.attack not in ATTACK_KINDS:
+            raise ValueError(f"unknown attack {self.attack!r}")
+        # Canonicalise numerics so e.g. flow_timeout_s=120 and =120.0
+        # produce the same scenario hash.
+        object.__setattr__(self, "split_layer", int(self.split_layer))
+        if self.flow_timeout_s is not None:
+            object.__setattr__(
+                self, "flow_timeout_s", float(self.flow_timeout_s)
+            )
+        if self.attack == "dl":
+            # Normalise the DL knobs to their explicit defaults so "the
+            # default" and "spelled-out default" hash identically.
+            if isinstance(self.config, dict):
+                # e.g. a JSON --param value arriving through a grid
+                object.__setattr__(
+                    self, "config", AttackConfig.from_dict(self.config)
+                )
+            if self.config is None:
+                object.__setattr__(self, "config", AttackConfig.fast())
+            if self.train_names is None:
+                from ..pipeline.flow import default_train_names
+
+                object.__setattr__(self, "train_names", default_train_names())
+            else:
+                object.__setattr__(
+                    self, "train_names", tuple(self.train_names)
+                )
+        else:
+            # Baseline attacks ignore the DL knobs; drop them so the
+            # scenario hash only reflects what the computation reads.
+            object.__setattr__(self, "config", None)
+            object.__setattr__(self, "train_names", None)
+            object.__setattr__(self, "cache_free_inference", False)
+        if self.attack != "flow":
+            object.__setattr__(self, "flow_timeout_s", None)
+        object.__setattr__(self, "tags", tuple(self.tags))
+
+    def with_(self, **changes) -> "ScenarioSpec":
+        return replace(self, **changes)
+
+    # -- serialisation -------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "design": self.design,
+            "split_layer": self.split_layer,
+            "attack": self.attack,
+            "defense": self.defense.to_dict(),
+            "config": None if self.config is None else self.config.to_dict(),
+            "train_names": (
+                None if self.train_names is None else list(self.train_names)
+            ),
+            "flow_timeout_s": self.flow_timeout_s,
+            "cache_free_inference": self.cache_free_inference,
+            "label": self.label,
+            "tags": list(self.tags),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScenarioSpec":
+        data = dict(payload)
+        data["defense"] = DefenseSpec.from_dict(
+            data.get("defense") or {"kind": "none"}
+        )
+        if data.get("config") is not None:
+            data["config"] = AttackConfig.from_dict(data["config"])
+        if data.get("train_names") is not None:
+            data["train_names"] = tuple(data["train_names"])
+        data["tags"] = tuple(data.get("tags") or ())
+        return cls(**data)
+
+    # -- identity ------------------------------------------------------
+    def hash_payload(self) -> dict:
+        """The dict the content hash covers: everything the evaluation
+        reads, nothing presentation-only."""
+        payload = self.to_dict()
+        payload.pop("label")
+        payload.pop("tags")
+        return payload
+
+    @property
+    def scenario_hash(self) -> str:
+        canonical = json.dumps(
+            self.hash_payload(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def describe(self) -> str:
+        """One-line human summary (used by ``repro scenarios``)."""
+        parts = [
+            self.scenario_hash,
+            f"{self.design:>10s}",
+            f"M{self.split_layer}",
+            f"{self.attack:9s}",
+            self.defense.label,
+        ]
+        if self.label:
+            parts.append(f"[{self.label}]")
+        return "  ".join(parts)

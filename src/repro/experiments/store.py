@@ -1,0 +1,194 @@
+"""Queryable, append-only results store.
+
+Every evaluated scenario lands here as one JSON line keyed by its
+content hash, so completed work is never recomputed: the sweep engine
+consults the store before scheduling evaluation nodes, and the report
+formatters (Table 3 / Figure 5 / defense tables) read records instead
+of re-running attacks.
+
+The file is append-only — re-evaluations append a new line and the
+*latest* record per scenario hash wins — which makes concurrent writers
+safe (single ``O_APPEND`` writes, see :mod:`repro.core.atomic`) and
+keeps history inspectable.  ``to_csv`` snapshots the latest records
+through the atomic temp-file + ``os.replace`` helpers.
+
+The default location is ``results/experiments.jsonl``; relocate it with
+the ``REPRO_RESULTS_DIR`` environment variable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+
+from ..core.atomic import atomic_append_line, atomic_write_text
+from .spec import ScenarioSpec
+
+RESULTS_DIR_ENV = "REPRO_RESULTS_DIR"
+DEFAULT_FILENAME = "experiments.jsonl"
+
+
+@dataclass
+class ScenarioRecord:
+    """Outcome of evaluating one scenario."""
+
+    scenario_hash: str
+    scenario: dict  # ScenarioSpec.to_dict()
+    status: str  # "ok" | "timeout"
+    ccr: float | None
+    runtime_s: float | None
+    n_sink_fragments: int = 0
+    n_source_fragments: int = 0
+    hidden_pins: int = 0
+    wirelength: int = 0
+    train_seconds: float | None = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def spec(self) -> ScenarioSpec:
+        return ScenarioSpec.from_dict(self.scenario)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScenarioRecord":
+        # Tolerate records written by a build with extra fields: drop
+        # unknown keys instead of discarding the whole line on reload.
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+def results_dir() -> Path:
+    return Path(os.environ.get(RESULTS_DIR_ENV, "") or "results")
+
+
+class ResultsStore:
+    """Append-only JSONL store with a small query API."""
+
+    def __init__(self, path: str | Path | None = None):
+        self.path = Path(path) if path else results_dir() / DEFAULT_FILENAME
+        self._history: list[ScenarioRecord] = []
+        self._latest: dict[str, ScenarioRecord] = {}
+        self.reload()
+
+    # -- persistence ---------------------------------------------------
+    def reload(self) -> None:
+        """Re-read the backing file (picks up other writers' appends)."""
+        self._history = []
+        self._latest = {}
+        if not self.path.exists():
+            return
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = ScenarioRecord.from_dict(json.loads(line))
+            except (json.JSONDecodeError, TypeError):
+                continue  # torn/foreign line: ignore, appends still work
+            self._history.append(record)
+            self._latest[record.scenario_hash] = record
+
+    def add(self, record: ScenarioRecord) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_append_line(
+            self.path,
+            json.dumps(record.to_dict(), sort_keys=True),
+        )
+        self._history.append(record)
+        self._latest[record.scenario_hash] = record
+
+    def add_many(self, records) -> None:
+        for record in records:
+            self.add(record)
+
+    # -- queries -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._latest)
+
+    def __contains__(self, scenario_hash: str) -> bool:
+        return scenario_hash in self._latest
+
+    def get(self, key: str | ScenarioSpec) -> ScenarioRecord | None:
+        """Latest record for a scenario hash (or a spec's hash)."""
+        if isinstance(key, ScenarioSpec):
+            key = key.scenario_hash
+        return self._latest.get(key)
+
+    def records(self) -> list[ScenarioRecord]:
+        """Latest record per scenario, in first-seen order (dict
+        insertion order keeps a key at its first position)."""
+        return list(self._latest.values())
+
+    def history(self) -> list[ScenarioRecord]:
+        """Every record ever appended, oldest first."""
+        return list(self._history)
+
+    def query(
+        self,
+        design: str | None = None,
+        split_layer: int | None = None,
+        attack: str | None = None,
+        defense_kind: str | None = None,
+        tag: str | None = None,
+        status: str | None = None,
+        predicate=None,
+    ) -> list[ScenarioRecord]:
+        """Latest records matching every given filter."""
+        out = []
+        for record in self.records():
+            s = record.scenario
+            if design is not None and s["design"] != design:
+                continue
+            if split_layer is not None and s["split_layer"] != split_layer:
+                continue
+            if attack is not None and s["attack"] != attack:
+                continue
+            if defense_kind is not None and s["defense"]["kind"] != defense_kind:
+                continue
+            if tag is not None and tag not in (s.get("tags") or ()):
+                continue
+            if status is not None and record.status != status:
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            out.append(record)
+        return out
+
+    # -- exports -------------------------------------------------------
+    CSV_COLUMNS = (
+        "scenario_hash", "design", "split_layer", "attack", "defense_kind",
+        "defense_strength", "status", "ccr", "runtime_s",
+        "n_sink_fragments", "n_source_fragments", "hidden_pins",
+        "wirelength", "train_seconds", "tags",
+    )
+
+    def to_csv(self, path: str | Path) -> Path:
+        """Snapshot the latest records as CSV (atomic write)."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.CSV_COLUMNS)
+        for record in self.records():
+            s = record.scenario
+            writer.writerow([
+                record.scenario_hash, s["design"], s["split_layer"],
+                s["attack"], s["defense"]["kind"], s["defense"]["strength"],
+                record.status,
+                "" if record.ccr is None else f"{record.ccr:.6f}",
+                "" if record.runtime_s is None else f"{record.runtime_s:.6f}",
+                record.n_sink_fragments, record.n_source_fragments,
+                record.hidden_pins, record.wirelength,
+                "" if record.train_seconds is None
+                else f"{record.train_seconds:.6f}",
+                " ".join(s.get("tags") or ()),
+            ])
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(path, buffer.getvalue())
+        return path

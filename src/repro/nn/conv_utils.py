@@ -5,6 +5,14 @@ view-based gather followed by one big matmul — the only way a pure
 NumPy convolution is fast enough to train the paper's 12-conv-layer
 image branch on a CPU.
 
+The ``stride == kernel`` case (the Table 2 down-sampling convolutions,
+kernel 3 / stride 3) takes a non-overlapping fast path: patches tile
+the padded image exactly, so the gather is a plain ``reshape`` +
+``transpose`` — no strided window view, no padding copy when the size
+divides evenly, and the backward scatter-add collapses to one reshape
+because no two patches touch the same pixel.  Both paths are bit-exact
+with each other (see ``tests/nn/test_conv_utils.py``).
+
 Layout convention is NCHW throughout.
 """
 
@@ -29,15 +37,10 @@ def conv_output_size(in_size: int, kernel: int, stride: int) -> int:
     return -(-in_size // stride)
 
 
-def im2col(
+def _im2col_general(
     x: np.ndarray, kernel: int, stride: int
 ) -> tuple[np.ndarray, tuple[int, ...]]:
-    """Unfold ``x`` (N, C, H, W) into patch columns.
-
-    Returns ``(cols, padded_shape)`` where ``cols`` has shape
-    (N * out_h * out_w, C * kernel * kernel).  ``padded_shape`` is needed
-    by :func:`col2im` to fold gradients back.
-    """
+    """Overlapping-window im2col via a strided view (any stride)."""
     n, c, h, w = x.shape
     pad_h = same_padding(h, kernel, stride)
     pad_w = same_padding(w, kernel, stride)
@@ -62,19 +65,56 @@ def im2col(
     return np.ascontiguousarray(cols), (n, c, hp, wp)
 
 
-def col2im(
+def _im2col_nonoverlap(
+    x: np.ndarray, kernel: int
+) -> tuple[np.ndarray, tuple[int, ...]]:
+    """stride == kernel: patches tile the padded image, so the window
+    gather is a pure reshape — and when the size divides evenly (the
+    hot 99 -> 33 and 33 -> 11 stages) the padding copy is skipped too."""
+    n, c, h, w = x.shape
+    pad_h = same_padding(h, kernel, kernel)
+    pad_w = same_padding(w, kernel, kernel)
+    if pad_h == (0, 0) and pad_w == (0, 0):
+        xp = x
+    else:
+        xp = np.pad(
+            x, ((0, 0), (0, 0), pad_h, pad_w),
+            mode="constant", constant_values=0.0,
+        )
+    hp, wp = xp.shape[2], xp.shape[3]
+    out_h = hp // kernel
+    out_w = wp // kernel
+    cols = (
+        xp.reshape(n, c, out_h, kernel, out_w, kernel)
+        .transpose(0, 2, 4, 1, 3, 5)
+        .reshape(n * out_h * out_w, c * kernel * kernel)
+    )
+    return np.ascontiguousarray(cols), (n, c, hp, wp)
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int
+) -> tuple[np.ndarray, tuple[int, ...]]:
+    """Unfold ``x`` (N, C, H, W) into patch columns.
+
+    Returns ``(cols, padded_shape)`` where ``cols`` has shape
+    (N * out_h * out_w, C * kernel * kernel).  ``padded_shape`` is needed
+    by :func:`col2im` to fold gradients back.
+    """
+    if stride == kernel:
+        return _im2col_nonoverlap(x, kernel)
+    return _im2col_general(x, kernel, stride)
+
+
+def _col2im_general(
     cols: np.ndarray,
     padded_shape: tuple[int, ...],
-    orig_hw: tuple[int, int],
+    out_h: int,
+    out_w: int,
     kernel: int,
     stride: int,
 ) -> np.ndarray:
-    """Fold patch-column gradients back to an input gradient (N, C, H, W)."""
     n, c, hp, wp = padded_shape
-    h, w = orig_hw
-    out_h = conv_output_size(h, kernel, stride)
-    out_w = conv_output_size(w, kernel, stride)
-
     grad_padded = np.zeros((n, c, hp, wp), dtype=cols.dtype)
     patches = cols.reshape(n, out_h, out_w, c, kernel, kernel).transpose(
         0, 3, 1, 2, 4, 5
@@ -88,7 +128,45 @@ def col2im(
                 ki : ki + out_h * stride : stride,
                 kj : kj + out_w * stride : stride,
             ] += patches[:, :, :, :, ki, kj]
+    return grad_padded
 
+
+def _col2im_nonoverlap(
+    cols: np.ndarray,
+    padded_shape: tuple[int, ...],
+    out_h: int,
+    out_w: int,
+    kernel: int,
+) -> np.ndarray:
+    """stride == kernel: every padded pixel receives exactly one patch
+    value, so the k*k scatter-add loop collapses to one reshape."""
+    n, c, hp, wp = padded_shape
+    return (
+        cols.reshape(n, out_h, out_w, c, kernel, kernel)
+        .transpose(0, 3, 1, 4, 2, 5)
+        .reshape(n, c, hp, wp)
+    )
+
+
+def col2im(
+    cols: np.ndarray,
+    padded_shape: tuple[int, ...],
+    orig_hw: tuple[int, int],
+    kernel: int,
+    stride: int,
+) -> np.ndarray:
+    """Fold patch-column gradients back to an input gradient (N, C, H, W)."""
+    h, w = orig_hw
+    out_h = conv_output_size(h, kernel, stride)
+    out_w = conv_output_size(w, kernel, stride)
+    if stride == kernel:
+        grad_padded = _col2im_nonoverlap(
+            cols, padded_shape, out_h, out_w, kernel
+        )
+    else:
+        grad_padded = _col2im_general(
+            cols, padded_shape, out_h, out_w, kernel, stride
+        )
     pad_h = same_padding(h, kernel, stride)
     pad_w = same_padding(w, kernel, stride)
     return grad_padded[:, :, pad_h[0] : pad_h[0] + h, pad_w[0] : pad_w[0] + w]

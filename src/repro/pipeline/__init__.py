@@ -7,6 +7,9 @@ from .flow import (
     cache_dir,
     clear_memo,
     default_train_names,
+    defended_layout_tag,
+    get_defended_layout,
+    get_defended_split,
     get_layout,
     get_split,
     trained_attack,
@@ -19,6 +22,9 @@ __all__ = [
     "cache_dir",
     "clear_memo",
     "default_train_names",
+    "defended_layout_tag",
+    "get_defended_layout",
+    "get_defended_split",
     "get_layout",
     "get_split",
     "parallel_map",

@@ -107,6 +107,80 @@ def get_split(name: str, split_layer: int, use_disk_cache: bool = True) -> Split
     return _split_memo[key]
 
 
+def defended_layout_tag(
+    name: str, kind: str, strength: float, seed: int
+) -> str:
+    """Cache key of a defended layout build (identity for undefended)."""
+    if kind == "none":
+        return name
+    return f"{name}__{kind}_{strength:g}_s{seed}"
+
+
+def get_defended_layout(
+    name: str,
+    kind: str = "none",
+    strength: float = 0.0,
+    seed: int = 0,
+    use_disk_cache: bool = True,
+) -> Design:
+    """Build (or load) a possibly-defended layout, with memo + disk cache.
+
+    Defended layouts are deterministic functions of (design, defense
+    kind, strength, seed), so they share the layout cache: every
+    attack evaluated on the same defended layout — across scenarios and
+    worker processes — reuses one place-and-route.
+    """
+    if kind == "none":
+        return get_layout(name, use_disk_cache)
+    tag = defended_layout_tag(name, kind, strength, seed)
+    memo = _layout_memo.get(tag)
+    if memo is not None:
+        return memo
+    netlist = build_netlist(name)
+    design: Design | None = None
+    disk = cache_dir() if use_disk_cache else None
+    def_path = disk / f"{tag}.def" if disk else None
+    if def_path is not None and def_path.exists():
+        try:
+            design = read_def(def_path.read_text(), netlist)
+        except Exception:
+            design = None  # stale cache: rebuild
+    if design is None:
+        # Imported lazily: repro.defense.evaluation imports this module,
+        # so a top-level import would be circular.
+        from ..defense.lifting import lifted_layout
+        from ..defense.perturbation import perturbed_layout
+
+        if kind == "perturb":
+            design = perturbed_layout(netlist, strength=strength, seed=seed)
+        elif kind == "lift":
+            design = lifted_layout(netlist, lift_fraction=strength, seed=seed)
+        else:
+            raise ValueError(f"unknown defense kind {kind!r}")
+        if def_path is not None:
+            atomic_write_text(def_path, write_def(design))
+    _layout_memo[tag] = design
+    return design
+
+
+def get_defended_split(
+    name: str,
+    split_layer: int,
+    kind: str = "none",
+    strength: float = 0.0,
+    seed: int = 0,
+    use_disk_cache: bool = True,
+) -> SplitLayout:
+    tag = defended_layout_tag(name, kind, strength, seed)
+    key = (tag, split_layer)
+    if key not in _split_memo:
+        _split_memo[key] = split_design(
+            get_defended_layout(name, kind, strength, seed, use_disk_cache),
+            split_layer,
+        )
+    return _split_memo[key]
+
+
 def _config_fingerprint(
     config: AttackConfig, split_layer: int, train_names: tuple[str, ...]
 ) -> str:

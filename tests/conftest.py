@@ -18,5 +18,11 @@ def _isolated_repro_cache(tmp_path_factory):
     patcher.setenv(
         "REPRO_CACHE_DIR", str(tmp_path_factory.mktemp("repro_cache"))
     )
+    # Same treatment for the experiments results store: CLI commands and
+    # sweeps default to ``results/experiments.jsonl`` in the working
+    # directory, which is the repository's committed results area.
+    patcher.setenv(
+        "REPRO_RESULTS_DIR", str(tmp_path_factory.mktemp("repro_results"))
+    )
     yield
     patcher.undo()

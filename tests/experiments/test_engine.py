@@ -1,0 +1,260 @@
+"""Sweep engine: planning, artifact reuse, resume, harness parity.
+
+All tests run on the tiny corpus with per-test isolated caches; the
+parity tests assert the registry-driven entries reproduce the direct
+harnesses' CCRs exactly (acceptance criterion of the experiments
+subsystem).
+"""
+
+import pytest
+
+from repro.core import AttackConfig
+from repro.core.attack import DLAttack
+from repro.defense import run_defense_sweep
+from repro.eval import run_figure5, run_table3
+from repro.experiments import (
+    DefenseSpec,
+    ResultsStore,
+    ScenarioSpec,
+    build_grid,
+    plan_sweep,
+    run_sweep,
+)
+from repro.pipeline import clear_memo
+
+TINY = AttackConfig.tiny().with_(epochs=2)
+TRAIN = ("tiny_a", "tiny_b")
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+    clear_memo()
+    yield
+    clear_memo()
+
+
+def dl_spec(design, **kw):
+    kw.setdefault("config", TINY)
+    kw.setdefault("train_names", TRAIN)
+    return ScenarioSpec(design=design, split_layer=3, attack="dl", **kw)
+
+
+class TestPlanning:
+    def test_shared_training_config_plans_one_train_node(self):
+        plan = plan_sweep([dl_spec("tiny_a"), dl_spec("tiny_b")])
+        counts = plan.counts()
+        assert counts["train"] == 1
+        assert counts["eval"] == 2
+        assert counts["layout"] == 2  # tiny_a + tiny_b (corpus == evals)
+
+    def test_distinct_configs_plan_distinct_train_nodes(self):
+        plan = plan_sweep([
+            dl_spec("tiny_a"),
+            dl_spec("tiny_a", config=TINY.with_(epochs=1)),
+        ])
+        assert plan.counts()["train"] == 2
+
+    def test_baseline_attacks_need_no_train_node(self):
+        plan = plan_sweep([
+            ScenarioSpec(design="tiny_a", split_layer=3, attack="proximity"),
+        ])
+        assert "train" not in plan.counts()
+
+    def test_levels_respect_dependencies(self):
+        plan = plan_sweep([dl_spec("tiny_a")])
+        kinds = [sorted({n.kind for n in level}) for level in plan.levels()]
+        assert kinds == [["layout"], ["train"], ["eval"]]
+
+    def test_defended_layouts_are_shared_nodes(self):
+        defense = DefenseSpec("perturb", 4.0)
+        plan = plan_sweep([
+            ScenarioSpec(design="tiny_a", attack="proximity", defense=defense),
+            ScenarioSpec(design="tiny_a", attack="flow", defense=defense),
+        ])
+        assert plan.counts()["layout"] == 1
+
+    def test_store_hits_prune_everything(self, tmp_path):
+        store = ResultsStore(tmp_path / "exp.jsonl")
+        specs = [ScenarioSpec(design="tiny_a", attack="proximity")]
+        run_sweep(specs, store=store)
+        plan = plan_sweep(specs, store=store)
+        assert not plan.nodes
+        assert len(plan.reused) == 1
+
+
+class TestExecution:
+    def test_records_in_spec_order_and_resume(self, tmp_path):
+        store = ResultsStore(tmp_path / "exp.jsonl")
+        specs = [
+            ScenarioSpec(design="tiny_b", split_layer=3, attack="proximity"),
+            ScenarioSpec(design="tiny_a", split_layer=3, attack="proximity"),
+        ]
+        first = run_sweep(specs, store=store)
+        assert first.executed == 2 and first.reused == 0
+        assert [r.scenario["design"] for r in first.records] == [
+            "tiny_b", "tiny_a",
+        ]
+        again = run_sweep(specs, store=store)
+        assert again.executed == 0 and again.reused == 2
+        assert [r.ccr for r in again.records] == [r.ccr for r in first.records]
+
+    def test_fresh_run_ignores_store(self, tmp_path):
+        store = ResultsStore(tmp_path / "exp.jsonl")
+        specs = [ScenarioSpec(design="tiny_a", attack="proximity")]
+        run_sweep(specs, store=store)
+        fresh = run_sweep(specs, store=store, resume=False)
+        assert fresh.executed == 1
+        assert len(store.history()) == 2
+
+    def test_cross_scenario_artifact_reuse_no_retrain(self, tmp_path,
+                                                      monkeypatch):
+        store = ResultsStore(tmp_path / "exp.jsonl")
+        first = run_sweep([dl_spec("tiny_a")], store=store)
+        assert first.executed == 1
+
+        def boom(*args, **kwargs):
+            raise AssertionError(
+                "second scenario with the same training config retrained"
+            )
+
+        monkeypatch.setattr(DLAttack, "train", boom)
+        clear_memo()  # drop layout memos; weights must come from disk
+        second = run_sweep([dl_spec("tiny_b")], store=store)
+        assert second.executed == 1
+        assert second.records[0].status == "ok"
+
+    def test_failed_late_node_keeps_earlier_levels(self, tmp_path,
+                                                   monkeypatch):
+        store = ResultsStore(tmp_path / "exp.jsonl")
+        prox = ScenarioSpec(design="tiny_a", split_layer=3, attack="proximity")
+
+        def boom(self, split):
+            raise RuntimeError("dl eval failed")
+
+        monkeypatch.setattr(DLAttack, "attack", boom)
+        with pytest.raises(RuntimeError):
+            run_sweep([prox, dl_spec("tiny_a")], store=store)
+        # The proximity eval's level finished and persisted before the
+        # DL eval failed — the re-run resumes it from the store.
+        assert store.get(prox) is not None
+
+    def test_flow_timeout_recorded(self, tmp_path):
+        store = ResultsStore(tmp_path / "exp.jsonl")
+        spec = ScenarioSpec(
+            design="tiny_seq", split_layer=3, attack="flow",
+            flow_timeout_s=1e-4,
+        )
+        result = run_sweep([spec], store=store)
+        record = result.records[0]
+        assert record.status == "timeout"
+        assert record.ccr is None
+        assert store.get(spec).status == "timeout"
+
+
+class TestHarnessParity:
+    """Registry-driven entries must reproduce the direct harness CCRs."""
+
+    def test_table3_parity(self, tmp_path):
+        direct = run_table3(
+            designs=["tiny_seq"], split_layers=(3,), config=TINY,
+            train_names=TRAIN, flow_timeout_s=30.0,
+        )
+        store = ResultsStore(tmp_path / "exp.jsonl")
+        engine = run_table3(
+            designs=["tiny_seq"], split_layers=(3,), config=TINY,
+            train_names=TRAIN, flow_timeout_s=30.0, store=store,
+        )
+        assert len(engine.rows) == len(direct.rows) == 1
+        d, e = direct.rows[0], engine.rows[0]
+        assert (e.design, e.split_layer) == (d.design, d.split_layer)
+        assert e.n_sink_fragments == d.n_sink_fragments
+        assert e.n_source_fragments == d.n_source_fragments
+        assert e.ccr_dl == d.ccr_dl
+        assert e.ccr_flow == d.ccr_flow
+        assert "tiny_seq" in engine.render()
+        # and the engine run is resumable: nothing re-executes
+        again = run_table3(
+            designs=["tiny_seq"], split_layers=(3,), config=TINY,
+            train_names=TRAIN, flow_timeout_s=30.0, store=store,
+        )
+        assert again.rows[0].ccr_dl == e.ccr_dl
+        assert len(store.history()) == 2  # flow + dl, appended once
+
+    def test_figure5_parity(self, tmp_path):
+        direct = run_figure5(
+            designs=["tiny_seq"], split_layer=3, config=TINY,
+            train_names=TRAIN,
+        )
+        store = ResultsStore(tmp_path / "exp.jsonl")
+        engine = run_figure5(
+            designs=["tiny_seq"], split_layer=3, config=TINY,
+            train_names=TRAIN, store=store,
+        )
+        assert [r.variant for r in engine.results] == [
+            r.variant for r in direct.results
+        ]
+        for d, e in zip(direct.results, engine.results):
+            assert e.per_design_ccr == d.per_design_ccr
+            assert e.avg_ccr == d.avg_ccr
+            assert e.avg_inference_s > 0
+
+    def test_defense_parity(self, tmp_path):
+        kwargs = dict(
+            split_layer=3, perturbations=(4.0,), lift_fractions=(0.5,),
+            with_flow=True,
+        )
+        direct = run_defense_sweep("tiny_a", **kwargs)
+        store = ResultsStore(tmp_path / "exp.jsonl")
+        engine = run_defense_sweep("tiny_a", store=store, **kwargs)
+        assert [c.label for c in engine.cells] == [
+            c.label for c in direct.cells
+        ]
+        for d, e in zip(direct.cells, engine.cells):
+            assert e.kind == d.kind
+            assert e.ccr_proximity == d.ccr_proximity
+            assert e.ccr_flow == d.ccr_flow
+            assert e.n_sink_fragments == d.n_sink_fragments
+            assert e.hidden_pins == d.hidden_pins
+            assert e.wirelength == d.wirelength
+        assert engine.render() == direct.render()
+
+
+class TestGrids:
+    def test_table3_grid_covers_suite(self):
+        specs = build_grid("table3")
+        assert len(specs) == 16 * 2 * 2  # designs x layers x {flow, dl}
+        assert len({s.scenario_hash for s in specs}) == len(specs)
+
+    def test_json_param_config_dict_is_coerced(self):
+        # the CLI --param syntax hands configs through as plain dicts
+        specs = build_grid(
+            "table3", designs=("c432",), split_layers=(3,),
+            config={"epochs": 2},
+        )
+        dl = [s for s in specs if s.attack == "dl"][0]
+        assert isinstance(dl.config, AttackConfig)
+        assert dl.config.epochs == 2
+        dl.to_dict()  # must serialise cleanly
+        f5 = build_grid(
+            "figure5", designs=("c432",), config={"epochs": 2},
+        )
+        assert all(isinstance(s.config, AttackConfig) for s in f5)
+
+    def test_unknown_grid_and_params_error(self):
+        with pytest.raises(KeyError):
+            build_grid("nope")
+        with pytest.raises(TypeError):
+            build_grid("table3", bogus_param=1)
+
+    def test_cross_defense_grid_shares_training(self):
+        specs = build_grid(
+            "cross-defense",
+            designs=("tiny_a",), split_layers=(3,),
+            config=TINY, train_names=TRAIN,
+        )
+        plan = plan_sweep(specs)
+        # one trained model serves every defense variant at this layer
+        assert plan.counts()["train"] == 1
+        assert plan.counts()["eval"] == len(specs)

@@ -1,0 +1,86 @@
+"""Fast-tier end-to-end sweep against the committed warm cache.
+
+Runs a tiny two-scenario sweep (proximity attack on the cached c432 and
+c880 layouts, M3) through the full experiments stack — grid spec ->
+DAG plan -> evaluation -> results store — and asserts the store matches
+the golden CCRs committed in ``golden_sweep.json``.
+
+The layouts come from the repository's committed ``.repro_cache`` (the
+warm benchmark artifacts), so this runs in milliseconds and guards
+three things at once: scenario-hash stability, DEF-cache fidelity, and
+the determinism of the store records.
+
+Regenerate the goldens only after an *intentional* layout or
+spec-schema change: run the same two scenarios through ``run_sweep``
+with ``REPRO_CACHE_DIR=.repro_cache`` and rewrite ``golden_sweep.json``
+with each record's hash, design, ccr, fragment counts, hidden pins and
+wirelength.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ResultsStore, ScenarioSpec, run_sweep
+from repro.pipeline import clear_memo
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+WARM_CACHE = REPO_ROOT / ".repro_cache"
+GOLDEN_PATH = Path(__file__).parent / "golden_sweep.json"
+
+
+def golden_specs() -> list[ScenarioSpec]:
+    return [
+        ScenarioSpec(
+            design="c432", split_layer=3, attack="proximity",
+            tags=("golden",),
+        ),
+        ScenarioSpec(
+            design="c880", split_layer=3, attack="proximity",
+            tags=("golden",),
+        ),
+    ]
+
+
+@pytest.fixture()
+def warm_cache(monkeypatch, tmp_path):
+    for design in ("c432", "c880"):
+        if not (WARM_CACHE / f"{design}.def").exists():
+            pytest.skip("committed warm cache not present")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(WARM_CACHE))
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    clear_memo()
+    yield tmp_path
+    clear_memo()
+
+
+def test_two_scenario_sweep_matches_goldens(warm_cache):
+    golden = json.loads(GOLDEN_PATH.read_text())
+    specs = golden_specs()
+    assert [s.scenario_hash for s in specs] == list(golden), (
+        "scenario hashes drifted from golden_sweep.json — if the spec "
+        "schema change is intentional, regenerate the goldens"
+    )
+
+    store = ResultsStore(warm_cache / "experiments.jsonl")
+    result = run_sweep(specs, store=store)
+    assert result.executed == 2
+
+    for spec in specs:
+        record = store.get(spec)
+        expected = golden[spec.scenario_hash]
+        assert record is not None and record.status == "ok"
+        assert record.scenario["design"] == expected["design"]
+        assert record.ccr == pytest.approx(expected["ccr"], abs=1e-9)
+        assert record.n_sink_fragments == expected["n_sink_fragments"]
+        assert record.n_source_fragments == expected["n_source_fragments"]
+        assert record.hidden_pins == expected["hidden_pins"]
+        assert record.wirelength == expected["wirelength"]
+
+    # Re-running the completed sweep is pure store resolution.
+    again = run_sweep(specs, store=store)
+    assert again.executed == 0 and again.reused == 2
+    assert [r.ccr for r in again.records] == [
+        store.get(s).ccr for s in specs
+    ]

@@ -1,0 +1,143 @@
+"""ScenarioSpec hashing, normalisation and dict/JSON round-trip."""
+
+import json
+
+import pytest
+
+from repro.core import AttackConfig
+from repro.experiments import DefenseSpec, ScenarioSpec
+
+
+class TestDefenseSpec:
+    def test_labels_match_legacy_harness(self):
+        assert DefenseSpec().label == "undefended"
+        assert DefenseSpec("perturb", 8.0).label == "perturb +-8 tracks"
+        assert DefenseSpec("lift", 0.25).label == "lift 25% of nets"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DefenseSpec(kind="bogus")
+        with pytest.raises(ValueError):
+            DefenseSpec(kind="none", strength=2.0)
+
+
+class TestRoundTrip:
+    def specs(self):
+        return [
+            ScenarioSpec(design="c432", split_layer=1, attack="proximity"),
+            ScenarioSpec(
+                design="c432", split_layer=3, attack="flow",
+                flow_timeout_s=60.0,
+            ),
+            ScenarioSpec(
+                design="b11", split_layer=3, attack="dl",
+                config=AttackConfig.tiny(),
+                train_names=("tiny_a", "tiny_b"),
+                cache_free_inference=True,
+                label="vec&img", tags=("figure5", "vec&img"),
+            ),
+            ScenarioSpec(
+                design="c880", attack="proximity",
+                defense=DefenseSpec("lift", 0.5, seed=3),
+            ),
+        ]
+
+    def test_dict_round_trip(self):
+        for spec in self.specs():
+            clone = ScenarioSpec.from_dict(spec.to_dict())
+            assert clone == spec
+            assert clone.scenario_hash == spec.scenario_hash
+
+    def test_json_round_trip(self):
+        for spec in self.specs():
+            payload = json.loads(json.dumps(spec.to_dict()))
+            assert ScenarioSpec.from_dict(payload) == spec
+
+
+class TestHashing:
+    def test_same_spec_same_hash(self):
+        a = ScenarioSpec(design="c432", attack="dl", config=AttackConfig.tiny())
+        b = ScenarioSpec(design="c432", attack="dl", config=AttackConfig.tiny())
+        assert a.scenario_hash == b.scenario_hash
+
+    def test_changed_field_changes_hash(self):
+        base = ScenarioSpec(
+            design="c432", split_layer=3, attack="dl",
+            config=AttackConfig.tiny(), flow_timeout_s=None,
+        )
+        variants = [
+            base.with_(design="c880"),
+            base.with_(split_layer=1),
+            base.with_(attack="proximity"),
+            base.with_(defense=DefenseSpec("perturb", 4.0)),
+            base.with_(config=AttackConfig.tiny().with_(epochs=99)),
+            base.with_(train_names=("tiny_a",)),
+            base.with_(cache_free_inference=True),
+        ]
+        hashes = {base.scenario_hash} | {v.scenario_hash for v in variants}
+        assert len(hashes) == len(variants) + 1
+
+    def test_numeric_fields_are_canonicalised(self):
+        # int vs float spellings describe the same computation.
+        a = ScenarioSpec(design="c432", attack="flow", flow_timeout_s=120)
+        b = ScenarioSpec(design="c432", attack="flow", flow_timeout_s=120.0)
+        assert a.scenario_hash == b.scenario_hash
+        c = ScenarioSpec(
+            design="c432", attack="proximity",
+            defense=DefenseSpec("perturb", 8),
+        )
+        d = ScenarioSpec(
+            design="c432", attack="proximity",
+            defense=DefenseSpec("perturb", 8.0),
+        )
+        assert c.scenario_hash == d.scenario_hash
+
+    def test_presentation_fields_do_not_hash(self):
+        a = ScenarioSpec(design="c432", attack="proximity")
+        b = a.with_(label="pretty", tags=("some-grid",))
+        assert a.scenario_hash == b.scenario_hash
+
+    def test_baseline_attacks_drop_dl_knobs(self):
+        a = ScenarioSpec(design="c432", attack="proximity")
+        b = ScenarioSpec(
+            design="c432", attack="proximity",
+            config=AttackConfig.tiny(), train_names=("tiny_a",),
+            cache_free_inference=True,
+        )
+        assert b.config is None and b.train_names is None
+        assert a.scenario_hash == b.scenario_hash
+
+    def test_dl_defaults_are_normalised(self):
+        from repro.pipeline import default_train_names
+
+        spec = ScenarioSpec(design="c432", attack="dl")
+        explicit = ScenarioSpec(
+            design="c432", attack="dl",
+            config=AttackConfig.fast(),
+            train_names=default_train_names(),
+        )
+        assert spec.scenario_hash == explicit.scenario_hash
+
+    def test_hash_is_stable_across_processes(self):
+        # sha256 of canonical JSON: no dependence on PYTHONHASHSEED.
+        spec = ScenarioSpec(design="c432", attack="proximity")
+        assert spec.scenario_hash == ScenarioSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))
+        ).scenario_hash
+        assert len(spec.scenario_hash) == 16
+
+
+class TestConfigRoundTrip:
+    def test_to_from_dict(self):
+        config = AttackConfig.tiny().with_(dropout=0.25, grad_clip=1.0)
+        clone = AttackConfig.from_dict(config.to_dict())
+        assert clone == config
+        assert isinstance(clone.image_scales, tuple)
+        assert isinstance(clone.conv_channels, tuple)
+
+    def test_extras_excluded(self):
+        config = AttackConfig.tiny()
+        config.extras["scratch"] = object()
+        payload = config.to_dict()
+        assert "extras" not in payload
+        json.dumps(payload)  # fully JSON-compatible

@@ -1,0 +1,95 @@
+"""ResultsStore: append-only semantics, queries, exports."""
+
+import json
+
+from repro.experiments import (
+    DefenseSpec,
+    ResultsStore,
+    ScenarioRecord,
+    ScenarioSpec,
+)
+
+
+def record_for(spec, ccr=50.0, status="ok", **kw):
+    return ScenarioRecord(
+        scenario_hash=spec.scenario_hash,
+        scenario=spec.to_dict(),
+        status=status,
+        ccr=ccr,
+        runtime_s=1.0,
+        n_sink_fragments=4,
+        n_source_fragments=2,
+        **kw,
+    )
+
+
+class TestStore:
+    def test_append_and_reload(self, tmp_path):
+        path = tmp_path / "exp.jsonl"
+        store = ResultsStore(path)
+        spec = ScenarioSpec(design="tiny_a", attack="proximity")
+        store.add(record_for(spec))
+        assert len(store) == 1
+        assert spec.scenario_hash in store
+
+        fresh = ResultsStore(path)
+        got = fresh.get(spec)
+        assert got is not None and got.ccr == 50.0
+        assert got.spec == spec
+
+    def test_latest_record_wins(self, tmp_path):
+        store = ResultsStore(tmp_path / "exp.jsonl")
+        spec = ScenarioSpec(design="tiny_a", attack="proximity")
+        store.add(record_for(spec, ccr=10.0))
+        store.add(record_for(spec, ccr=20.0))
+        assert len(store) == 1
+        assert store.get(spec).ccr == 20.0
+        assert len(store.history()) == 2
+        # persisted history, not just in-memory state
+        assert len(ResultsStore(store.path).history()) == 2
+
+    def test_torn_line_is_ignored(self, tmp_path):
+        path = tmp_path / "exp.jsonl"
+        store = ResultsStore(path)
+        spec = ScenarioSpec(design="tiny_a", attack="proximity")
+        store.add(record_for(spec))
+        with open(path, "a") as handle:
+            handle.write('{"scenario_hash": "truncat')
+        fresh = ResultsStore(path)
+        assert len(fresh) == 1
+
+    def test_query_filters(self, tmp_path):
+        store = ResultsStore(tmp_path / "exp.jsonl")
+        specs = [
+            ScenarioSpec(design="tiny_a", split_layer=1, attack="proximity"),
+            ScenarioSpec(design="tiny_a", split_layer=3, attack="flow",
+                         flow_timeout_s=5.0),
+            ScenarioSpec(design="tiny_b", split_layer=3, attack="proximity",
+                         defense=DefenseSpec("lift", 0.5),
+                         tags=("defense-sweep",)),
+        ]
+        store.add(record_for(specs[0], ccr=10.0))
+        store.add(record_for(specs[1], ccr=None, status="timeout"))
+        store.add(record_for(specs[2], ccr=30.0))
+
+        assert {r.ccr for r in store.query(design="tiny_a")} == {10.0, None}
+        assert store.query(attack="flow")[0].status == "timeout"
+        assert store.query(defense_kind="lift")[0].ccr == 30.0
+        assert store.query(tag="defense-sweep")[0].ccr == 30.0
+        assert store.query(status="ok", split_layer=3)[0].ccr == 30.0
+        assert store.query(predicate=lambda r: (r.ccr or 0) > 20)[0].ccr == 30.0
+
+    def test_csv_export(self, tmp_path):
+        store = ResultsStore(tmp_path / "exp.jsonl")
+        store.add(record_for(ScenarioSpec(design="tiny_a", attack="proximity")))
+        out = store.to_csv(tmp_path / "exp.csv")
+        lines = out.read_text().strip().splitlines()
+        assert lines[0].startswith("scenario_hash,design")
+        assert len(lines) == 2
+        assert "tiny_a" in lines[1]
+
+    def test_lines_are_valid_json(self, tmp_path):
+        store = ResultsStore(tmp_path / "exp.jsonl")
+        store.add(record_for(ScenarioSpec(design="tiny_a", attack="proximity")))
+        for line in store.path.read_text().splitlines():
+            json.loads(line)

@@ -5,6 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.nn import col2im, conv_output_size, im2col, same_padding
+from repro.nn.conv_utils import _col2im_general, _im2col_general
 
 
 def naive_conv2d(x, weight, kernel, stride):
@@ -88,6 +89,60 @@ class TestIm2col:
         ow = conv_output_size(w, 3, stride)
         assert cols.shape == (n * oh * ow, c * 9)
         assert padded[0] == n and padded[1] == c
+
+
+class TestNonOverlapFastPath:
+    """stride == kernel dispatches to the tiling fast path; it must be
+    bit-identical to the general strided-window path."""
+
+    @given(
+        n=st.integers(1, 3),
+        c=st.integers(1, 4),
+        h=st.integers(1, 13),
+        w=st.integers(1, 13),
+        kernel=st.sampled_from([1, 2, 3]),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_im2col_bit_exact(self, n, c, h, w, kernel, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((n, c, h, w))
+        fast_cols, fast_padded = im2col(x, kernel=kernel, stride=kernel)
+        ref_cols, ref_padded = _im2col_general(x, kernel=kernel, stride=kernel)
+        assert fast_padded == ref_padded
+        np.testing.assert_array_equal(fast_cols, ref_cols)
+
+    @given(
+        c=st.integers(1, 3),
+        h=st.integers(1, 12),
+        w=st.integers(1, 12),
+        kernel=st.sampled_from([2, 3]),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_col2im_bit_exact(self, c, h, w, kernel, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((1, c, h, w))
+        cols, padded = im2col(x, kernel=kernel, stride=kernel)
+        y = rng.standard_normal(cols.shape)
+        fast = col2im(y, padded, (h, w), kernel=kernel, stride=kernel)
+        out_h = conv_output_size(h, kernel, kernel)
+        out_w = conv_output_size(w, kernel, kernel)
+        ref_padded = _col2im_general(y, padded, out_h, out_w, kernel, kernel)
+        pad_h = same_padding(h, kernel, kernel)
+        pad_w = same_padding(w, kernel, kernel)
+        ref = ref_padded[
+            :, :, pad_h[0] : pad_h[0] + h, pad_w[0] : pad_w[0] + w
+        ]
+        np.testing.assert_array_equal(fast, ref)
+
+    def test_table2_hot_shape_is_unpadded(self):
+        # The 33 -> 11 stage pads nothing: the fast path must not copy.
+        assert same_padding(33, 3, 3) == (0, 0)
+        x = np.random.default_rng(0).standard_normal((4, 16, 33, 33))
+        cols, padded = im2col(x, kernel=3, stride=3)
+        assert cols.shape == (4 * 11 * 11, 16 * 9)
+        assert padded == (4, 16, 33, 33)
 
 
 class TestCol2imAdjoint:

@@ -9,6 +9,7 @@ from repro.pipeline import clear_memo
 @pytest.fixture(autouse=True)
 def isolated_cache(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
     clear_memo()
     yield
     clear_memo()
@@ -21,11 +22,15 @@ class TestParser:
 
     def test_all_commands_registered(self):
         parser = build_parser()
-        for cmd in ("info", "quickstart", "build", "attack", "table3", "figure5"):
+        for cmd in (
+            "info", "quickstart", "build", "attack", "table3", "figure5",
+            "scenarios",
+        ):
             args = parser.parse_args(
                 [cmd] + (["tiny_a"] if cmd in ("build", "attack") else [])
             )
             assert callable(args.fn)
+        assert callable(parser.parse_args(["sweep", "table3"]).fn)
 
 
 class TestCommands:
@@ -48,6 +53,54 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "proximity" in out
         assert "networkflow" in out
+
+    def test_attack_records_to_store(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "r2"))
+        assert main(
+            ["attack", "tiny_a", "--layer", "3", "--attacks", "proximity"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "proximity" in out
+        from repro.experiments import ResultsStore
+
+        store = ResultsStore()
+        assert store.path == tmp_path / "r2" / "experiments.jsonl"
+        assert len(store.query(design="tiny_a", attack="proximity")) == 1
+
+    def test_scenarios_lists_grids(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for grid in ("table3", "figure5", "defense-sweep", "attack-matrix",
+                     "cross-defense"):
+            assert grid in out
+
+    def test_scenarios_expands_grid(self, capsys):
+        assert main([
+            "scenarios", "defense-sweep", "--param", "design=tiny_a",
+            "--param", "perturbations=[4.0]", "--param", "lift_fractions=[]",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "tiny_a" in out
+        assert "perturb +-4 tracks" in out
+        assert "4 scenarios" in out  # (baseline + perturb) x (prox, flow)
+
+    def test_sweep_runs_grid_and_resumes(self, capsys):
+        argv = [
+            "sweep", "attack-matrix",
+            "--param", "designs=tiny_a",
+            "--param", "split_layers=[3]",
+            "--param", 'attacks=["proximity"]',
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "1 evaluated, 0 from store" in out
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 evaluated, 1 from store" in out
+
+    def test_sweep_unknown_grid_errors(self):
+        with pytest.raises(KeyError):
+            main(["sweep", "not_a_grid"])
 
     def test_unknown_design_errors(self):
         with pytest.raises(KeyError):
