@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Latency/throughput benchmark of the attack service HTTP path.
+
+Starts an :class:`repro.service.AttackService` on an ephemeral port
+against a *pre-populated* results store, then replays grid submissions
+at configurable client concurrency.  Every replayed job's scenarios are
+already in the store, so each request exercises the full HTTP + queue
++ dedup path and is answered from the store — the "fully-cached grid
+replay" of the service acceptance bar (>= 50 req/s sustained).
+
+The store is populated one of two ways:
+
+* default: synthetic records are minted for every scenario hash in the
+  replayed grids (the benchmark measures the serving stack, not the
+  attacks);
+* ``--real``: the golden two-scenario proximity sweep is evaluated
+  once against the committed warm ``.repro_cache`` and those records
+  are replayed.
+
+Writes the percentile report to ``results/bench_service.txt``
+(atomically) and prints it.
+
+    PYTHONPATH=src python scripts/bench_service.py
+    PYTHONPATH=src python scripts/bench_service.py --requests 500 -c 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_GRIDS = [
+    ("table3", {}),
+    ("attack-matrix", {}),
+]
+
+
+def synthetic_store(store, grids) -> int:
+    """Mint one plausible record per scenario in the replayed grids."""
+    from repro.experiments import ScenarioRecord, build_grid
+
+    n = 0
+    for name, params in grids:
+        for spec in build_grid(name, **params):
+            if store.get(spec) is not None:
+                continue
+            store.add(
+                ScenarioRecord(
+                    scenario_hash=spec.scenario_hash,
+                    scenario=spec.to_dict(),
+                    status="ok",
+                    ccr=50.0,
+                    runtime_s=0.1,
+                    extra={"synthetic": True},
+                )
+            )
+            n += 1
+    return n
+
+
+def golden_store(store) -> int:
+    """Evaluate the golden two-scenario sweep on the committed cache."""
+    from repro.experiments import ScenarioSpec, run_sweep
+
+    os.environ["REPRO_CACHE_DIR"] = str(REPO_ROOT / ".repro_cache")
+    specs = [
+        ScenarioSpec(design=d, split_layer=3, attack="proximity")
+        for d in ("c432", "c880")
+    ]
+    result = run_sweep(specs, store=store)
+    return result.executed
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=300)
+    parser.add_argument("--concurrency", "-c", type=int, default=4)
+    parser.add_argument(
+        "--real", action="store_true",
+        help="replay the golden warm-cache sweep instead of synthetic "
+        "records",
+    )
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "results" / "bench_service.txt")
+    )
+    args = parser.parse_args()
+
+    # The benchmark must not touch the repository's committed results;
+    # the service gets a scratch store + journal of its own.
+    scratch = Path(tempfile.mkdtemp(prefix="repro_bench_service_"))
+    os.environ["REPRO_RESULTS_DIR"] = str(scratch)
+
+    from repro.core.atomic import atomic_write_text
+    from repro.experiments import ResultsStore
+    from repro.service import AttackService, ServiceClient, run_load
+
+    store = ResultsStore(scratch / "experiments.jsonl")
+    if args.real:
+        seeded = golden_store(store)
+        payloads = [{
+            "specs": [
+                {"design": d, "split_layer": 3, "attack": "proximity"}
+                for d in ("c432", "c880")
+            ]
+        }]
+    else:
+        seeded = synthetic_store(store, DEFAULT_GRIDS)
+        payloads = [
+            {"grid": name, "params": params}
+            for name, params in DEFAULT_GRIDS
+        ]
+    print(f"seeded {seeded} records into {store.path}")
+
+    service = AttackService(store=store, queue_path=scratch / "queue.jsonl")
+    service.start()
+    try:
+        client = ServiceClient(service.url, timeout=30.0)
+
+        def submit_and_wait(i: int) -> None:
+            payload = payloads[i % len(payloads)]
+            out = client.submit(**payload)
+            if out["outcome"] != "from_store":
+                # Fully-cached replay must never schedule DAG work.
+                raise RuntimeError(f"unexpected outcome {out['outcome']}")
+            view = client.job(out["job"]["job_id"])
+            if view["status"] != "done":
+                raise RuntimeError(f"job not done: {view['status']}")
+
+        # Warm-up (connection setup, grid expansion caches)
+        run_load(submit_and_wait, min(10, args.requests), 1, "warmup")
+        report = run_load(
+            submit_and_wait,
+            args.requests,
+            args.concurrency,
+            label="fully-cached grid replay (submit + status over HTTP)",
+        )
+        queries = run_load(
+            lambda i: client.results(attack="dl"),
+            args.requests,
+            args.concurrency,
+            label="GET /results?attack=dl",
+        )
+    finally:
+        service.stop()
+
+    text = "\n\n".join([report.render(), queries.render()]) + "\n"
+    print(text)
+    out_path = Path(args.out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_text(out_path, text)
+    print(f"wrote {out_path}")
+    ok = report.throughput_rps >= 50 and report.errors == 0
+    print(f"acceptance (>=50 req/s, 0 errors): {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,9 @@ figure5     regenerate the Figure 5 ablation
 defense     sweep the placement/lifting defenses on one design
 scenarios   list registered scenario grids, or expand one into specs
 sweep       run a registered scenario grid through the DAG engine
+serve       run the attack service (job queue + scheduler + HTTP API)
+submit      submit a grid or spec file to a running service
+report      summarise the results store (slowest nodes, cache hits)
 
 ``attack``, ``table3``, ``figure5``, ``defense`` and ``sweep`` accept
 ``--workers N`` (or the ``REPRO_WORKERS`` environment variable) to fan
@@ -254,6 +257,83 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.service import AttackService
+
+    service = AttackService(
+        host=args.host,
+        port=args.port,
+        store=_open_store(args),
+        queue_path=args.queue or None,
+        workers=args.workers,
+        progress=lambda m: print(f"  .. {m}"),
+    )
+    service.start()
+    print(f"repro attack service listening on {service.url}")
+    print(f"  results store: {service.store.path}")
+    print(f"  job journal:   {service.queue.path}")
+    print("  POST /jobs | GET /jobs/<id>?wait=s | GET /results | /healthz")
+    try:
+        import threading
+
+        threading.Event().wait()  # serve until interrupted
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        service.stop()
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from repro.service import ServiceClient
+
+    if not args.grid and not args.spec_file:
+        raise SystemExit("submit needs a grid name or --spec-file")
+    client = ServiceClient(args.url)
+    if args.spec_file:
+        with open(args.spec_file) as handle:
+            specs = json.load(handle)
+        if isinstance(specs, dict):
+            specs = [specs]
+        out = client.submit(specs=specs, priority=args.priority)
+    else:
+        out = client.submit(
+            grid=args.grid,
+            params=_parse_grid_params(args.param),
+            priority=args.priority,
+        )
+    job = out["job"]
+    print(
+        f"{out['outcome']}: {job['job_id']} "
+        f"({job['n_scenarios']} scenarios, priority {job['priority']})"
+    )
+    if not args.wait:
+        return 0
+    from repro.experiments import ScenarioRecord, render_records
+
+    view = client.wait(job["job_id"], timeout=args.timeout)
+    if view["status"] != "done":
+        print(f"job {view['status']}: {view.get('error', '')}")
+        return 1
+    records = [ScenarioRecord.from_dict(r) for r in view.get("records", [])]
+    print(render_records(records, title=f"job {job['job_id']}"))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.experiments import store_summary
+
+    store = _open_store(args)
+    records = store.query(
+        design=args.design,
+        attack=args.attack,
+        tag=args.tag,
+        status=args.status,
+    )
+    print(store_summary(records, top=args.top, title=str(store.path)))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -375,6 +455,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-evaluate even if the results store has these scenarios",
     )
     p_sw.set_defaults(fn=cmd_sweep)
+
+    p_srv = sub.add_parser(
+        "serve", help="run the attack service (queue + scheduler + HTTP)"
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument(
+        "--port", type=int, default=8732, help="0 = ephemeral port"
+    )
+    p_srv.add_argument("--workers", type=int, default=None, help=workers_help)
+    p_srv.add_argument("--store", default=None, help=store_help)
+    p_srv.add_argument(
+        "--queue", default=None,
+        help="job journal JSONL (default: results/service_queue.jsonl)",
+    )
+    p_srv.set_defaults(fn=cmd_serve)
+
+    p_sub = sub.add_parser(
+        "submit", help="submit a sweep to a running attack service"
+    )
+    p_sub.add_argument(
+        "grid", nargs="?", default=None,
+        help="registered grid name (or use --spec-file)",
+    )
+    p_sub.add_argument(
+        "--param", action="append", metavar="KEY=VALUE",
+        help="grid parameter (JSON value, comma list, or raw string); "
+        "repeatable",
+    )
+    p_sub.add_argument(
+        "--spec-file", default=None,
+        help="JSON file with one spec dict or a list of them",
+    )
+    p_sub.add_argument("--url", default="http://127.0.0.1:8732")
+    p_sub.add_argument("--priority", type=int, default=0)
+    p_sub.add_argument(
+        "--wait", action="store_true",
+        help="long-poll until the job finishes and print its records",
+    )
+    p_sub.add_argument("--timeout", type=float, default=3600.0)
+    p_sub.set_defaults(fn=cmd_submit)
+
+    p_rep = sub.add_parser(
+        "report", help="summarise the results store (telemetry, cache hits)"
+    )
+    p_rep.add_argument("--store", default=None, help=store_help)
+    p_rep.add_argument("--design", default=None)
+    p_rep.add_argument("--attack", default=None)
+    p_rep.add_argument("--tag", default=None)
+    p_rep.add_argument("--status", default=None)
+    p_rep.add_argument(
+        "--top", type=int, default=10, help="slowest nodes to list"
+    )
+    p_rep.set_defaults(fn=cmd_report)
     return parser
 
 

@@ -101,6 +101,52 @@ def feature_cache_dir() -> Path | None:
     return path
 
 
+def feature_config_fingerprint(config: AttackConfig) -> str:
+    """Hash of the config fields the feature tensors depend on.
+
+    Layout-independent, so the sweep engine can key cache warm-up nodes
+    on it before any layout exists: two configs that differ only in
+    training hyper-parameters (epochs, learning rate, ...) share one
+    fingerprint and therefore one feature-tensor cache entry.
+    """
+    payload = repr(
+        (
+            config.n_candidates,
+            config.image_size,
+            config.image_scales,
+            config.use_images,
+            config.max_feature_layers,
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def feature_cache_key(split: SplitLayout, config: AttackConfig) -> str:
+    """Content key of one (layout, split layer, feature config) tensor set."""
+    cfg = config
+    payload = repr(
+        (
+            _TENSOR_CACHE_VERSION,
+            _layout_fingerprint(split),
+            split.split_layer,
+            cfg.n_candidates,
+            cfg.image_size,
+            cfg.image_scales,
+            cfg.use_images,
+            cfg.max_feature_layers,
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+def feature_cache_path(split: SplitLayout, config: AttackConfig) -> Path | None:
+    """Disk location of the cached feature tensors (None: cache disabled)."""
+    root = feature_cache_dir()
+    if root is None:
+        return None
+    return root / f"{feature_cache_key(split, config)}.npz"
+
+
 def _layout_fingerprint(split: SplitLayout) -> str:
     """Content hash of the serialised layout, memoised on the design."""
     design = split.design
@@ -193,20 +239,7 @@ class SplitDataset:
 
     # -- tensor precompute / cache --------------------------------------
     def _cache_key(self) -> str:
-        cfg = self.config
-        payload = repr(
-            (
-                _TENSOR_CACHE_VERSION,
-                _layout_fingerprint(self.split),
-                self.split.split_layer,
-                cfg.n_candidates,
-                cfg.image_size,
-                cfg.image_scales,
-                cfg.use_images,
-                cfg.max_feature_layers,
-            )
-        )
-        return hashlib.sha256(payload.encode()).hexdigest()[:24]
+        return feature_cache_key(self.split, self.config)
 
     def _cache_arrays(self) -> dict[str, np.ndarray]:
         """Everything expensive, as arrays: features, unique images and

@@ -19,10 +19,13 @@ The subsystem turns experiment campaigns into data:
 """
 
 from .engine import (
+    PlanNode,
     SweepPlan,
     SweepResult,
+    attach_node_telemetry,
     evaluate_scenario,
     plan_sweep,
+    run_node,
     run_sweep,
 )
 from .registry import (
@@ -37,6 +40,7 @@ from .reports import (
     defense_report,
     figure5_report,
     render_records,
+    store_summary,
     table3_report,
 )
 from .spec import ATTACK_KINDS, DEFENSE_KINDS, DefenseSpec, ScenarioSpec
@@ -47,12 +51,14 @@ __all__ = [
     "DEFENSE_KINDS",
     "DefenseSpec",
     "GRIDS",
+    "PlanNode",
     "ResultsStore",
     "ScenarioGrid",
     "ScenarioRecord",
     "ScenarioSpec",
     "SweepPlan",
     "SweepResult",
+    "attach_node_telemetry",
     "build_grid",
     "defense_report",
     "evaluate_scenario",
@@ -63,6 +69,8 @@ __all__ = [
     "register",
     "render_records",
     "results_dir",
+    "run_node",
     "run_sweep",
+    "store_summary",
     "table3_report",
 ]

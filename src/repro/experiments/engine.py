@@ -5,6 +5,11 @@ Planning turns it into a small artifact DAG:
 
 * **layout** nodes — place-and-route one (possibly defended) layout
   into the disk cache;
+* **features** nodes — render one layout's feature tensors (vector
+  features + unique-image table) into the feature cache, keyed by
+  (layout, split layer, feature-relevant config fields); explicit
+  warm-up, so several DL evaluations of the same layout never pay the
+  render cost twice;
 * **train** nodes — train one DL attack per distinct (split layer,
   config, training corpus) fingerprint; *shared across every scenario
   with the same training configuration*, so a cross-defense grid with
@@ -19,18 +24,29 @@ store already holds their scenario hash (resume-from-store).  A fully
 cached sweep therefore schedules nothing and returns near-instantly.
 
 Execution runs the DAG level by level (every node whose dependencies
-are satisfied) through :func:`repro.pipeline.parallel.parallel_map`, so
+are satisfied) through a :class:`repro.pipeline.parallel.Executor`, so
 ``workers=`` / ``REPRO_WORKERS`` fan each level out over processes
-coordinated by the disk cache.
+coordinated by the disk cache; pass ``executor=`` to reuse one pool
+across sweeps (the attack service does).  Every node is timed in its
+worker (:func:`run_node`), and evaluation records carry the telemetry
+in ``extra["telemetry"]``.
 """
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import dataclass, field
 
 from ..attacks.network_flow import NetworkFlowAttack
 from ..attacks.proximity import ProximityAttack
+from ..attacks.random_forest import RandomForestAttack
 from ..core.config import AttackConfig
+from ..core.dataset import (
+    SplitDataset,
+    feature_cache_path,
+    feature_config_fingerprint,
+)
 from ..eval.timeout import run_with_timeout
 from ..pipeline.flow import (
     _config_fingerprint,
@@ -41,8 +57,8 @@ from ..pipeline.flow import (
     get_defended_split,
     trained_attack,
 )
-from ..pipeline.parallel import parallel_map, resolve_workers
-from ..split.metrics import ccr
+from ..pipeline.parallel import Executor, resolve_workers
+from ..split.metrics import candidate_list_recall, ccr
 from .spec import ScenarioSpec
 from .store import ResultsStore, ScenarioRecord
 
@@ -64,6 +80,9 @@ class SweepPlan:
     specs: list[ScenarioSpec]
     nodes: dict[NodeKey, PlanNode] = field(default_factory=dict)
     reused: list[ScenarioRecord] = field(default_factory=list)
+    # artifact nodes dropped because their cached artifact already
+    # exists, by kind — the cache-hit side of the telemetry ratio
+    pruned: dict[str, int] = field(default_factory=dict)
 
     def levels(self) -> list[list[PlanNode]]:
         """Topological levels: every node after all of its deps."""
@@ -126,9 +145,32 @@ def evaluate_scenario(spec: ScenarioSpec) -> ScenarioRecord:
     )
     status = "ok"
     train_seconds = None
+    extra: dict = {}
     if spec.attack == "proximity":
         result = ProximityAttack().attack(split)
         value, runtime = ccr(split, result.assignment), result.runtime_s
+    elif spec.attack == "rf":
+        # [9]-style random forest: single-pick CCR plus the
+        # candidate-list metrics the paper's introduction argues about.
+        rf = RandomForestAttack(list_threshold=spec.rf_list_threshold)
+        train_splits = [
+            get_defended_split(name, spec.split_layer)
+            for name in spec.train_names
+        ]
+        started = time.perf_counter()
+        rf.train(train_splits)
+        train_seconds = time.perf_counter() - started
+        result = rf.attack(split)
+        value, runtime = ccr(split, result.assignment), result.runtime_s
+        lists = rf.candidate_lists(split)
+        extra["rf"] = {
+            "list_threshold": spec.rf_list_threshold,
+            "list_recall": candidate_list_recall(split, lists.lists),
+            "mean_list_size": lists.mean_size(),
+            "log10_combinations": sum(
+                math.log10(max(len(v), 1)) for v in lists.lists.values()
+            ),
+        }
     elif spec.attack == "flow":
         flow = NetworkFlowAttack()
         if spec.flow_timeout_s is not None:
@@ -167,6 +209,7 @@ def evaluate_scenario(spec: ScenarioSpec) -> ScenarioRecord:
         hidden_pins=split.n_hidden_sink_pins,
         wirelength=layout.total_wirelength(),
         train_seconds=train_seconds,
+        extra=extra,
     )
 
 
@@ -176,6 +219,20 @@ def evaluate_scenario(spec: ScenarioSpec) -> ScenarioRecord:
 def _layout_job(design: str, kind: str, strength: float, seed: int) -> str:
     get_defended_layout(design, kind, strength, seed)
     return defended_layout_tag(design, kind, strength, seed)
+
+
+def _features_job(
+    design: str,
+    kind: str,
+    strength: float,
+    seed: int,
+    split_layer: int,
+    config_payload: dict,
+) -> int:
+    """Warm the feature-tensor cache for one (layout, layer, config)."""
+    split = get_defended_split(design, split_layer, kind, strength, seed)
+    dataset = SplitDataset(split, AttackConfig.from_dict(config_payload))
+    return len(dataset.groups)
 
 
 def _train_job(
@@ -191,11 +248,27 @@ def _eval_job(spec_payload: dict) -> dict:
     return evaluate_scenario(ScenarioSpec.from_dict(spec_payload)).to_dict()
 
 
-_NODE_JOBS = {"layout": _layout_job, "train": _train_job, "eval": _eval_job}
+_NODE_JOBS = {
+    "layout": _layout_job,
+    "features": _features_job,
+    "train": _train_job,
+    "eval": _eval_job,
+}
 
 
-def _node_job(kind: str, payload: tuple):
-    return kind, _NODE_JOBS[kind](*payload)
+def run_node(kind: str, payload: tuple):
+    """Execute one plan node; returns (kind, value, wall-clock seconds).
+
+    Module-level and picklable, so it is the unit both ``run_sweep``
+    levels and the service scheduler dispatch through the executor;
+    the timing is measured inside the worker process.
+    """
+    started = time.perf_counter()
+    value = _NODE_JOBS[kind](*payload)
+    return kind, value, time.perf_counter() - started
+
+
+_node_job = run_node  # historical name
 
 
 # -- planning -----------------------------------------------------------
@@ -228,6 +301,28 @@ def plan_sweep(
         )
         return key
 
+    def features_node(
+        design: str,
+        kind: str,
+        strength: float,
+        seed: int,
+        split_layer: int,
+        config: AttackConfig,
+    ):
+        tag = defended_layout_tag(design, kind, strength, seed)
+        key = (
+            "features", tag, split_layer, feature_config_fingerprint(config)
+        )
+        add_node(
+            PlanNode(
+                key,
+                "features",
+                (design, kind, strength, seed, split_layer, config.to_dict()),
+                deps=(layout_node(design, kind, strength, seed),),
+            )
+        )
+        return key
+
     for spec in plan.specs:
         if resume and store is not None:
             cached = store.get(spec.scenario_hash)
@@ -236,10 +331,10 @@ def plan_sweep(
                 continue
         d = spec.defense
         deps = [layout_node(spec.design, d.kind, d.strength, d.seed)]
-        # Train nodes only pay off when the weight cache can persist
-        # their artifact; without a disk cache each evaluation trains
-        # in-process anyway, so scheduling a train node would just
-        # train one extra time and discard the result.
+        # Train/features nodes only pay off when the disk cache can
+        # persist their artifact; without a disk cache each evaluation
+        # recomputes in-process anyway, so scheduling them would just
+        # do the work one extra time and discard the result.
         if spec.attack == "dl" and disk is not None:
             train_key = (
                 "train",
@@ -248,8 +343,14 @@ def plan_sweep(
                     spec.config, spec.split_layer, spec.train_names
                 ),
             )
+            # The trainer renders one feature-tensor set per corpus
+            # design; warming them as explicit nodes lets concurrent
+            # sweeps (and the service's cross-job merge) share the
+            # renders instead of paying them inside each train node.
             train_deps = tuple(
-                layout_node(name, "none", 0.0, 0)
+                features_node(
+                    name, "none", 0.0, 0, spec.split_layer, spec.config
+                )
                 for name in spec.train_names
             )
             add_node(
@@ -265,6 +366,22 @@ def plan_sweep(
                 )
             )
             deps.append(train_key)
+            if not spec.cache_free_inference:
+                # Figure 5's timing mode deliberately re-extracts at
+                # evaluation time, so warming its cache is wasted work.
+                deps.append(
+                    features_node(
+                        spec.design, d.kind, d.strength, d.seed,
+                        spec.split_layer, spec.config,
+                    )
+                )
+        elif spec.attack == "rf":
+            # The forest trains in-eval (no weight cache) but needs the
+            # corpus layouts on disk before workers can share them.
+            deps.extend(
+                layout_node(name, "none", 0.0, 0)
+                for name in spec.train_names
+            )
         eval_key = ("eval", spec.scenario_hash)
         add_node(
             PlanNode(eval_key, "eval", (spec.to_dict(),), deps=tuple(deps))
@@ -274,23 +391,39 @@ def plan_sweep(
     # Prune: keep eval nodes, and artifact nodes that (a) feed a kept
     # node transitively and (b) are not already materialised on disk.
     keep: set[NodeKey] = set()
+    seen: set[NodeKey] = set()
 
-    def visit(key: NodeKey) -> None:
-        if key in keep or key not in plan.nodes:
-            return
-        node = plan.nodes[key]
+    def cached_on_disk(node: PlanNode) -> bool:
         if node.kind == "layout" and disk is not None:
             tag = defended_layout_tag(*node.payload)
-            if (disk / f"{tag}.def").exists():
-                return
+            return (disk / f"{tag}.def").exists()
+        if node.kind == "features" and disk is not None:
+            design, kind, strength, seed, layer, cfg = node.payload
+            tag = defended_layout_tag(design, kind, strength, seed)
+            if not (disk / f"{tag}.def").exists():
+                # Layout not built yet: the key depends on its content,
+                # so the warm-up cannot be proven cached — keep it.
+                return False
+            split = get_defended_split(design, layer, kind, strength, seed)
+            path = feature_cache_path(split, AttackConfig.from_dict(cfg))
+            return path is not None and path.exists()
         if node.kind == "train":
             weight = attack_weight_path(
                 AttackConfig.from_dict(node.payload[1]),
                 node.payload[0],
                 node.payload[2],
             )
-            if weight is not None and weight.exists():
-                return
+            return weight is not None and weight.exists()
+        return False
+
+    def visit(key: NodeKey) -> None:
+        if key in seen or key not in plan.nodes:
+            return
+        seen.add(key)
+        node = plan.nodes[key]
+        if cached_on_disk(node):
+            plan.pruned[node.kind] = plan.pruned.get(node.kind, 0) + 1
+            return
         keep.add(key)
         for dep in node.deps:
             visit(dep)
@@ -304,24 +437,51 @@ def plan_sweep(
 # -- execution ----------------------------------------------------------
 
 
+def attach_node_telemetry(
+    record: ScenarioRecord, seconds: float, plan: SweepPlan
+) -> None:
+    """Write per-node wall-clock + plan cache stats into ``extra``.
+
+    ``node_seconds`` is the eval node's in-worker wall-clock;
+    ``cache_hits``/``planned`` describe the sweep plan the node ran in
+    (artifact nodes pruned because their cached artifact existed vs
+    scheduled), which is what the ``repro report`` cache-hit ratio
+    aggregates.
+    """
+    record.extra["telemetry"] = {
+        "node_seconds": seconds,
+        "planned": plan.counts(),
+        "cache_hits": dict(plan.pruned),
+    }
+
+
 def run_sweep(
     specs: list[ScenarioSpec],
     store: ResultsStore | None = None,
     workers: int | None = None,
     progress=None,
     resume: bool = True,
+    executor: Executor | None = None,
+    on_node=None,
 ) -> SweepResult:
     """Plan and execute a sweep, recording results into ``store``.
 
     Results for all specs — freshly evaluated and store-resolved — come
     back in spec order.  ``workers`` / ``REPRO_WORKERS`` fan each DAG
     level out over worker processes (requires the disk cache, exactly
-    like the legacy harnesses' parallel paths).
+    like the legacy harnesses' parallel paths); pass a long-lived
+    :class:`~repro.pipeline.parallel.Executor` instead to reuse one
+    pool across many sweeps.  ``on_node(node, value, seconds)`` fires
+    after every completed node — the service scheduler's telemetry
+    hook.
     """
     plan = plan_sweep(specs, store=store, resume=resume)
-    n_workers = resolve_workers(workers)
-    if n_workers > 1 and cache_dir() is None:
-        n_workers = 1  # no coordination medium: fall back to serial
+    owns_executor = executor is None
+    if owns_executor:
+        n_workers = resolve_workers(workers)
+        if n_workers > 1 and cache_dir() is None:
+            n_workers = 1  # no coordination medium: fall back to serial
+        executor = Executor(n_workers)
     by_hash: dict[str, ScenarioRecord] = {
         r.scenario_hash: r for r in plan.reused
     }
@@ -339,30 +499,38 @@ def run_sweep(
             + (f" ({result.reused} scenarios from store)" if result.reused else "")
         )
     executed = 0
-    for level in levels:
-        outcomes = parallel_map(
-            _node_job,
-            [(node.kind, node.payload) for node in level],
-            workers=n_workers,
-            progress=progress,
-            label="sweep nodes",
-        )
-        level_records: list[ScenarioRecord] = []
-        for node, (kind, value) in zip(level, outcomes):
-            if kind == "train":
-                # Keyed by (layer, config fingerprint): a grid may train
-                # several configs at the same layer (e.g. figure5).
-                result.train_seconds[(node.payload[0], node.key[2])] = value
-            elif kind == "eval":
-                record = ScenarioRecord.from_dict(value)
-                by_hash[record.scenario_hash] = record
-                level_records.append(record)
-        # Persist level by level, so an interrupt or a failing node in a
-        # later level loses at most the in-flight level — finished
-        # evaluations resume from the store on the next run.
-        if store is not None:
-            store.add_many(level_records)
-        executed += len(level_records)
+    try:
+        for level in levels:
+            outcomes = executor.map(
+                run_node,
+                [(node.kind, node.payload) for node in level],
+                progress=progress,
+                label="sweep nodes",
+            )
+            level_records: list[ScenarioRecord] = []
+            for node, (kind, value, seconds) in zip(level, outcomes):
+                if kind == "train":
+                    # Keyed by (layer, config fingerprint): a grid may
+                    # train several configs at one layer (e.g. figure5).
+                    result.train_seconds[
+                        (node.payload[0], node.key[2])
+                    ] = value
+                elif kind == "eval":
+                    record = ScenarioRecord.from_dict(value)
+                    attach_node_telemetry(record, seconds, plan)
+                    by_hash[record.scenario_hash] = record
+                    level_records.append(record)
+                if on_node is not None:
+                    on_node(node, value, seconds)
+            # Persist level by level, so an interrupt or a failing node
+            # in a later level loses at most the in-flight level —
+            # finished evaluations resume from the store on re-run.
+            if store is not None:
+                store.add_many(level_records)
+            executed += len(level_records)
+    finally:
+        if owns_executor:
+            executor.close()
     result.executed = executed
     result.records = [by_hash[s.scenario_hash] for s in plan.specs]
     return result

@@ -238,6 +238,49 @@ def attack_matrix_grid(
 
 
 @register(
+    "candidate-lists",
+    "DL single-pick vs [9]-style RF candidate lists (threshold ablation)",
+)
+def candidate_lists_grid(
+    designs=("c432", "c880", "c1355", "b11"),
+    split_layer=3,
+    thresholds=(0.2, 0.5),
+    config=None,
+    train_names=None,
+):
+    """The paper-introduction argument as a grid: the DL attack's
+    committed single pick next to the random forest's
+    probability-thresholded candidate lists (recall / list size /
+    combination count land in each rf record's ``extra['rf']``)."""
+    config = _as_config(config, AttackConfig.benchmark())
+    specs = []
+    for name in _seq(designs):
+        specs.append(
+            ScenarioSpec(
+                design=name,
+                split_layer=int(split_layer),
+                attack="dl",
+                config=config,
+                train_names=train_names,
+                tags=("candidate-lists",),
+            )
+        )
+        specs.extend(
+            ScenarioSpec(
+                design=name,
+                split_layer=int(split_layer),
+                attack="rf",
+                rf_list_threshold=float(threshold),
+                train_names=train_names,
+                label=f"rf@{float(threshold):g}",
+                tags=("candidate-lists",),
+            )
+            for threshold in _seq(thresholds)
+        )
+    return specs
+
+
+@register(
     "cross-defense",
     "defense x split-layer x attack matrix (the paper's future-work space)",
 )

@@ -156,6 +156,68 @@ def defense_report(
     return report
 
 
+def store_summary(
+    records: list[ScenarioRecord], top: int = 10, title: str = "stored sweep"
+) -> str:
+    """Operational summary of stored records (``repro report``).
+
+    Shows per-attack counts, the slowest evaluation nodes (by the
+    engine's per-node wall-clock telemetry when present, the attack
+    runtime otherwise), and the aggregate artifact cache-hit ratio of
+    the sweeps that produced the records.
+    """
+    if not records:
+        return f"{title}: no records"
+    lines = [f"{title}: {len(records)} scenarios"]
+
+    by_attack: dict[str, list[ScenarioRecord]] = defaultdict(list)
+    for record in records:
+        by_attack[record.scenario["attack"]].append(record)
+    for attack in sorted(by_attack):
+        rows = by_attack[attack]
+        ok = [r for r in rows if r.status == "ok"]
+        ccrs = [r.ccr for r in ok if r.ccr is not None]
+        mean_ccr = f"{sum(ccrs) / len(ccrs):6.2f}%" if ccrs else "     -"
+        lines.append(
+            f"  {attack:9s} {len(rows):4d} records  "
+            f"{len(rows) - len(ok)} not-ok  mean CCR {mean_ccr}"
+        )
+
+    def node_seconds(record: ScenarioRecord) -> float | None:
+        telemetry = record.extra.get("telemetry") or {}
+        seconds = telemetry.get("node_seconds")
+        return record.runtime_s if seconds is None else seconds
+
+    timed = [r for r in records if node_seconds(r) is not None]
+    timed.sort(key=node_seconds, reverse=True)
+    if timed:
+        lines.append(f"slowest nodes (top {min(top, len(timed))}):")
+        for record in timed[:top]:
+            s = record.scenario
+            lines.append(
+                f"  {node_seconds(record):8.3f}s  {record.scenario_hash}  "
+                f"{s['design']:>10s} M{s['split_layer']} {s['attack']}"
+            )
+
+    hits = 0
+    scheduled = 0
+    for record in records:
+        telemetry = record.extra.get("telemetry") or {}
+        hits += sum((telemetry.get("cache_hits") or {}).values())
+        scheduled += sum(
+            count
+            for kind, count in (telemetry.get("planned") or {}).items()
+            if kind != "eval"  # evals are never cache artifacts
+        )
+    if hits or scheduled:
+        ratio = hits / (hits + scheduled)
+        lines.append(
+            f"artifact cache: {hits} hits / {hits + scheduled} lookups "
+            f"({100 * ratio:.0f}% hit ratio)"
+        )
+    return "\n".join(lines)
+
+
 def render_records(records: list[ScenarioRecord], title: str = "sweep") -> str:
     """Generic fixed-width table over arbitrary records (``repro sweep``)."""
     rows = []

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field, replace
 
 from ..core.config import AttackConfig
 
-ATTACK_KINDS = ("dl", "flow", "proximity")
+ATTACK_KINDS = ("dl", "flow", "proximity", "rf")
 DEFENSE_KINDS = ("none", "perturb", "lift")
 
 
@@ -68,12 +68,17 @@ class DefenseSpec:
 class ScenarioSpec:
     """One attack scenario, fully determined by its fields.
 
-    ``config`` and ``train_names`` only matter for the DL attack and
-    are normalised to ``None`` for the baseline attacks so equivalent
-    scenarios hash identically.  ``flow_timeout_s`` is the network-flow
-    budget (``None`` = unbounded).  ``cache_free_inference`` forces the
-    DL attack to re-extract features at evaluation time — the Figure 5
+    ``config`` only matters for the DL attack; ``train_names`` for the
+    trained attacks (``dl`` and ``rf``).  Both are normalised to
+    ``None`` for attacks that ignore them so equivalent scenarios hash
+    identically.  ``flow_timeout_s`` is the network-flow budget
+    (``None`` = unbounded).  ``cache_free_inference`` forces the DL
+    attack to re-extract features at evaluation time — the Figure 5
     timing mode; it never changes the CCR, only the reported runtime.
+    ``rf_list_threshold`` is the random-forest candidate-list
+    probability cut-off ([9]-style attack); it is dropped from the
+    content hash when ``None`` so pre-existing scenario hashes are
+    unchanged by the field's introduction.
     """
 
     design: str
@@ -84,6 +89,7 @@ class ScenarioSpec:
     train_names: tuple[str, ...] | None = None
     flow_timeout_s: float | None = None
     cache_free_inference: bool = False
+    rf_list_threshold: float | None = None
     # presentation only — excluded from the content hash
     label: str = ""
     tags: tuple[str, ...] = ()
@@ -116,6 +122,24 @@ class ScenarioSpec:
                 object.__setattr__(
                     self, "train_names", tuple(self.train_names)
                 )
+        elif self.attack == "rf":
+            # The random forest trains on the same corpus but takes no
+            # AttackConfig; its only knob is the list threshold.
+            object.__setattr__(self, "config", None)
+            object.__setattr__(self, "cache_free_inference", False)
+            if self.train_names is None:
+                from ..pipeline.flow import default_train_names
+
+                object.__setattr__(self, "train_names", default_train_names())
+            else:
+                object.__setattr__(
+                    self, "train_names", tuple(self.train_names)
+                )
+            threshold = (
+                0.5 if self.rf_list_threshold is None
+                else float(self.rf_list_threshold)
+            )
+            object.__setattr__(self, "rf_list_threshold", threshold)
         else:
             # Baseline attacks ignore the DL knobs; drop them so the
             # scenario hash only reflects what the computation reads.
@@ -124,6 +148,8 @@ class ScenarioSpec:
             object.__setattr__(self, "cache_free_inference", False)
         if self.attack != "flow":
             object.__setattr__(self, "flow_timeout_s", None)
+        if self.attack != "rf":
+            object.__setattr__(self, "rf_list_threshold", None)
         object.__setattr__(self, "tags", tuple(self.tags))
 
     def with_(self, **changes) -> "ScenarioSpec":
@@ -142,6 +168,7 @@ class ScenarioSpec:
             ),
             "flow_timeout_s": self.flow_timeout_s,
             "cache_free_inference": self.cache_free_inference,
+            "rf_list_threshold": self.rf_list_threshold,
             "label": self.label,
             "tags": list(self.tags),
         }
@@ -166,6 +193,10 @@ class ScenarioSpec:
         payload = self.to_dict()
         payload.pop("label")
         payload.pop("tags")
+        # Fields added after PR 2 are hash-neutral at their inert value:
+        # every scenario hash minted before they existed stays valid.
+        if payload["rf_list_threshold"] is None:
+            payload.pop("rf_list_threshold")
         return payload
 
     @property

@@ -14,9 +14,10 @@ from .flow import (
     get_split,
     trained_attack,
 )
-from .parallel import parallel_map, resolve_workers
+from .parallel import Executor, parallel_map, resolve_workers
 
 __all__ = [
+    "Executor",
     "attack_weight_path",
     "build_netlist",
     "cache_dir",

@@ -30,7 +30,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Sequence
 
-__all__ = ["parallel_map", "resolve_workers"]
+__all__ = ["Executor", "parallel_map", "resolve_workers"]
 
 
 def _square_probe(x: int) -> int:
@@ -66,6 +66,74 @@ def _mp_context():
         return multiprocessing.get_context()
 
 
+class Executor:
+    """Reusable fan-out handle: one process pool across many ``map`` calls.
+
+    ``parallel_map`` spins a pool up and tears it down per call, which
+    is fine for a one-shot harness but wasteful for a long-running
+    caller (the attack service dispatches hundreds of small node
+    batches).  An :class:`Executor` resolves its worker count once and
+    keeps the pool alive until :meth:`close`; with an effective worker
+    count of 1 it never creates a pool at all, so serial behaviour and
+    determinism match the plain in-process path exactly.
+
+    Usable as a context manager.  Not thread-safe for concurrent
+    ``map`` calls; callers serialise dispatch (the service scheduler
+    dispatches from a single thread).
+    """
+
+    def __init__(self, workers: int | None = None):
+        self.n_workers = resolve_workers(workers)
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _get_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_workers, mp_context=_mp_context()
+            )
+        return self._pool
+
+    def map(
+        self,
+        fn: Callable[..., Any],
+        jobs: Sequence[tuple],
+        progress: Callable[[str], None] | None = None,
+        label: str = "jobs",
+    ) -> list[Any]:
+        """Run ``fn(*job)`` for every job, preserving job order."""
+        jobs = list(jobs)
+        n_workers = min(self.n_workers, max(len(jobs), 1))
+        if n_workers <= 1:
+            results = []
+            for i, job in enumerate(jobs):
+                results.append(fn(*job))
+                if progress:
+                    progress(f"{label}: {i + 1}/{len(jobs)} done (serial)")
+            return results
+        pool = self._get_pool()
+        futures = [pool.submit(fn, *job) for job in jobs]
+        results = []
+        for i, future in enumerate(futures):
+            results.append(future.result())
+            if progress:
+                progress(
+                    f"{label}: {i + 1}/{len(jobs)} done "
+                    f"({n_workers} workers)"
+                )
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 def parallel_map(
     fn: Callable[..., Any],
     jobs: Sequence[tuple],
@@ -78,28 +146,7 @@ def parallel_map(
     With an effective worker count of 1 (the default), runs in-process
     with no multiprocessing machinery at all.  ``fn`` must be a
     module-level callable and the job tuples picklable when running
-    with more than one worker.
+    with more than one worker.  One-shot form of :class:`Executor`.
     """
-    jobs = list(jobs)
-    n_workers = min(resolve_workers(workers), max(len(jobs), 1))
-    if n_workers <= 1:
-        results = []
-        for i, job in enumerate(jobs):
-            results.append(fn(*job))
-            if progress:
-                progress(f"{label}: {i + 1}/{len(jobs)} done (serial)")
-        return results
-
-    with ProcessPoolExecutor(
-        max_workers=n_workers, mp_context=_mp_context()
-    ) as pool:
-        futures = [pool.submit(fn, *job) for job in jobs]
-        results = []
-        for i, future in enumerate(futures):
-            results.append(future.result())
-            if progress:
-                progress(
-                    f"{label}: {i + 1}/{len(jobs)} done "
-                    f"({n_workers} workers)"
-                )
-    return results
+    with Executor(workers) as executor:
+        return executor.map(fn, jobs, progress=progress, label=label)

@@ -1,0 +1,35 @@
+"""repro.service — attack-as-a-service over the sweep engine.
+
+The subsystem turns the blocking CLI sweep into a long-running service:
+
+* :class:`JobQueue` — persistent, priority-ordered job queue backed by
+  an append-only JSONL journal (atomic claims, spec-hash dedup against
+  in-flight jobs and the results store, crash-resume on restart);
+* :class:`SweepScheduler` — background thread that plans claimed jobs
+  through :func:`repro.experiments.plan_sweep`, merges ready nodes
+  *across jobs* (shared layout/feature/train artifacts run once even
+  when submitted by different clients), dispatches batches through one
+  reusable :class:`repro.pipeline.parallel.Executor`, and records
+  per-node telemetry into the results store;
+* :class:`AttackService` — stdlib-only HTTP API
+  (``http.server.ThreadingHTTPServer``): ``POST /jobs``,
+  ``GET /jobs/<id>`` (long-poll with ``?wait=``), ``GET /results``
+  backed by :meth:`repro.experiments.ResultsStore.query`;
+* :class:`ServiceClient` + :func:`run_load` — urllib client and load
+  generator (``scripts/bench_service.py``).
+"""
+
+from .client import LoadReport, ServiceClient, run_load
+from .queue import Job, JobQueue
+from .scheduler import SweepScheduler
+from .server import AttackService
+
+__all__ = [
+    "AttackService",
+    "Job",
+    "JobQueue",
+    "LoadReport",
+    "ServiceClient",
+    "SweepScheduler",
+    "run_load",
+]

@@ -1,0 +1,197 @@
+"""HTTP client + load generator for the attack service.
+
+:class:`ServiceClient` wraps the four endpoints with plain
+``urllib.request`` (stdlib only, like the server).  :func:`run_load`
+replays a stream of submissions at configurable thread concurrency and
+reports latency percentiles — the measurement half of the service
+acceptance bar (``scripts/bench_service.py`` drives it).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from dataclasses import dataclass, field
+
+
+class ServiceClientError(RuntimeError):
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Talk to one :class:`~repro.service.server.AttackService`."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- raw request ---------------------------------------------------
+    def _request(self, method: str, path: str, payload=None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as err:
+            try:
+                message = json.loads(err.read()).get("error", "")
+            except Exception:
+                message = err.reason
+            raise ServiceClientError(err.code, message) from None
+
+    # -- endpoints -----------------------------------------------------
+    def submit(
+        self,
+        grid: str | None = None,
+        params: dict | None = None,
+        specs: list[dict] | None = None,
+        priority: int = 0,
+    ) -> dict:
+        payload: dict = {"priority": priority}
+        if grid is not None:
+            payload["grid"] = grid
+            payload["params"] = params or {}
+        if specs is not None:
+            payload["specs"] = specs
+        return self._request("POST", "/jobs", payload)
+
+    def job(self, job_id: str, wait: float | None = None) -> dict:
+        path = f"/jobs/{job_id}"
+        if wait is not None:
+            path += f"?wait={wait:g}"
+        return self._request("GET", path)
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def wait(self, job_id: str, timeout: float = 300.0) -> dict:
+        """Long-poll until the job is terminal; raises on timeout."""
+        deadline = time.monotonic() + timeout
+        # Each long-poll chunk stays well under the HTTP timeout so the
+        # server's response always beats the socket deadline.
+        chunk = max(1.0, self.timeout / 2)
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(f"job {job_id} still running")
+            view = self.job(job_id, wait=min(remaining, chunk))
+            if view["status"] in ("done", "failed"):
+                return view
+
+    def results(self, **filters) -> list[dict]:
+        query = urllib.parse.urlencode(
+            {k: v for k, v in filters.items() if v is not None}
+        )
+        path = "/results" + (f"?{query}" if query else "")
+        return self._request("GET", path)["records"]
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+
+# -- load generation ----------------------------------------------------
+
+
+@dataclass
+class LoadReport:
+    """Latency sample set from one load run."""
+
+    latencies_s: list[float] = field(default_factory=list)
+    errors: int = 0
+    wall_s: float = 0.0
+    concurrency: int = 1
+    label: str = "load"
+
+    @property
+    def requests(self) -> int:
+        return len(self.latencies_s) + self.errors
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests / self.wall_s if self.wall_s else 0.0
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        index = min(
+            len(ordered) - 1, max(0, round(q / 100 * (len(ordered) - 1)))
+        )
+        return ordered[index]
+
+    def render(self) -> str:
+        lines = [
+            f"{self.label}: {self.requests} requests, "
+            f"{self.concurrency} client threads, {self.errors} errors",
+            f"  wall        {self.wall_s:8.3f} s",
+            f"  throughput  {self.throughput_rps:8.1f} req/s",
+        ]
+        for q in (50, 90, 99):
+            lines.append(
+                f"  p{q:<2d}         {1e3 * self.percentile(q):8.2f} ms"
+            )
+        if self.latencies_s:
+            lines.append(
+                f"  max         {1e3 * max(self.latencies_s):8.2f} ms"
+            )
+        return "\n".join(lines)
+
+
+def run_load(
+    make_request,
+    n_requests: int,
+    concurrency: int = 1,
+    label: str = "load",
+) -> LoadReport:
+    """Fire ``make_request(i)`` ``n_requests`` times from ``concurrency``
+    threads, timing each call.
+
+    ``make_request`` must be thread-safe (a :class:`ServiceClient`
+    method is: each call opens its own connection).
+    """
+    report = LoadReport(concurrency=concurrency, label=label)
+    lock = threading.Lock()
+    counter = iter(range(n_requests))
+
+    def worker() -> None:
+        while True:
+            with lock:
+                i = next(counter, None)
+            if i is None:
+                return
+            started = time.perf_counter()
+            try:
+                make_request(i)
+            except Exception:
+                with lock:
+                    report.errors += 1
+                continue
+            elapsed = time.perf_counter() - started
+            with lock:
+                report.latencies_s.append(elapsed)
+
+    threads = [
+        threading.Thread(target=worker, name=f"load-{t}")
+        for t in range(max(1, concurrency))
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.wall_s = time.perf_counter() - started
+    return report

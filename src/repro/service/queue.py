@@ -1,0 +1,315 @@
+"""Persistent job queue: append-only JSONL journal with atomic claims.
+
+A *job* is one sweep submission — a list of scenario specs plus a
+priority.  Every state transition is one appended journal line (see
+:func:`repro.core.atomic.atomic_append_line`: single ``O_APPEND``
+writes, so concurrent appenders interleave whole events, never bytes).
+The in-memory view is a pure fold over the journal, which buys:
+
+* **crash-resume** — a restarted queue (``recover=True``, the default)
+  replays the journal and re-queues jobs that were claimed but never
+  finished, appending a ``requeue`` event so later readers converge.
+  Because the scheduler plans jobs through the sweep engine, the
+  re-run skips every DAG node whose artifact or store record survived
+  the crash — nothing re-runs.
+* **dedup** — a submission whose scenario-hash set matches an in-flight
+  job joins that job instead of enqueuing a duplicate; one whose hashes
+  are *all* in the results store completes instantly without touching
+  the scheduler (``from_store``).
+* **atomic claims** — a claim is one appended event; readers folding
+  the same journal agree on the owner (first claim per job wins).
+
+One *live* scheduler per journal: recovery treats any claimant seen at
+replay as dead, so a second service process opened on the same journal
+would steal the first one's in-flight jobs.  Pass ``recover=False``
+for read-only consumers (inspection tools); true multi-scheduler
+operation needs claim leases/heartbeats (see the ROADMAP follow-up).
+
+The journal lives next to the results store by default
+(``results/service_queue.jsonl``; the ``REPRO_RESULTS_DIR`` environment
+variable relocates both).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core.atomic import atomic_append_line
+from ..experiments.spec import ScenarioSpec
+from ..experiments.store import ResultsStore, results_dir
+
+QUEUE_FILENAME = "service_queue.jsonl"
+
+#: queued -> running -> done | failed (requeue puts running back)
+JOB_STATUSES = ("queued", "running", "done", "failed")
+TERMINAL = ("done", "failed")
+
+
+@dataclass
+class Job:
+    """One sweep submission and its lifecycle state."""
+
+    job_id: str
+    specs: list[dict]  # ScenarioSpec.to_dict() per scenario
+    spec_hashes: tuple[str, ...]
+    priority: int = 0
+    source: dict = field(default_factory=dict)  # e.g. {"grid": "table3"}
+    status: str = "queued"
+    submitted_at: float = 0.0
+    claimed_by: str | None = None
+    error: str | None = None
+    from_store: bool = False
+    nodes_total: int | None = None  # None until the scheduler plans it
+    nodes_done: int = 0
+    reused: int = 0  # scenarios resolved from the store at plan time
+    telemetry: dict = field(default_factory=dict)
+
+    @property
+    def done(self) -> bool:
+        return self.status in TERMINAL
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "specs": self.specs,
+            "spec_hashes": list(self.spec_hashes),
+            "priority": self.priority,
+            "source": self.source,
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "claimed_by": self.claimed_by,
+            "error": self.error,
+            "from_store": self.from_store,
+            "nodes_total": self.nodes_total,
+            "nodes_done": self.nodes_done,
+            "reused": self.reused,
+            "telemetry": self.telemetry,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Job":
+        data = dict(payload)
+        data["spec_hashes"] = tuple(data.get("spec_hashes") or ())
+        return cls(**data)
+
+    def specs_objects(self) -> list[ScenarioSpec]:
+        return [ScenarioSpec.from_dict(s) for s in self.specs]
+
+
+def default_queue_path() -> Path:
+    return results_dir() / QUEUE_FILENAME
+
+
+class JobQueue:
+    """Journal-backed priority queue of sweep jobs.
+
+    Thread-safe; every mutation appends a journal event *before*
+    updating the in-memory state, and :class:`threading.Condition`
+    waiters (the long-poll handlers and the scheduler) are notified on
+    every event.
+    """
+
+    def __init__(
+        self, path: str | Path | None = None, recover: bool = True
+    ):
+        self.path = Path(path) if path else default_queue_path()
+        self._jobs: dict[str, Job] = {}
+        self._seq = itertools.count()
+        self._arrival: dict[str, int] = {}  # FIFO order within a priority
+        self._lock = threading.RLock()
+        self.changed = threading.Condition(self._lock)
+        self._replay(recover)
+
+    # -- journal -------------------------------------------------------
+    def _append(self, event: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_append_line(self.path, json.dumps(event, sort_keys=True))
+
+    def _apply(self, event: dict) -> None:
+        """Fold one journal event into the in-memory state."""
+        kind = event.get("event")
+        if kind == "submit":
+            job = Job.from_dict(event["job"])
+            if job.job_id not in self._jobs:
+                self._jobs[job.job_id] = job
+                self._arrival[job.job_id] = next(self._seq)
+            return
+        job = self._jobs.get(event.get("job_id", ""))
+        if job is None:
+            return  # foreign/torn event: ignore
+        if kind == "claim":
+            if job.status == "queued":  # first claim wins
+                job.status = "running"
+                job.claimed_by = event.get("worker")
+        elif kind == "progress":
+            job.nodes_total = event.get("nodes_total", job.nodes_total)
+            job.nodes_done = event.get("nodes_done", job.nodes_done)
+            job.reused = event.get("reused", job.reused)
+        elif kind == "done":
+            job.status = "done"
+            job.telemetry = event.get("telemetry") or job.telemetry
+            job.nodes_done = job.nodes_total or job.nodes_done
+        elif kind == "failed":
+            job.status = "failed"
+            job.error = event.get("error")
+        elif kind == "requeue":
+            if job.status == "running":
+                job.status = "queued"
+                job.claimed_by = None
+
+    def _replay(self, recover: bool) -> None:
+        if self.path.exists():
+            for line in self.path.read_text().splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    self._apply(json.loads(line))
+                except (json.JSONDecodeError, TypeError, KeyError):
+                    continue  # torn line: the journal stays usable
+        if not recover:
+            return
+        # Crash-resume: a job claimed by a dead scheduler never reached
+        # a terminal event.  Requeue it — the sweep engine's plan prunes
+        # every node the cache/store already holds, so the re-run only
+        # executes what the crash actually lost.
+        for job in self._jobs.values():
+            if job.status == "running":
+                self._append({"event": "requeue", "job_id": job.job_id})
+                job.status = "queued"
+                job.claimed_by = None
+
+    # -- submission ----------------------------------------------------
+    def submit(
+        self,
+        specs: list[ScenarioSpec],
+        priority: int = 0,
+        source: dict | None = None,
+        store: ResultsStore | None = None,
+    ) -> tuple[Job, str]:
+        """Enqueue a sweep; returns ``(job, outcome)``.
+
+        Outcomes: ``"queued"`` (new job), ``"duplicate"`` (an in-flight
+        job already covers exactly these scenario hashes — that job is
+        returned), ``"from_store"`` (every hash is already in the
+        results store — the job is created terminal and the scheduler
+        never sees it).
+        """
+        if not specs:
+            raise ValueError("cannot submit an empty job")
+        hashes = tuple(s.scenario_hash for s in specs)
+        with self._lock:
+            wanted = frozenset(hashes)
+            for job in self._jobs.values():
+                if not job.done and frozenset(job.spec_hashes) == wanted:
+                    return job, "duplicate"
+            from_store = store is not None and all(
+                h in store for h in hashes
+            )
+            job = Job(
+                job_id=f"job-{int(time.time() * 1000):x}-{len(self._jobs):04d}",
+                specs=[s.to_dict() for s in specs],
+                spec_hashes=hashes,
+                priority=int(priority),
+                source=source or {},
+                submitted_at=time.time(),
+            )
+            if from_store:
+                job.status = "done"
+                job.from_store = True
+                job.nodes_total = 0
+                job.reused = len(hashes)
+            self._append({"event": "submit", "job": job.to_dict()})
+            self._jobs[job.job_id] = job
+            self._arrival[job.job_id] = next(self._seq)
+            self.changed.notify_all()
+            return job, ("from_store" if from_store else "queued")
+
+    # -- scheduler side ------------------------------------------------
+    def claim(self, worker: str = "scheduler") -> Job | None:
+        """Atomically claim the highest-priority queued job (FIFO within
+        a priority level); None when nothing is queued."""
+        with self._lock:
+            queued = [j for j in self._jobs.values() if j.status == "queued"]
+            if not queued:
+                return None
+            job = min(
+                queued,
+                key=lambda j: (-j.priority, self._arrival[j.job_id]),
+            )
+            self._append(
+                {"event": "claim", "job_id": job.job_id, "worker": worker}
+            )
+            job.status = "running"
+            job.claimed_by = worker
+            self.changed.notify_all()
+            return job
+
+    def progress(
+        self,
+        job_id: str,
+        nodes_done: int,
+        nodes_total: int,
+        reused: int = 0,
+    ) -> None:
+        event = {
+            "event": "progress", "job_id": job_id,
+            "nodes_done": nodes_done, "nodes_total": nodes_total,
+            "reused": reused,
+        }
+        with self._lock:
+            self._append(event)
+            self._apply(event)
+            self.changed.notify_all()
+
+    def complete(self, job_id: str, telemetry: dict | None = None) -> None:
+        with self._lock:
+            event = {
+                "event": "done", "job_id": job_id,
+                "telemetry": telemetry or {},
+            }
+            self._append(event)
+            self._apply(event)
+            self.changed.notify_all()
+
+    def fail(self, job_id: str, error: str) -> None:
+        with self._lock:
+            event = {"event": "failed", "job_id": job_id, "error": error}
+            self._append(event)
+            self._apply(event)
+            self.changed.notify_all()
+
+    # -- queries -------------------------------------------------------
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return sorted(
+                self._jobs.values(), key=lambda j: self._arrival[j.job_id]
+            )
+
+    def pending(self) -> list[Job]:
+        return [j for j in self.jobs() if not j.done]
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job | None:
+        """Block until the job reaches a terminal state (long-poll)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self.changed:
+            while True:
+                job = self._jobs.get(job_id)
+                if job is None or job.done:
+                    return job
+                remaining = (
+                    None if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return job
+                self.changed.wait(remaining)

@@ -1,0 +1,307 @@
+"""Async scheduler: queued jobs -> merged DAG batches -> executor.
+
+One background thread owns the whole execution side of the service:
+
+* it claims queued jobs and plans each through
+  :func:`repro.experiments.plan_sweep` (so the store and every disk
+  cache prune work exactly as they do for the CLI);
+* it keeps one *merged* node table across all active jobs — node keys
+  are content-derived, so two jobs wanting the same layout, feature
+  warm-up or trained model share a single node, and a node already
+  executed earlier in the process never runs again;
+* every iteration it dispatches the batch of ready nodes (all deps
+  satisfied, across every active job at once) through one long-lived
+  :class:`repro.pipeline.parallel.Executor`, highest job priority
+  first;
+* per-node wall-clock lands in the job's telemetry and, for evaluation
+  nodes, in the stored record's ``extra["telemetry"]`` — the same shape
+  :func:`repro.experiments.run_sweep` writes.
+
+Node failures are contained: the failing node's owners fail with the
+error in their journal entry; unrelated jobs keep running.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+
+from ..experiments.engine import (
+    NodeKey,
+    PlanNode,
+    SweepPlan,
+    attach_node_telemetry,
+    plan_sweep,
+    run_node,
+)
+from ..experiments.store import ResultsStore, ScenarioRecord
+from ..pipeline.flow import cache_dir
+from ..pipeline.parallel import Executor, resolve_workers
+from .queue import Job, JobQueue
+
+
+def _safe_node(kind: str, payload: tuple):
+    """``run_node`` that reports failure instead of raising, so one bad
+    node cannot take down an executor batch shared across jobs."""
+    try:
+        return (*run_node(kind, payload), None)
+    except Exception:  # the scheduler triages the failure by owner
+        return kind, None, 0.0, traceback.format_exc(limit=8)
+
+
+class _ActiveJob:
+    def __init__(self, job: Job, plan: SweepPlan):
+        self.job = job
+        self.plan = plan
+        self.remaining: set[NodeKey] = set(plan.nodes)
+        self.node_seconds: dict[str, float] = {}
+        self.executed = 0
+
+
+class SweepScheduler:
+    """Single-threaded dispatcher over a shared :class:`JobQueue`."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        store: ResultsStore,
+        workers: int | None = None,
+        executor: Executor | None = None,
+        poll_interval: float = 0.25,
+        progress=None,
+        store_lock: threading.Lock | None = None,
+    ):
+        self.queue = queue
+        self.store = store
+        self.poll_interval = poll_interval
+        self.progress = progress or (lambda message: None)
+        self._owns_executor = executor is None
+        if executor is None:
+            n_workers = resolve_workers(workers)
+            if n_workers > 1 and cache_dir() is None:
+                n_workers = 1  # no coordination medium: serial
+            executor = Executor(n_workers)
+        self.executor = executor
+        # Readers of the store (HTTP query handlers) and this thread's
+        # writes share one lock so query snapshots are never torn.
+        self.store_lock = store_lock or threading.Lock()
+
+        self._active: dict[str, _ActiveJob] = {}
+        # _nodes/_owners hold only not-yet-executed nodes of active
+        # jobs; _done is the process-lifetime memo of executed keys
+        # (small: one tuple per artifact ever built).
+        self._nodes: dict[NodeKey, PlanNode] = {}
+        self._owners: dict[NodeKey, list[str]] = {}
+        self._done: set[NodeKey] = set()
+        self._failed: dict[NodeKey, str] = {}
+        self.nodes_executed = 0
+
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "SweepScheduler":
+        if self._thread is not None:
+            raise RuntimeError("scheduler already started")
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-scheduler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._stop.set()
+        with self.queue.changed:
+            self.queue.changed.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+        if self._owns_executor:
+            self.executor.close()
+
+    @property
+    def idle(self) -> bool:
+        return not self._active and not self.queue.pending()
+
+    # -- main loop -----------------------------------------------------
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            self._claim_all()
+            batch = self._ready_batch()
+            if batch:
+                self._run_batch(batch)
+                continue
+            with self.queue.changed:
+                if not self._stop.is_set():
+                    self.queue.changed.wait(self.poll_interval)
+
+    def _claim_all(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.claim()
+            if job is None:
+                return
+            self._activate(job)
+
+    def _activate(self, job: Job) -> None:
+        try:
+            with self.store_lock:
+                plan = plan_sweep(
+                    job.specs_objects(), store=self.store, resume=True
+                )
+        except Exception:  # bad spec payloads must not kill the thread
+            self.queue.fail(job.job_id, traceback.format_exc(limit=8))
+            return
+        active = _ActiveJob(job, plan)
+        # A node that already failed this process poisons the whole job
+        # — check before registering anything so no orphan nodes are
+        # left behind for the ready scan to dispatch.
+        for key in plan.nodes:
+            if key in self._failed:
+                self.queue.fail(job.job_id, self._failed[key])
+                return
+        for key, node in plan.nodes.items():
+            if key in self._done:
+                # Executed for an earlier job in this process; the
+                # artifact is on disk / in the store already.
+                active.remaining.discard(key)
+            else:
+                self._nodes.setdefault(key, node)
+                self._owners.setdefault(key, []).append(job.job_id)
+        self.queue.progress(
+            job.job_id,
+            nodes_done=len(plan.nodes) - len(active.remaining),
+            nodes_total=len(plan.nodes),
+            reused=len(plan.reused),
+        )
+        self.progress(
+            f"job {job.job_id}: {len(active.remaining)} nodes to run, "
+            f"{len(plan.reused)} scenarios from store"
+        )
+        if active.remaining:
+            self._active[job.job_id] = active
+        else:
+            self._finish(active)
+
+    def _ready_batch(self) -> list[PlanNode]:
+        ready = []
+        for key, node in self._nodes.items():
+            if key in self._done or key in self._failed:
+                continue
+            if all(
+                dep in self._done or dep not in self._nodes
+                for dep in node.deps
+            ):
+                ready.append(node)
+        # Highest-priority owner first; insertion order breaks ties.
+        def priority(node: PlanNode) -> int:
+            owners = self._owners.get(node.key, ())
+            return max(
+                (
+                    self._active[j].job.priority
+                    for j in owners
+                    if j in self._active
+                ),
+                default=0,
+            )
+
+        ready.sort(key=priority, reverse=True)
+        return ready
+
+    def _run_batch(self, batch: list[PlanNode]) -> None:
+        outcomes = self.executor.map(
+            _safe_node,
+            [(node.kind, node.payload) for node in batch],
+            label="service nodes",
+        )
+        for node, (kind, value, seconds, error) in zip(batch, outcomes):
+            if error is not None:
+                self._failed[node.key] = error
+                self._fail_owners(node.key, error)
+                continue
+            self._done.add(node.key)
+            self.nodes_executed += 1
+            if kind == "eval":
+                record = ScenarioRecord.from_dict(value)
+                owners = [
+                    j for j in self._owners.get(node.key, ())
+                    if j in self._active
+                ]
+                plan = (
+                    self._active[owners[0]].plan if owners
+                    else SweepPlan(specs=[])
+                )
+                attach_node_telemetry(record, seconds, plan)
+                record.extra["telemetry"]["job_ids"] = owners
+                with self.store_lock:
+                    self.store.add(record)
+            self._advance(node.key, seconds)
+            # Executed nodes leave the ready-scan tables; the _done
+            # memo is all later plans need, and the scan stays
+            # O(outstanding) instead of O(everything ever run).
+            self._nodes.pop(node.key, None)
+            self._owners.pop(node.key, None)
+
+    def _advance(self, key: NodeKey, seconds: float) -> None:
+        for job_id in self._owners.get(key, ()):
+            active = self._active.get(job_id)
+            if active is None or key not in active.remaining:
+                continue
+            active.remaining.discard(key)
+            active.executed += 1
+            active.node_seconds[repr(key)] = seconds
+            total = len(active.plan.nodes)
+            self.queue.progress(
+                job_id,
+                nodes_done=total - len(active.remaining),
+                nodes_total=total,
+                reused=len(active.plan.reused),
+            )
+            if not active.remaining:
+                self._finish(active)
+
+    def _fail_owners(self, key: NodeKey, error: str) -> None:
+        for job_id in list(self._owners.get(key, ())):
+            active = self._active.pop(job_id, None)
+            if active is not None:
+                self.queue.fail(job_id, error)
+        # Nodes only this key's jobs wanted may now be unreachable;
+        # dropping them keeps the ready scan from re-dispatching work
+        # nobody is waiting for.
+        wanted = {
+            k
+            for active in self._active.values()
+            for k in active.remaining
+        }
+        closure = set(wanted)
+        changed = True
+        while changed:
+            changed = False
+            for k in list(closure):
+                node = self._nodes.get(k)
+                if node is None:
+                    continue
+                for dep in node.deps:
+                    if dep in self._nodes and dep not in closure:
+                        closure.add(dep)
+                        changed = True
+        for k in list(self._nodes):
+            if k not in closure and k not in self._done:
+                del self._nodes[k]
+
+    def _finish(self, active: _ActiveJob) -> None:
+        self._active.pop(active.job.job_id, None)
+        self.queue.complete(
+            active.job.job_id,
+            telemetry={
+                "executed": active.executed,
+                "reused": len(active.plan.reused),
+                "node_seconds": active.node_seconds,
+                "planned": active.plan.counts(),
+                "cache_hits": dict(active.plan.pruned),
+            },
+        )
+        self.progress(
+            f"job {active.job.job_id}: done "
+            f"({active.executed} nodes executed)"
+        )

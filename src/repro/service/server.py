@@ -1,0 +1,301 @@
+"""Stdlib-only HTTP API over the job queue and scheduler.
+
+``http.server.ThreadingHTTPServer`` + ``BaseHTTPRequestHandler`` — no
+framework, no new dependencies.  Endpoints:
+
+``POST /jobs``
+    Submit a sweep.  JSON body is either a registry grid reference
+    (``{"grid": "table3", "params": {...}}``) or inline specs
+    (``{"specs": [<ScenarioSpec.to_dict()>, ...]}``), plus an optional
+    integer ``priority``.  Responds with the job dict and an
+    ``outcome`` of ``queued`` / ``duplicate`` / ``from_store``.
+
+``GET /jobs``
+    All jobs, newest last.
+
+``GET /jobs/<id>[?wait=SECONDS]``
+    One job's status with per-node progress.  ``wait`` long-polls until
+    the job is terminal (or the timeout passes); a finished job's
+    response embeds its scenario records.
+
+``GET /results?design=&split_layer=&attack=&defense=&tag=&status=``
+    Query the results store (:meth:`ResultsStore.query`) without
+    running anything.
+
+``GET /healthz``
+    Liveness + queue/scheduler counters.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from ..experiments.registry import build_grid
+from ..experiments.spec import ScenarioSpec
+from ..experiments.store import ResultsStore
+from .queue import Job, JobQueue
+from .scheduler import SweepScheduler
+
+MAX_BODY_BYTES = 8 * 1024 * 1024
+MAX_WAIT_S = 60.0
+
+
+class ServiceError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+def _client_number(value, convert, what: str):
+    """Convert a client-supplied value, turning bad input into a 400
+    (never a 500 from the catch-all handler)."""
+    try:
+        return convert(value)
+    except (TypeError, ValueError):
+        raise ServiceError(400, f"{what} must be a number, got {value!r}") \
+            from None
+
+
+class AttackService:
+    """Queue + scheduler + HTTP front-end, wired together.
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port``
+    after construction) — how the tests and the in-process benchmark
+    run without colliding.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        store: ResultsStore | None = None,
+        queue_path=None,
+        workers: int | None = None,
+        progress=None,
+    ):
+        self.store = store if store is not None else ResultsStore()
+        self.queue = JobQueue(queue_path)
+        self.scheduler = SweepScheduler(
+            self.queue, self.store, workers=workers, progress=progress
+        )
+        handler = type(
+            "BoundServiceHandler", (ServiceHandler,), {"service": self}
+        )
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self.host, self.port = self.httpd.server_address[:2]
+        self._http_thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "AttackService":
+        self.scheduler.start()
+        self._http_thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            name="repro-http",
+            daemon=True,
+        )
+        self._http_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._http_thread is not None:
+            self._http_thread.join(5.0)
+            self._http_thread = None
+        self.scheduler.stop()
+
+    def __enter__(self) -> "AttackService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- request-level operations (also the in-process test surface) ---
+    def submit_payload(self, payload: dict) -> dict:
+        if not isinstance(payload, dict):
+            raise ServiceError(400, "body must be a JSON object")
+        priority = _client_number(
+            payload.get("priority", 0), int, "priority"
+        )
+        if payload.get("grid"):
+            params = payload.get("params") or {}
+            if not isinstance(params, dict):
+                raise ServiceError(400, "params must be an object")
+            try:
+                specs = build_grid(payload["grid"], **params)
+            except (KeyError, TypeError, ValueError) as err:
+                raise ServiceError(400, str(err)) from None
+            source = {"grid": payload["grid"], "params": params}
+        elif payload.get("specs"):
+            try:
+                specs = [
+                    ScenarioSpec.from_dict(s) for s in payload["specs"]
+                ]
+            except (KeyError, TypeError, ValueError) as err:
+                raise ServiceError(400, f"bad spec: {err}") from None
+            source = {"specs": len(specs)}
+        else:
+            raise ServiceError(400, "submit either 'grid' or 'specs'")
+        if not specs:
+            raise ServiceError(400, "job expands to 0 scenarios")
+        job, outcome = self.queue.submit(
+            specs, priority=priority, source=source, store=self.store
+        )
+        return {"outcome": outcome, "job": self._job_view(job)}
+
+    def job_status(self, job_id: str, wait: float | None = None) -> dict:
+        if wait is not None:
+            job = self.queue.wait(job_id, timeout=min(wait, MAX_WAIT_S))
+        else:
+            job = self.queue.get(job_id)
+        if job is None:
+            raise ServiceError(404, f"unknown job {job_id!r}")
+        view = self._job_view(job)
+        if job.status == "done":
+            with self.scheduler.store_lock:
+                records = [
+                    self.store.get(h) for h in job.spec_hashes
+                ]
+            view["records"] = [
+                r.to_dict() for r in records if r is not None
+            ]
+        return view
+
+    def query_results(self, query: dict) -> list[dict]:
+        def one(name):
+            values = query.get(name)
+            return values[0] if values else None
+
+        split_layer = one("split_layer")
+        if split_layer is not None:
+            split_layer = _client_number(split_layer, int, "split_layer")
+        with self.scheduler.store_lock:
+            records = self.store.query(
+                design=one("design"),
+                split_layer=split_layer,
+                attack=one("attack"),
+                defense_kind=one("defense"),
+                tag=one("tag"),
+                status=one("status"),
+            )
+            return [r.to_dict() for r in records]
+
+    def health(self) -> dict:
+        jobs = self.queue.jobs()
+        return {
+            "ok": True,
+            "jobs": len(jobs),
+            "pending": sum(1 for j in jobs if not j.done),
+            "nodes_executed": self.scheduler.nodes_executed,
+            "store_records": len(self.store),
+            "store_path": str(self.store.path),
+        }
+
+    def _job_view(self, job: Job) -> dict:
+        view = job.to_dict()
+        view.pop("specs")  # can be large; hashes identify the work
+        view["n_scenarios"] = len(job.spec_hashes)
+        return view
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """One request; the bound ``service`` class attribute does the work."""
+
+    service: AttackService  # bound by AttackService via a subclass
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service"
+
+    # -- helpers -------------------------------------------------------
+    def _send_json(self, payload, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if status >= 400:
+            # Error paths may leave an unread request body; under
+            # HTTP/1.1 keep-alive those bytes would be parsed as the
+            # next request line, so drop the connection instead.
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ServiceError(400, "missing request body")
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(413, "request body too large")
+        try:
+            return json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as err:
+            raise ServiceError(400, f"bad JSON: {err}") from None
+
+    def log_message(self, format, *args):
+        pass  # the service's progress hook reports; stderr stays quiet
+
+    def _dispatch(self, handler) -> None:
+        try:
+            handler()
+        except ServiceError as err:
+            self._send_json({"error": str(err)}, status=err.status)
+        except BrokenPipeError:
+            pass  # client gave up on a long-poll
+        except Exception as err:  # never take the server thread down
+            self._send_json({"error": f"internal: {err}"}, status=500)
+
+    # -- routes --------------------------------------------------------
+    def do_POST(self) -> None:
+        parts = urlsplit(self.path)
+        if parts.path.rstrip("/") == "/jobs":
+            self._dispatch(
+                lambda: self._send_json(
+                    self.service.submit_payload(self._read_json()),
+                    status=202,
+                )
+            )
+        else:
+            self._send_json({"error": "not found"}, status=404)
+
+    def do_GET(self) -> None:
+        parts = urlsplit(self.path)
+        path = parts.path.rstrip("/") or "/"
+        query = parse_qs(parts.query)
+
+        def route():
+            if path == "/healthz":
+                self._send_json(self.service.health())
+            elif path == "/jobs":
+                self._send_json({
+                    "jobs": [
+                        self.service._job_view(j)
+                        for j in self.service.queue.jobs()
+                    ]
+                })
+            elif path.startswith("/jobs/"):
+                job_id = path[len("/jobs/"):]
+                wait = query.get("wait")
+                self._send_json(
+                    self.service.job_status(
+                        job_id,
+                        wait=(
+                            _client_number(wait[0], float, "wait")
+                            if wait else None
+                        ),
+                    )
+                )
+            elif path == "/results":
+                self._send_json(
+                    {"records": self.service.query_results(query)}
+                )
+            else:
+                raise ServiceError(404, "not found")
+
+        self._dispatch(route)

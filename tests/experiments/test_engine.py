@@ -65,7 +65,39 @@ class TestPlanning:
     def test_levels_respect_dependencies(self):
         plan = plan_sweep([dl_spec("tiny_a")])
         kinds = [sorted({n.kind for n in level}) for level in plan.levels()]
-        assert kinds == [["layout"], ["train"], ["eval"]]
+        assert kinds == [["layout"], ["features"], ["train"], ["eval"]]
+
+    def test_feature_warmup_is_shared_across_evals(self):
+        # Two DL scenarios on the same layout whose configs differ only
+        # in training hyper-parameters: one warm-up node serves both.
+        plan = plan_sweep([
+            dl_spec("tiny_a"),
+            dl_spec("tiny_a", config=TINY.with_(epochs=1)),
+        ])
+        features = [
+            n for n in plan.nodes.values() if n.kind == "features"
+        ]
+        assert len(features) == len(TRAIN)  # corpus warm-ups only,
+        # because tiny_a is in the corpus and dedups with the eval's
+
+    def test_cache_free_inference_skips_target_warmup(self):
+        plan = plan_sweep([
+            dl_spec("tiny_seq", cache_free_inference=True),
+        ])
+        targets = [
+            n for n in plan.nodes.values()
+            if n.kind == "features" and n.payload[0] == "tiny_seq"
+        ]
+        assert targets == []  # figure5 timing mode re-extracts anyway
+
+    def test_warm_feature_cache_prunes_warmup_node(self, tmp_path):
+        specs = [dl_spec("tiny_seq")]
+        run_sweep(specs)  # warms layouts + features + weights
+        clear_memo()
+        plan = plan_sweep(specs)
+        assert "features" not in plan.counts()
+        assert plan.pruned.get("features", 0) >= 1
+        assert plan.pruned.get("layout", 0) >= 1
 
     def test_defended_layouts_are_shared_nodes(self):
         defense = DefenseSpec("perturb", 4.0)
@@ -247,6 +279,32 @@ class TestGrids:
             build_grid("nope")
         with pytest.raises(TypeError):
             build_grid("table3", bogus_param=1)
+
+    def test_candidate_lists_grid_runs_rf(self, tmp_path):
+        specs = build_grid(
+            "candidate-lists",
+            designs=("tiny_seq",), thresholds=(0.2, 0.5),
+            config=TINY, train_names=TRAIN,
+        )
+        assert [s.attack for s in specs] == ["dl", "rf", "rf"]
+        assert len({s.scenario_hash for s in specs}) == 3
+        # The rf evaluations are cheap enough for the fast tier; the
+        # DL sibling is covered by the other grids.
+        rf_specs = [s for s in specs if s.attack == "rf"]
+        store = ResultsStore(tmp_path / "exp.jsonl")
+        result = run_sweep(rf_specs, store=store)
+        for record in result.records:
+            assert record.status == "ok"
+            assert record.train_seconds > 0  # forest trained in-eval
+            rf = record.extra["rf"]
+            assert rf["mean_list_size"] >= 1.0
+            assert 0.0 <= rf["list_recall"] <= 100.0
+        # A looser threshold can only grow the candidate lists.
+        loose, tight = result.records[0], result.records[1]
+        assert (
+            loose.extra["rf"]["mean_list_size"]
+            >= tight.extra["rf"]["mean_list_size"]
+        )
 
     def test_cross_defense_grid_shares_training(self):
         specs = build_grid(

@@ -40,6 +40,10 @@ class TestRoundTrip:
                 design="c880", attack="proximity",
                 defense=DefenseSpec("lift", 0.5, seed=3),
             ),
+            ScenarioSpec(
+                design="c432", attack="rf", rf_list_threshold=0.2,
+                train_names=("tiny_a", "tiny_b"),
+            ),
         ]
 
     def test_dict_round_trip(self):
@@ -96,6 +100,36 @@ class TestHashing:
         a = ScenarioSpec(design="c432", attack="proximity")
         b = a.with_(label="pretty", tags=("some-grid",))
         assert a.scenario_hash == b.scenario_hash
+
+    def test_rf_threshold_is_hash_neutral_when_absent(self):
+        # The field arrived after PR 2: specs that never set it must
+        # keep the hashes already minted into stores and goldens.
+        spec = ScenarioSpec(design="c432", attack="proximity")
+        assert "rf_list_threshold" not in spec.hash_payload()
+        # An old payload without the key round-trips to the same hash.
+        old_payload = spec.to_dict()
+        old_payload.pop("rf_list_threshold")
+        assert (
+            ScenarioSpec.from_dict(old_payload).scenario_hash
+            == spec.scenario_hash
+        )
+
+    def test_rf_normalisation(self):
+        spec = ScenarioSpec(
+            design="c432", attack="rf", train_names=("tiny_a",),
+            config=AttackConfig.tiny(), cache_free_inference=True,
+        )
+        assert spec.config is None  # rf takes no AttackConfig
+        assert spec.cache_free_inference is False
+        assert spec.rf_list_threshold == 0.5  # class default, explicit
+        assert spec.train_names == ("tiny_a",)
+        other = spec.with_(rf_list_threshold=0.2)
+        assert other.scenario_hash != spec.scenario_hash
+        # non-rf attacks drop the knob entirely
+        prox = ScenarioSpec(
+            design="c432", attack="proximity", rf_list_threshold=0.2
+        )
+        assert prox.rf_list_threshold is None
 
     def test_baseline_attacks_drop_dl_knobs(self):
         a = ScenarioSpec(design="c432", attack="proximity")

@@ -1,0 +1,75 @@
+"""Per-node telemetry, the on_node hook, and the store summary report."""
+
+import pytest
+
+from repro.experiments import (
+    ResultsStore,
+    ScenarioSpec,
+    run_sweep,
+    store_summary,
+)
+from repro.pipeline import clear_memo
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+    clear_memo()
+    yield
+    clear_memo()
+
+
+def prox(design):
+    return ScenarioSpec(design=design, split_layer=3, attack="proximity")
+
+
+def test_run_sweep_writes_node_telemetry(tmp_path):
+    store = ResultsStore(tmp_path / "exp.jsonl")
+    result = run_sweep([prox("tiny_a")], store=store)
+    record = result.records[0]
+    telemetry = record.extra["telemetry"]
+    assert telemetry["node_seconds"] >= 0
+    assert telemetry["planned"] == {"layout": 1, "eval": 1}
+    assert telemetry["cache_hits"] == {}
+    # telemetry survives the store round-trip
+    assert store.get(record.scenario_hash).extra["telemetry"] == telemetry
+
+
+def test_cache_hits_counted_on_rerun(tmp_path):
+    store = ResultsStore(tmp_path / "exp.jsonl")
+    run_sweep([prox("tiny_a")], store=store)
+    clear_memo()
+    # resume=False forces re-evaluation; the layout comes from cache.
+    fresh = run_sweep([prox("tiny_a")], store=store, resume=False)
+    telemetry = fresh.records[0].extra["telemetry"]
+    assert telemetry["cache_hits"] == {"layout": 1}
+    assert telemetry["planned"] == {"eval": 1}
+
+
+def test_on_node_hook_sees_every_node(tmp_path):
+    store = ResultsStore(tmp_path / "exp.jsonl")
+    seen = []
+    run_sweep(
+        [prox("tiny_a"), prox("tiny_b")],
+        store=store,
+        on_node=lambda node, value, seconds: seen.append(
+            (node.kind, seconds >= 0)
+        ),
+    )
+    assert sorted(seen) == [
+        ("eval", True), ("eval", True), ("layout", True), ("layout", True),
+    ]
+
+
+def test_store_summary_reports_slowest_and_cache_ratio(tmp_path):
+    store = ResultsStore(tmp_path / "exp.jsonl")
+    run_sweep([prox("tiny_a"), prox("tiny_b")], store=store)
+    clear_memo()
+    run_sweep([prox("tiny_a")], store=store, resume=False)
+    text = store_summary(store.records(), top=5)
+    assert "2 scenarios" in text
+    assert "proximity" in text and "mean CCR" in text
+    assert "slowest nodes" in text
+    assert "hit ratio" in text
+    assert store_summary([]) == "stored sweep: no records"

@@ -24,7 +24,7 @@ class TestParser:
         parser = build_parser()
         for cmd in (
             "info", "quickstart", "build", "attack", "table3", "figure5",
-            "scenarios",
+            "scenarios", "serve", "submit", "report",
         ):
             args = parser.parse_args(
                 [cmd] + (["tiny_a"] if cmd in ("build", "attack") else [])
@@ -101,6 +101,52 @@ class TestCommands:
     def test_sweep_unknown_grid_errors(self):
         with pytest.raises(KeyError):
             main(["sweep", "not_a_grid"])
+
+    def test_report_summarises_store(self, capsys):
+        assert main([
+            "sweep", "attack-matrix",
+            "--param", "designs=tiny_a",
+            "--param", "split_layers=[3]",
+            "--param", 'attacks=["proximity"]',
+        ]) == 0
+        capsys.readouterr()
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "1 scenarios" in out
+        assert "proximity" in out
+        assert "slowest nodes" in out
+        assert main(["report", "--design", "no_such_design"]) == 0
+        assert "no records" in capsys.readouterr().out
+
+    def test_serve_and_submit_round_trip(self, capsys, tmp_path):
+        # `serve` blocks, so drive its parts directly and point the
+        # `submit` command at the live ephemeral port.
+        from repro.experiments import ResultsStore
+        from repro.service import AttackService
+
+        service = AttackService(
+            store=ResultsStore(tmp_path / "exp.jsonl"),
+            queue_path=tmp_path / "queue.jsonl",
+        )
+        service.scheduler.poll_interval = 0.01
+        service.start()
+        try:
+            assert main([
+                "submit", "attack-matrix",
+                "--param", "designs=tiny_a",
+                "--param", "split_layers=[3]",
+                "--param", 'attacks=["proximity"]',
+                "--url", service.url, "--wait", "--timeout", "60",
+            ]) == 0
+            out = capsys.readouterr().out
+            assert "queued:" in out
+            assert "tiny_a" in out
+        finally:
+            service.stop()
+
+    def test_submit_requires_grid_or_spec_file(self):
+        with pytest.raises(SystemExit):
+            main(["submit", "--url", "http://127.0.0.1:1"])
 
     def test_unknown_design_errors(self):
         with pytest.raises(KeyError):
