@@ -11,13 +11,18 @@ the M3 split (Figure 5a: average CCR; Figure 5b: inference time):
 Paper result: softmax gives 1.07x the baseline CCR, images push it to
 1.09x, with comparable inference time.
 
+The study runs through the ``ablation`` registry grid on
+:class:`repro.api.Client` (local backend), so every cell lands in the
+results store and an interrupted run resumes from it instead of
+retraining.
+
 Run:  python examples/ablation_study.py [--designs c432 c880 ...]
 """
 
 import argparse
 
+from repro.api import Client, message_printer
 from repro.core import AttackConfig
-from repro.eval import run_figure5
 
 DEFAULT_DESIGNS = ["c432", "c880", "c1355", "b11"]
 
@@ -26,14 +31,24 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--designs", nargs="+", default=DEFAULT_DESIGNS)
     parser.add_argument("--layer", type=int, default=3)
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: $REPRO_WORKERS or serial; "
+        "0 = all cores)",
+    )
     args = parser.parse_args()
 
-    report = run_figure5(
-        designs=args.designs,
-        split_layer=args.layer,
-        config=AttackConfig.benchmark(),
-        progress=lambda msg: print(f"  .. {msg}"),
-    )
+    with Client(backend="local", workers=args.workers,
+                on_event=message_printer()) as client:
+        result = client.run(
+            "ablation",
+            {
+                "designs": args.designs,
+                "split_layer": args.layer,
+                "config": AttackConfig.benchmark(),
+            },
+        )
+    report = result.report()
     print()
     print(report.render())
 

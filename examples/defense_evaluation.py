@@ -10,16 +10,18 @@ as future work; this example quantifies both on one design:
   connections (costs vias/wirelength) and flood the candidate space.
 
 For each defense strength the proximity and network-flow attacks run on
-the defended layout, along with the security/PPA trade-off.  Every
-sweep point builds and attacks its own layout, so the sweep fans out
-over worker processes with ``--workers`` (or ``REPRO_WORKERS``).
+the defended layout, along with the security/PPA trade-off.  The sweep
+runs through :class:`repro.api.Client` (local backend): every sweep
+point builds and attacks its own layout, so it fans out over worker
+processes with ``--workers`` (or ``REPRO_WORKERS``), and each cell is
+recorded in the results store for resumption.
 
 Run:  python examples/defense_evaluation.py [--design c880] [--workers 4]
 """
 
 import argparse
 
-from repro.defense import run_defense_sweep
+from repro.api import Client, message_printer
 
 
 def main() -> None:
@@ -32,13 +34,10 @@ def main() -> None:
     )
     args = parser.parse_args()
 
-    report = run_defense_sweep(
-        args.design,
-        split_layer=args.layer,
-        workers=args.workers,
-        progress=lambda m: print(f"  .. {m}"),
-    )
-    print(report.render())
+    with Client(backend="local", workers=args.workers,
+                on_event=message_printer()) as client:
+        result = client.defense_sweep(args.design, split_layer=args.layer)
+    print(result.report().render())
     print(
         "\nReading: lower CCR = better security; "
         "hidden pins rise under lifting (more of the design is in the BEOL); "

@@ -11,14 +11,16 @@ Run:
     python examples/table3_attack_suite.py --layers 1 3    # both split layers
     python examples/table3_attack_suite.py --full          # all 16 designs
 
-Everything expensive (layouts, trained models) lands in .repro_cache,
-so repeat runs are fast.
+The suite runs through :class:`repro.api.Client` (local backend):
+everything expensive (layouts, trained models) lands in .repro_cache,
+every cell is recorded in the results store, and repeat runs resume
+from both.
 """
 
 import argparse
 
+from repro.api import Client, message_printer
 from repro.core import AttackConfig
-from repro.eval import run_table3
 from repro.netlist import TABLE3_SPECS
 
 SUBSET = ["c432", "c880", "c1355", "b11", "b13", "c2670"]
@@ -33,16 +35,23 @@ def main() -> None:
                         help="split layers to attack (default: 3)")
     parser.add_argument("--flow-timeout", type=float, default=120.0,
                         help="flow-attack budget per design, seconds")
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: $REPRO_WORKERS or serial; "
+        "0 = all cores)",
+    )
     args = parser.parse_args()
 
     designs = [s.name for s in TABLE3_SPECS] if args.full else SUBSET
-    report = run_table3(
-        designs=designs,
-        split_layers=tuple(args.layers),
-        config=AttackConfig.benchmark(),
-        flow_timeout_s=args.flow_timeout,
-        progress=lambda msg: print(f"  .. {msg}"),
-    )
+    with Client(backend="local", workers=args.workers,
+                on_event=message_printer()) as client:
+        result = client.table3(
+            designs=designs,
+            split_layers=tuple(args.layers),
+            config=AttackConfig.benchmark(),
+            flow_timeout_s=args.flow_timeout,
+        )
+    report = result.report()
     print()
     print(report.render())
     for layer in args.layers:

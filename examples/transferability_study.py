@@ -8,44 +8,69 @@ model (trained on the mixed 9-design corpus) is evaluated per circuit
 family — random logic, sequential controllers, arithmetic arrays and
 parity trees — to show where layout regularities transfer.
 
-Run:  python examples/transferability_study.py   (uses/trains the
-      cached benchmark model; cold start trains for several minutes)
+The study runs through the ``transferability`` registry grid on
+:class:`repro.api.Client` (local backend): each family's designs are
+one tagged scenario batch, every CCR lands in the results store, and a
+re-run resumes from it (cold start trains for several minutes).
+
+Run:  python examples/transferability_study.py [--layer 3]
 """
 
 import argparse
 from collections import defaultdict
 
-from repro.core import AttackConfig
+from repro.api import Client, message_printer
 from repro.eval import render_table
+from repro.experiments.registry import TRANSFER_FAMILIES
 from repro.netlist import TABLE3_BY_NAME
-from repro.pipeline import get_split, trained_attack
-from repro.split import ccr
 
-FAMILY_DESIGNS = {
-    "rand (ISCAS85)": ["c432", "c880", "c2670"],
-    "seq (ITC99)": ["b11", "b13", "b7"],
-    "arith (multiplier)": ["c6288"],
-    "parity (ECC)": ["c1355", "c1908"],
+FAMILY_TITLES = {
+    "rand": "rand (ISCAS85)",
+    "seq": "seq (ITC99)",
+    "arith": "arith (multiplier)",
+    "parity": "parity (ECC)",
 }
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--layer", type=int, default=3)
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: $REPRO_WORKERS or serial; "
+        "0 = all cores)",
+    )
     args = parser.parse_args()
 
-    attack = trained_attack(args.layer, AttackConfig.benchmark())
+    with Client(backend="local", workers=args.workers,
+                on_event=message_printer()) as client:
+        result = client.run(
+            "transferability", {"split_layer": args.layer}
+        )
+
+    # Family membership comes from the grid table, not the stored
+    # label: a record resumed from the store may have been produced by
+    # another grid (e.g. table3's dl cells) with a different label.
+    family_of = {
+        design: family
+        for family, designs in TRANSFER_FAMILIES.items()
+        for design in designs
+    }
     rows = []
     family_ccrs = defaultdict(list)
-    for family, designs in FAMILY_DESIGNS.items():
-        for name in designs:
-            split = get_split(name, args.layer)
-            value = ccr(split, attack.select(split))
-            family_ccrs[family].append(value)
-            flavor = TABLE3_BY_NAME[name].flavor
-            rows.append([family, name, flavor, f"{value:.1f}"])
+    for record in result.records:
+        name = record.scenario["design"]
+        family = family_of[name]
+        family_ccrs[family].append(record.ccr)
+        rows.append([
+            FAMILY_TITLES.get(family, family), name,
+            TABLE3_BY_NAME[name].flavor, f"{record.ccr:.1f}",
+        ])
     for family, values in family_ccrs.items():
-        rows.append([family, "= family avg", "", f"{sum(values)/len(values):.1f}"])
+        rows.append([
+            FAMILY_TITLES.get(family, family), "= family avg", "",
+            f"{sum(values) / len(values):.1f}",
+        ])
 
     print(
         render_table(

@@ -23,9 +23,9 @@ import sys
 import time
 from pathlib import Path
 
+from repro.api import Client, message_printer
 from repro.core import AttackConfig
 from repro.core.atomic import atomic_write_json, atomic_write_text
-from repro.eval import run_figure5, run_table3
 from repro.experiments import ResultsStore
 from repro.netlist import TABLE3_SPECS
 
@@ -56,55 +56,59 @@ def main() -> int:
     out.mkdir(parents=True, exist_ok=True)
     config = AttackConfig.benchmark()
     summary: dict = {"config": "benchmark", "quick": args.quick}
-    # The runs go through the sweep engine: every scenario outcome is
-    # appended to the results store, and completed scenarios resume from
-    # it — re-running this script after an interrupt (or with a wider
-    # design list) only computes the missing cells.
+    # The runs go through the repro.api facade (local backend): every
+    # scenario outcome is appended to the results store, and completed
+    # scenarios resume from it — re-running this script after an
+    # interrupt (or with a wider design list) only computes the missing
+    # cells.
     store = ResultsStore(out / "experiments.jsonl")
     log(f"results store: {store.path} ({len(store)} scenarios)")
 
-    if not args.skip_table3:
-        designs = QUICK_DESIGNS if args.quick else [s.name for s in TABLE3_SPECS]
-        log(f"Table 3: {len(designs)} designs, split layers M1+M3")
-        report = run_table3(
-            designs=designs, config=config, progress=log, workers=args.workers,
-            store=store,
-        )
-        atomic_write_text(out / "table3.txt", report.render() + "\n")
-        atomic_write_text(out / "table3.md", report.to_markdown() + "\n")
-        print(report.render())
-        summary["table3"] = {
-            f"m{layer}": report.averages(layer) for layer in (1, 3)
-        }
-        summary["table3"]["train_seconds"] = report.train_seconds
-        summary["table3"]["rows"] = [
-            {
-                "design": r.design, "layer": r.split_layer,
-                "sk": r.n_sink_fragments, "sc": r.n_source_fragments,
-                "ccr_flow": r.ccr_flow, "ccr_dl": r.ccr_dl,
-                "rt_flow": r.runtime_flow, "rt_dl": r.runtime_dl,
+    with Client(
+        backend="local", store=store, workers=args.workers,
+        on_event=message_printer(prefix="", write=log),
+    ) as client:
+        if not args.skip_table3:
+            designs = (
+                QUICK_DESIGNS if args.quick
+                else [s.name for s in TABLE3_SPECS]
+            )
+            log(f"Table 3: {len(designs)} designs, split layers M1+M3")
+            report = client.table3(designs=designs, config=config).report()
+            atomic_write_text(out / "table3.txt", report.render() + "\n")
+            atomic_write_text(out / "table3.md", report.to_markdown() + "\n")
+            print(report.render())
+            summary["table3"] = {
+                f"m{layer}": report.averages(layer) for layer in (1, 3)
             }
-            for r in report.rows
-        ]
-        log("Table 3 done")
+            summary["table3"]["train_seconds"] = report.train_seconds
+            summary["table3"]["rows"] = [
+                {
+                    "design": r.design, "layer": r.split_layer,
+                    "sk": r.n_sink_fragments, "sc": r.n_source_fragments,
+                    "ccr_flow": r.ccr_flow, "ccr_dl": r.ccr_dl,
+                    "rt_flow": r.runtime_flow, "rt_dl": r.runtime_dl,
+                }
+                for r in report.rows
+            ]
+            log("Table 3 done")
 
-    if not args.skip_figure5:
-        log(f"Figure 5: {len(FIGURE5_DESIGNS)} designs, M3 ablation")
-        report5 = run_figure5(
-            designs=FIGURE5_DESIGNS, split_layer=3, config=config,
-            progress=log, workers=args.workers, store=store,
-        )
-        atomic_write_text(out / "figure5.txt", report5.render() + "\n")
-        print(report5.render())
-        summary["figure5"] = {
-            r.variant: {
-                "avg_ccr": r.avg_ccr,
-                "avg_inference_s": r.avg_inference_s,
+        if not args.skip_figure5:
+            log(f"Figure 5: {len(FIGURE5_DESIGNS)} designs, M3 ablation")
+            report5 = client.figure5(
+                designs=FIGURE5_DESIGNS, split_layer=3, config=config,
+            ).report()
+            atomic_write_text(out / "figure5.txt", report5.render() + "\n")
+            print(report5.render())
+            summary["figure5"] = {
+                r.variant: {
+                    "avg_ccr": r.avg_ccr,
+                    "avg_inference_s": r.avg_inference_s,
+                }
+                for r in report5.results
             }
-            for r in report5.results
-        }
-        summary["figure5_gains"] = report5.gains()
-        log("Figure 5 done")
+            summary["figure5_gains"] = report5.gains()
+            log("Figure 5 done")
 
     atomic_write_json(out / "summary.json", summary)
     store.to_csv(out / "experiments.csv")

@@ -13,17 +13,21 @@ defense     sweep the placement/lifting defenses on one design
 scenarios   list registered scenario grids, or expand one into specs
 sweep       run a registered scenario grid through the DAG engine
 serve       run the attack service (job queue + scheduler + HTTP API)
-submit      submit a grid or spec file to a running service
+submit      submit a grid or spec file to a running service (or cancel
+            a submitted job with ``--cancel JOB_ID``)
 report      summarise the results store (slowest nodes, cache hits)
 
-``attack``, ``table3``, ``figure5``, ``defense`` and ``sweep`` accept
-``--workers N`` (or the ``REPRO_WORKERS`` environment variable) to fan
-the work out over worker processes coordinated by the ``.repro_cache``
-disk cache.  All of them run through :mod:`repro.experiments`: results
-append to the queryable store (``results/experiments.jsonl`` by
-default; relocate with ``REPRO_RESULTS_DIR`` or ``--store``), and
-scenarios already in the store are resumed, not recomputed — pass
-``--fresh`` to force re-evaluation.
+Every execution command is a thin argument parser over
+:class:`repro.api.Client`: ``attack``, ``table3``, ``figure5``,
+``defense`` and ``sweep`` drive the local backend (``--workers N`` /
+``REPRO_WORKERS`` fans the DAG out over worker processes coordinated
+by the ``.repro_cache`` disk cache), ``submit`` drives the service
+backend against ``--url``.  Results append to the queryable store
+(``results/experiments.jsonl`` by default; relocate with
+``REPRO_RESULTS_DIR`` or ``--store``), and scenarios already in the
+store are resumed, not recomputed — pass ``--fresh`` to force
+re-evaluation, or ``--no-store`` (``table3``/``figure5``/``defense``)
+to skip recording entirely.
 """
 
 from __future__ import annotations
@@ -31,6 +35,21 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+
+
+def _open_client(args, backend: str = "local", events: bool = True):
+    from repro.api import Client, message_printer
+
+    store = getattr(args, "store", None) or None
+    if getattr(args, "no_store", False):
+        store = False
+    return Client(
+        backend=backend,
+        store=store,
+        workers=getattr(args, "workers", None),
+        url=getattr(args, "url", None),
+        on_event=message_printer() if events else None,
+    )
 
 
 def cmd_info(_args) -> int:
@@ -82,28 +101,18 @@ def _open_store(args):
 
 
 def cmd_attack(args) -> int:
-    from repro.core import AttackConfig
-    from repro.experiments import ScenarioSpec, run_sweep
-
-    # Single-design runs go through the same engine as the big
+    # Single-design runs go through the same facade as the big
     # harnesses, so they share the layout/feature/weight caches, the
     # --workers fan-out and the results store.
-    specs = [
-        ScenarioSpec(
-            design=args.design,
+    with _open_client(args, events=False) as client:
+        result = client.attack(
+            args.design,
             split_layer=args.layer,
-            attack=attack,
-            config=AttackConfig.benchmark() if attack == "dl" else None,
+            attacks=tuple(
+                a for a in ("proximity", "flow", "dl") if a in args.attacks
+            ),
+            resume=not args.fresh,
         )
-        for attack in ("proximity", "flow", "dl")
-        if attack in args.attacks
-    ]
-    result = run_sweep(
-        specs,
-        store=_open_store(args),
-        workers=args.workers,
-        resume=not args.fresh,
-    )
     # Fragment counts come from the records, so a fully store-resumed
     # invocation never has to build the layout just for this banner.
     sizes = result.records[0]
@@ -124,52 +133,42 @@ def cmd_attack(args) -> int:
 
 def cmd_table3(args) -> int:
     from repro.core import AttackConfig
-    from repro.eval import run_table3
 
-    report = run_table3(
-        designs=args.designs or None,
-        split_layers=tuple(args.layers),
-        config=AttackConfig.benchmark(),
-        flow_timeout_s=args.flow_timeout,
-        progress=lambda m: print(f"  .. {m}"),
-        workers=args.workers,
-        store=None if args.no_store else _open_store(args),
-        resume=not args.fresh,
-    )
-    print(report.render())
+    with _open_client(args) as client:
+        result = client.table3(
+            designs=args.designs or None,
+            split_layers=tuple(args.layers),
+            config=AttackConfig.benchmark(),
+            flow_timeout_s=args.flow_timeout,
+            resume=not args.fresh,
+        )
+    print(result.report().render())
     return 0
 
 
 def cmd_figure5(args) -> int:
     from repro.core import AttackConfig
-    from repro.eval import run_figure5
 
-    report = run_figure5(
-        designs=args.designs,
-        split_layer=3,
-        config=AttackConfig.benchmark(),
-        progress=lambda m: print(f"  .. {m}"),
-        workers=args.workers,
-        store=None if args.no_store else _open_store(args),
-        resume=not args.fresh,
-    )
-    print(report.render())
+    with _open_client(args) as client:
+        result = client.figure5(
+            designs=args.designs,
+            split_layer=3,
+            config=AttackConfig.benchmark(),
+            resume=not args.fresh,
+        )
+    print(result.report().render())
     return 0
 
 
 def cmd_defense(args) -> int:
-    from repro.defense import run_defense_sweep
-
-    report = run_defense_sweep(
-        args.design,
-        split_layer=args.layer,
-        with_flow=not args.no_flow,
-        workers=args.workers,
-        progress=lambda m: print(f"  .. {m}"),
-        store=None if args.no_store else _open_store(args),
-        resume=not args.fresh,
-    )
-    print(report.render())
+    with _open_client(args) as client:
+        result = client.defense_sweep(
+            args.design,
+            split_layer=args.layer,
+            with_flow=not args.no_flow,
+            resume=not args.fresh,
+        )
+    print(result.report().render())
     return 0
 
 
@@ -210,55 +209,26 @@ def cmd_scenarios(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    from repro.experiments import (
-        build_grid,
-        defense_report,
-        figure5_report,
-        render_records,
-        run_sweep,
-        table3_report,
-    )
+    from repro.api import EmptySubmission
 
     params = _parse_grid_params(args.param)
-    specs = build_grid(args.grid, **params)
-    if not specs:
-        print(f"grid {args.grid!r} expanded to 0 scenarios")
-        return 0
-    store = _open_store(args)
-    result = run_sweep(
-        specs,
-        store=store,
-        workers=args.workers,
-        progress=lambda m: print(f"  .. {m}"),
-        resume=not args.fresh,
-    )
-    if args.grid == "table3":
-        print(table3_report(
-            result.records,
-            flow_timeout_s=params.get("flow_timeout_s", 120.0),
-            train_seconds=result.train_seconds,
-        ).render())
-    elif args.grid == "figure5":
-        print(figure5_report(
-            result.records, split_layer=specs[0].split_layer
-        ).render())
-    elif args.grid == "defense-sweep":
-        print(defense_report(
-            result.records,
-            design=specs[0].design,
-            split_layer=specs[0].split_layer,
-        ).render())
-    else:
-        print(render_records(result.records, title=f"sweep: {args.grid}"))
+    with _open_client(args) as client:
+        try:
+            job = client.submit(args.grid, params, resume=not args.fresh)
+        except EmptySubmission:
+            print(f"grid {args.grid!r} expanded to 0 scenarios")
+            return 0
+        result = job.wait()
+    print(result.render())
     print(
         f"{result.executed} evaluated, {result.reused} from store "
-        f"-> {store.path}"
+        f"-> {client.store.path}"
     )
     return 0
 
 
 def cmd_serve(args) -> int:
-    from repro.service import AttackService
+    from repro.service import DEFAULT_COMPACT_TTL_S, AttackService
 
     service = AttackService(
         host=args.host,
@@ -267,12 +237,18 @@ def cmd_serve(args) -> int:
         queue_path=args.queue or None,
         workers=args.workers,
         progress=lambda m: print(f"  .. {m}"),
+        # --compact drops every terminal job from the journal at
+        # startup; the default keeps a week of history.
+        compact_ttl_s=0.0 if args.compact else DEFAULT_COMPACT_TTL_S,
     )
     service.start()
     print(f"repro attack service listening on {service.url}")
     print(f"  results store: {service.store.path}")
     print(f"  job journal:   {service.queue.path}")
-    print("  POST /jobs | GET /jobs/<id>?wait=s | GET /results | /healthz")
+    if service.compacted_jobs:
+        print(f"  journal compacted: {service.compacted_jobs} "
+              "terminal jobs dropped")
+    print("  POST /jobs | GET|DELETE /jobs/<id> | GET /results | /healthz")
     try:
         import threading
 
@@ -285,38 +261,47 @@ def cmd_serve(args) -> int:
 
 
 def cmd_submit(args) -> int:
-    from repro.service import ServiceClient
+    from repro.api import BackendError, JobCancelled
 
+    client = _open_client(args, backend="service", events=False)
+    if args.cancel:
+        from repro.service.client import ServiceClientError
+
+        try:
+            cancelled = client.cancel(args.cancel)
+        except ServiceClientError as err:
+            print(f"cancel {args.cancel}: {err}")
+            return 1
+        print(
+            f"{'cancelled' if cancelled else 'not cancelled (terminal)'}"
+            f": {args.cancel}"
+        )
+        return 0 if cancelled else 1
     if not args.grid and not args.spec_file:
-        raise SystemExit("submit needs a grid name or --spec-file")
-    client = ServiceClient(args.url)
+        raise SystemExit("submit needs a grid name, --spec-file or --cancel")
     if args.spec_file:
         with open(args.spec_file) as handle:
             specs = json.load(handle)
         if isinstance(specs, dict):
             specs = [specs]
-        out = client.submit(specs=specs, priority=args.priority)
+        job = client.submit(specs, priority=args.priority)
     else:
-        out = client.submit(
-            grid=args.grid,
-            params=_parse_grid_params(args.param),
+        job = client.submit(
+            args.grid, _parse_grid_params(args.param),
             priority=args.priority,
         )
-    job = out["job"]
     print(
-        f"{out['outcome']}: {job['job_id']} "
-        f"({job['n_scenarios']} scenarios, priority {job['priority']})"
+        f"{job.outcome}: {job.job_id} "
+        f"({len(job.specs)} scenarios, priority {job.priority})"
     )
     if not args.wait:
         return 0
-    from repro.experiments import ScenarioRecord, render_records
-
-    view = client.wait(job["job_id"], timeout=args.timeout)
-    if view["status"] != "done":
-        print(f"job {view['status']}: {view.get('error', '')}")
+    try:
+        result = job.wait(timeout=args.timeout)
+    except (BackendError, JobCancelled) as err:
+        print(f"job {job.status}: {err}")
         return 1
-    records = [ScenarioRecord.from_dict(r) for r in view.get("records", [])]
-    print(render_records(records, title=f"job {job['job_id']}"))
+    print(result.render(title=f"job {job.job_id}"))
     return 0
 
 
@@ -385,7 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_t3.add_argument("--store", default=None, help=store_help)
     p_t3.add_argument(
         "--no-store", action="store_true",
-        help="bypass the sweep engine/results store (direct harness run)",
+        help="run without recording to (or resuming from) the results store",
     )
     p_t3.add_argument(
         "--fresh", action="store_true",
@@ -401,7 +386,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_f5.add_argument("--store", default=None, help=store_help)
     p_f5.add_argument(
         "--no-store", action="store_true",
-        help="bypass the sweep engine/results store (direct harness run)",
+        help="run without recording to (or resuming from) the results store",
     )
     p_f5.add_argument(
         "--fresh", action="store_true",
@@ -420,7 +405,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_def.add_argument("--store", default=None, help=store_help)
     p_def.add_argument(
         "--no-store", action="store_true",
-        help="bypass the sweep engine/results store (direct harness run)",
+        help="run without recording to (or resuming from) the results store",
     )
     p_def.add_argument(
         "--fresh", action="store_true",
@@ -469,6 +454,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--queue", default=None,
         help="job journal JSONL (default: results/service_queue.jsonl)",
     )
+    p_srv.add_argument(
+        "--compact", action="store_true",
+        help="drop ALL terminal jobs from the journal at startup "
+        "(default: terminal jobs older than 7 days)",
+    )
     p_srv.set_defaults(fn=cmd_serve)
 
     p_sub = sub.add_parser(
@@ -489,6 +479,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sub.add_argument("--url", default="http://127.0.0.1:8732")
     p_sub.add_argument("--priority", type=int, default=0)
+    p_sub.add_argument(
+        "--cancel", metavar="JOB_ID", default=None,
+        help="cancel a submitted job instead of submitting",
+    )
     p_sub.add_argument(
         "--wait", action="store_true",
         help="long-poll until the job finishes and print its records",

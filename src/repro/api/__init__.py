@@ -1,0 +1,63 @@
+"""repro.api — the public SDK: one Client, pluggable execution backends.
+
+The reproduction grew three disjoint ways to run the same attack
+(legacy harness functions, the DAG sweep engine, the HTTP service).
+This package is the single stable surface over all of them:
+
+* :class:`Client` — accepts :class:`~repro.experiments.ScenarioSpec`
+  objects, spec dicts, or registry grid names, plus high-level helpers
+  (``client.table3()``, ``client.figure5()``,
+  ``client.defense_sweep()``, ``client.attack(design, ...)``);
+* :class:`~repro.api.backends.Backend` — the execution protocol, with
+  :class:`InlineBackend` (single-process, deterministic),
+  :class:`LocalBackend` (multi-process sweep engine) and
+  :class:`ServiceBackend` (HTTP attack service, auto-spawned when no
+  URL is given) behind an unchanged caller surface;
+* :class:`Job` -> :class:`ResultSet` — uniform handles and results
+  (built on :class:`~repro.experiments.ScenarioRecord`, with lazy
+  report accessors reusing :mod:`repro.experiments.reports`);
+* :class:`~repro.api.events.ProgressEvent` — one streaming progress
+  callback (``on_event``) unifying the engine's ``on_node`` hook with
+  the service's long-poll counters.
+
+New workloads register a grid (:func:`repro.experiments.register`) and
+are immediately runnable on every backend; new execution strategies
+implement ``Backend`` and plug in without touching any caller.
+"""
+
+from .backends import (
+    BACKENDS,
+    Backend,
+    BackendError,
+    BackendOutcome,
+    InlineBackend,
+    JobCancelled,
+    LocalBackend,
+    ServiceBackend,
+)
+from .client import Client, EmptySubmission, Job, ResultSet
+from .events import (
+    EVENT_KINDS,
+    ProgressEvent,
+    message_printer,
+    progress_adapter,
+)
+
+__all__ = [
+    "BACKENDS",
+    "Backend",
+    "BackendError",
+    "BackendOutcome",
+    "Client",
+    "EVENT_KINDS",
+    "EmptySubmission",
+    "InlineBackend",
+    "Job",
+    "JobCancelled",
+    "LocalBackend",
+    "ProgressEvent",
+    "ResultSet",
+    "ServiceBackend",
+    "message_printer",
+    "progress_adapter",
+]

@@ -1,0 +1,388 @@
+"""Pluggable execution backends behind :class:`repro.api.Client`.
+
+A backend turns a list of :class:`~repro.experiments.spec.ScenarioSpec`
+into :class:`~repro.experiments.store.ScenarioRecord` rows.  All three
+implementations speak the same tiny interface (``start`` / ``run`` /
+``cancel`` / ``close``) and report through the same
+:mod:`repro.api.events` vocabulary, so callers choose an execution
+strategy without changing a line of calling code:
+
+* :class:`InlineBackend` — single-process, serial, deterministic; the
+  right default for tests and small runs;
+* :class:`LocalBackend` — the DAG sweep engine with a reusable
+  multi-process :class:`~repro.pipeline.parallel.Executor`
+  (``workers`` knob / ``REPRO_WORKERS``);
+* :class:`ServiceBackend` — submits to an
+  :class:`~repro.service.server.AttackService` over HTTP, auto-spawning
+  an in-process service when no URL is given; jobs are persistent,
+  deduped and cancellable on the service side.
+
+Every backend produces records through the same planner and evaluator
+(:mod:`repro.experiments.engine`), so the payloads are identical across
+backends — the parity test in ``tests/api`` hash-compares them.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+
+from ..experiments.engine import run_sweep
+from ..experiments.store import ResultsStore, ScenarioRecord
+from ..pipeline.flow import cache_dir
+from ..pipeline.parallel import Executor, resolve_workers
+from .events import engine_hooks
+
+#: Job lifecycle states, mirroring the service queue's vocabulary.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class BackendError(RuntimeError):
+    """A backend could not execute or finish a job."""
+
+
+class JobCancelled(BackendError):
+    """The awaited job was cancelled before it produced results."""
+
+
+@dataclass
+class BackendOutcome:
+    """What a backend hands back for one finished job."""
+
+    records: list[ScenarioRecord]
+    executed: int | None = None
+    reused: int | None = None
+    train_seconds: dict = field(default_factory=dict)
+
+
+class Backend:
+    """Execution-strategy interface consumed by :class:`~repro.api.Client`.
+
+    ``start`` is the non-blocking kickoff (only the service backend
+    does real work there); ``run`` blocks until the job is terminal and
+    returns a :class:`BackendOutcome`; ``cancel`` attempts to stop a
+    job that has not finished.  Backends are context managers —
+    ``close`` releases pools / spawned services, and further use of a
+    closed backend's resources raises (silently recreating a worker
+    pool or a whole service would leak it).
+    """
+
+    name = "backend"
+    closed = False
+
+    def start(self, job) -> None:
+        """Kick the job off without blocking (may be a no-op)."""
+
+    def run(self, job, timeout: float | None = None) -> BackendOutcome:
+        """Block until the job is terminal.
+
+        ``timeout`` bounds the service backend's long-poll (the job
+        keeps running server-side after a :class:`TimeoutError`); the
+        in-process backends execute the sweep in this call and are not
+        preemptible, so they ignore it.
+        """
+        raise NotImplementedError
+
+    def cancel(self, job) -> bool:
+        """Best-effort cancellation; True when it took effect."""
+        if job.status == "queued":
+            job.status = "cancelled"
+            job._emit("cancelled", "cancelled before execution")
+            return True
+        return False
+
+    def close(self) -> None:
+        """Release held resources (executor pools, spawned services)."""
+        self.closed = True
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _EngineBackend(Backend):
+    """Shared sweep-engine execution for the in-process backends."""
+
+    def __init__(self, store: ResultsStore | None = None):
+        self.store = store
+
+    def _sweep_kwargs(self, job) -> dict:
+        return {}
+
+    def run(self, job, timeout: float | None = None) -> BackendOutcome:
+        if job.status == "cancelled":
+            raise JobCancelled(f"job {job.job_id or ''} was cancelled")
+        job.status = "running"
+        progress, on_node = engine_hooks(job._emit)
+        if cache_dir() is None and any(
+            spec.attack == "dl" for spec in job.specs
+        ):
+            # Without a disk cache nothing persists between runs (the
+            # in-process memo still shares one training per layer and
+            # config across this sweep's evaluation nodes).
+            progress(
+                "disk cache disabled (REPRO_CACHE_DIR is empty): "
+                "trained models and feature tensors are not persisted "
+                "across runs"
+            )
+        try:
+            result = run_sweep(
+                job.specs,
+                store=self.store,
+                resume=job.resume,
+                progress=progress,
+                on_node=on_node,
+                **self._sweep_kwargs(job),
+            )
+        except Exception as err:
+            job.status = "failed"
+            job.error = str(err)
+            job._emit("failed", job.error)
+            raise
+        job._emit(
+            "progress",
+            f"{result.executed} evaluated, {result.reused} from store",
+            nodes_done=result.executed,
+            reused=result.reused,
+        )
+        return BackendOutcome(
+            records=result.records,
+            executed=result.executed,
+            reused=result.reused,
+            train_seconds=dict(result.train_seconds),
+        )
+
+
+class InlineBackend(_EngineBackend):
+    """Single-process, serial, deterministic execution.
+
+    Runs the DAG plan level by level in the calling process (worker
+    count pinned to 1), so behaviour is bit-identical run to run and
+    no disk-cache coordination is required.
+    """
+
+    name = "inline"
+
+    def _sweep_kwargs(self, job) -> dict:
+        return {"workers": 1}
+
+
+class LocalBackend(_EngineBackend):
+    """Multi-process execution through one long-lived executor.
+
+    The pool is created lazily from ``workers`` (or ``REPRO_WORKERS``;
+    ``0`` = all cores) and reused across every job this backend runs,
+    exactly like the attack service's scheduler reuses its pool.
+    """
+
+    name = "local"
+
+    def __init__(
+        self, store: ResultsStore | None = None, workers: int | None = None
+    ):
+        super().__init__(store=store)
+        self.workers = workers
+        self._executor: Executor | None = None
+
+    def _get_executor(self) -> Executor:
+        if self.closed:
+            raise BackendError("backend has been closed")
+        if self._executor is None:
+            n_workers = resolve_workers(self.workers)
+            if n_workers > 1 and cache_dir() is None:
+                n_workers = 1  # no coordination medium: serial
+            self._executor = Executor(n_workers)
+        return self._executor
+
+    def _sweep_kwargs(self, job) -> dict:
+        return {"executor": self._get_executor()}
+
+    def close(self) -> None:
+        super().close()
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+
+class ServiceBackend(Backend):
+    """Execution through an :class:`~repro.service.server.AttackService`.
+
+    With ``url`` the backend talks to an already-running service; with
+    ``url=None`` it spawns an in-process service on an ephemeral port
+    at first use and stops it on :meth:`close`.  Jobs submitted here
+    are persistent (journal-backed), deduped against in-flight jobs and
+    the service's results store, and cancellable while queued or
+    running (``DELETE /jobs/<id>``).
+    """
+
+    name = "service"
+
+    #: long-poll chunk — short enough to surface progress events
+    #: promptly, long enough not to hammer the service.
+    POLL_CHUNK_S = 2.0
+
+    def __init__(
+        self,
+        url: str | None = None,
+        store: ResultsStore | None = None,
+        workers: int | None = None,
+        queue_path=None,
+        timeout: float = 30.0,
+    ):
+        self.url = url
+        self.store = store
+        self.workers = workers
+        self.queue_path = queue_path
+        self.timeout = timeout
+        self._service = None  # spawned AttackService, when we own one
+        self._client = None
+
+    def _get_client(self):
+        if self.closed:
+            raise BackendError("backend has been closed")
+        if self._client is None:
+            from ..service.client import ServiceClient
+
+            if self.url is None:
+                from ..service.server import AttackService
+
+                self._service = AttackService(
+                    port=0,
+                    store=self.store,
+                    queue_path=self.queue_path,
+                    workers=self.workers,
+                ).start()
+                self.url = self._service.url
+            self._client = ServiceClient(self.url, timeout=self.timeout)
+        return self._client
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self, job) -> None:
+        if not job.resume:
+            raise BackendError(
+                "the service backend always resumes from the service's "
+                "results store; use the inline/local backend for "
+                "resume=False (--fresh) runs"
+            )
+        client = self._get_client()
+        # Grid submissions travel by name when the params survive JSON,
+        # so the service journals the grid provenance
+        # (source={"grid": ...}) and expands with its own registry —
+        # same as a curl submission.  Params carrying live objects
+        # (e.g. an AttackConfig) fall back to the expanded spec dicts.
+        payload: dict = {"priority": job.priority}
+        if job.grid is not None:
+            try:
+                json.dumps(job.params)
+            except TypeError:
+                payload["specs"] = [s.to_dict() for s in job.specs]
+            else:
+                payload["grid"] = job.grid
+                payload["params"] = job.params
+        else:
+            payload["specs"] = [s.to_dict() for s in job.specs]
+        out = client.submit(**payload)
+        view = out["job"]
+        job.job_id = view["job_id"]
+        job.outcome = out["outcome"]
+        job.status = view["status"]
+        job._emit(
+            "submitted",
+            f"{job.outcome}: {job.job_id} ({view['n_scenarios']} scenarios)",
+            outcome=job.outcome,
+            n_scenarios=view["n_scenarios"],
+        )
+
+    def run(self, job, timeout: float | None = None) -> BackendOutcome:
+        if job.job_id is None:
+            self.start(job)
+        client = self._get_client()
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        last_progress = None
+        while True:
+            wait = self.POLL_CHUNK_S
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"job {job.job_id} still {job.status}"
+                    )
+                wait = min(remaining, wait)
+            view = client.job(job.job_id, wait=wait)
+            job.status = view["status"]
+            progress = (
+                view.get("nodes_done"), view.get("nodes_total"),
+                view.get("reused"),
+            )
+            if progress != last_progress and progress[1] is not None:
+                last_progress = progress
+                job._emit(
+                    "progress",
+                    f"{progress[0]}/{progress[1]} nodes",
+                    nodes_done=progress[0],
+                    nodes_total=progress[1],
+                    reused=progress[2],
+                )
+            if view["status"] in TERMINAL_STATES:
+                break
+        if view["status"] == "failed":
+            job.error = view.get("error") or "job failed"
+            job._emit("failed", job.error)
+            raise BackendError(f"job {job.job_id} failed: {job.error}")
+        if view["status"] == "cancelled":
+            job._emit("cancelled", "cancelled on the service")
+            raise JobCancelled(f"job {job.job_id} was cancelled")
+        by_hash = {
+            r["scenario_hash"]: ScenarioRecord.from_dict(r)
+            for r in view.get("records", [])
+        }
+        missing = [
+            s.scenario_hash for s in job.specs
+            if s.scenario_hash not in by_hash
+        ]
+        if missing:
+            raise BackendError(
+                f"job {job.job_id} finished but is missing records for "
+                f"{missing}"
+            )
+        return BackendOutcome(
+            records=[by_hash[s.scenario_hash] for s in job.specs],
+            reused=view.get("reused"),
+        )
+
+    def cancel(self, job) -> bool:
+        if job.status in TERMINAL_STATES:
+            return job.status == "cancelled"
+        if job.job_id is None:
+            return super().cancel(job)
+        return self.cancel_id(job.job_id, job=job)
+
+    def cancel_id(self, job_id: str, job=None) -> bool:
+        """Cancel a service job by id (``repro submit --cancel``)."""
+        view = self._get_client().cancel(job_id)
+        cancelled = view.get("outcome") == "cancelled"
+        if job is not None:
+            job.status = view["job"]["status"]
+            if cancelled:
+                job._emit("cancelled", "cancelled on the service")
+        return cancelled
+
+    def close(self) -> None:
+        super().close()
+        if self._service is not None:
+            self._service.stop()
+            self._service = None
+            self.url = None  # we owned the endpoint; it is gone
+        self._client = None
+
+
+BACKENDS = {
+    InlineBackend.name: InlineBackend,
+    LocalBackend.name: LocalBackend,
+    ServiceBackend.name: ServiceBackend,
+}

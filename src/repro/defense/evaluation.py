@@ -132,29 +132,27 @@ def run_defense_sweep(
     """Sweep the defenses on one design, one parallel job per layout.
 
     Passing a ``store`` (:class:`repro.experiments.ResultsStore`)
-    routes the sweep through the DAG engine via the ``defense-sweep``
-    registry grid: each defended layout is built once and shared by the
-    proximity and flow cells attacking it, results land in the store,
-    and completed cells resume from it.
+    routes the sweep through :class:`repro.api.Client` on the local
+    backend — this function is then a deprecated shim over the facade
+    (new code should call ``Client().defense_sweep(...)`` directly) —
+    via the ``defense-sweep`` registry grid: each defended layout is
+    built once and shared by the proximity and flow cells attacking it,
+    results land in the store, and completed cells resume from it.
     """
     if store is not None:
-        from ..experiments import build_grid, defense_report, run_sweep
+        from ..api import Client, progress_adapter
 
-        specs = build_grid(
-            "defense-sweep",
-            design=design,
-            split_layer=split_layer,
-            perturbations=perturbations,
-            lift_fractions=lift_fractions,
-            with_flow=with_flow,
-        )
-        result = run_sweep(
-            specs, store=store, workers=workers, progress=progress,
-            resume=resume,
-        )
-        return defense_report(
-            result.records, design=design, split_layer=split_layer
-        )
+        with Client(backend="local", store=store, workers=workers) as client:
+            result = client.defense_sweep(
+                design,
+                split_layer=split_layer,
+                perturbations=perturbations,
+                lift_fractions=lift_fractions,
+                with_flow=with_flow,
+                resume=resume,
+                on_event=progress_adapter(progress),
+            )
+        return result.report()
 
     jobs: list[tuple] = [(design, split_layer, "baseline", 0.0, with_flow)]
     jobs += [

@@ -218,29 +218,29 @@ def run_figure5(
     Figure 5(b) numbers matter.
 
     Passing a ``store`` (:class:`repro.experiments.ResultsStore`)
-    routes the run through the sweep engine via the ``figure5``
-    registry grid: one trained model per variant is shared across every
-    design cell, results land in the store, and completed cells resume
-    from it.
+    routes the run through :class:`repro.api.Client` on the local
+    backend — this function is then a deprecated shim over the facade
+    (new code should call ``Client().figure5(...)`` directly) — via the
+    ``figure5`` registry grid: one trained model per variant is shared
+    across every design cell, results land in the store, and completed
+    cells resume from it.
     """
     base = config or AttackConfig.fast()
     # Like run_table3: the engine path shares trained variants between
     # nodes through the weight cache, so it requires the disk cache.
     if store is not None and use_disk_cache and cache_dir() is not None:
-        from ..experiments import build_grid, figure5_report, run_sweep
+        from ..api import Client, progress_adapter
 
-        specs = build_grid(
-            "figure5",
-            designs=designs,
-            split_layer=split_layer,
-            config=base,
-            train_names=train_names,
-        )
-        result = run_sweep(
-            specs, store=store, workers=workers, progress=progress,
-            resume=resume,
-        )
-        return figure5_report(result.records, split_layer=split_layer)
+        with Client(backend="local", store=store, workers=workers) as client:
+            result = client.figure5(
+                designs=designs,
+                split_layer=split_layer,
+                config=base,
+                train_names=train_names,
+                resume=resume,
+                on_event=progress_adapter(progress),
+            )
+        return result.report()
     if store is not None:
         import warnings
 

@@ -317,9 +317,11 @@ def run_table3(
     cache).
 
     Passing a ``store`` (:class:`repro.experiments.ResultsStore`)
-    routes the run through the DAG-aware sweep engine: the grid comes
-    from the ``table3`` registry entry, results are recorded in the
-    store, and completed scenarios are resumed from it instead of
+    routes the run through :class:`repro.api.Client` on the local
+    backend — this function is then a deprecated shim over the facade
+    (new code should call ``Client().table3(...)`` directly): the grid
+    comes from the ``table3`` registry entry, results are recorded in
+    the store, and completed scenarios are resumed from it instead of
     recomputed.  CCRs are identical to the direct path (parity-tested).
     """
     config = config or AttackConfig.fast()
@@ -335,25 +337,19 @@ def run_table3(
         and use_disk_cache
         and cache_dir() is not None
     ):
-        from ..experiments import build_grid, run_sweep, table3_report
+        from ..api import Client, progress_adapter
 
-        specs = build_grid(
-            "table3",
-            designs=designs,
-            split_layers=split_layers,
-            config=config,
-            train_names=train_names,
-            flow_timeout_s=flow_timeout_s,
-        )
-        result = run_sweep(
-            specs, store=store, workers=workers, progress=progress,
-            resume=resume,
-        )
-        return table3_report(
-            result.records,
-            flow_timeout_s=flow_timeout_s,
-            train_seconds=result.train_seconds,
-        )
+        with Client(backend="local", store=store, workers=workers) as client:
+            result = client.table3(
+                designs=designs,
+                split_layers=split_layers,
+                config=config,
+                train_names=train_names,
+                flow_timeout_s=flow_timeout_s,
+                resume=resume,
+                on_event=progress_adapter(progress),
+            )
+        return result.report()
     if store is not None:
         import warnings
 

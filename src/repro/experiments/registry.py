@@ -281,6 +281,87 @@ def candidate_lists_grid(
 
 
 @register(
+    "ablation",
+    "loss/image ablation study (examples/ablation_study.py)",
+)
+def ablation_grid(
+    designs=("c432", "c880", "c1355", "b11"),
+    split_layer=3,
+    config=None,
+    train_names=None,
+):
+    """The Figure 5 ablation under the name the example script uses.
+
+    Identical scenario hashes to the ``figure5`` grid (the extra tag is
+    presentation-only), so an ablation run and a Figure 5 run share
+    every store record and cached artifact.
+    """
+    return [
+        spec.with_(tags=spec.tags + ("ablation",))
+        for spec in figure5_grid(
+            designs=designs,
+            split_layer=split_layer,
+            config=config,
+            train_names=train_names,
+        )
+    ]
+
+
+#: Circuit families of the Table 3 suite, keyed by the slug the
+#: ``transferability`` grid writes into each scenario's label/tags.
+TRANSFER_FAMILIES = {
+    "rand": ("c432", "c880", "c2670"),
+    "seq": ("b11", "b13", "b7"),
+    "arith": ("c6288",),
+    "parity": ("c1355", "c1908"),
+}
+
+
+@register(
+    "transferability",
+    "cross-family generalisation of the trained DL attack",
+)
+def transferability_grid(
+    families=None,
+    split_layer=3,
+    config=None,
+    train_names=None,
+):
+    """One DL evaluation per design, grouped by circuit family.
+
+    Probes how far the threat model's "database of layouts generated
+    in a similar manner" stretches: the mixed-corpus model is evaluated
+    on random logic, sequential controllers, arithmetic arrays and
+    parity trees separately (``examples/transferability_study.py``
+    renders the per-family averages from these records).
+    """
+    config = _as_config(config, AttackConfig.benchmark())
+    wanted = _seq(families) or tuple(TRANSFER_FAMILIES)
+    specs = []
+    for family in wanted:
+        try:
+            designs = TRANSFER_FAMILIES[family]
+        except KeyError:
+            raise KeyError(
+                f"unknown family {family!r}; known: "
+                f"{sorted(TRANSFER_FAMILIES)}"
+            ) from None
+        specs.extend(
+            ScenarioSpec(
+                design=name,
+                split_layer=int(split_layer),
+                attack="dl",
+                config=config,
+                train_names=train_names,
+                label=family,
+                tags=("transferability", family),
+            )
+            for name in designs
+        )
+    return specs
+
+
+@register(
     "cross-defense",
     "defense x split-layer x attack matrix (the paper's future-work space)",
 )

@@ -65,6 +65,34 @@ def results_dir() -> Path:
     return Path(os.environ.get(RESULTS_DIR_ENV, "") or "results")
 
 
+def record_matches(
+    record: ScenarioRecord,
+    design: str | None = None,
+    split_layer: int | None = None,
+    attack: str | None = None,
+    defense_kind: str | None = None,
+    tag: str | None = None,
+    status: str | None = None,
+) -> bool:
+    """Does a record match every given filter?  The one filter
+    vocabulary shared by :meth:`ResultsStore.query`, the HTTP
+    ``/results`` endpoint and :meth:`repro.api.ResultSet.query`."""
+    s = record.scenario
+    if design is not None and s["design"] != design:
+        return False
+    if split_layer is not None and s["split_layer"] != split_layer:
+        return False
+    if attack is not None and s["attack"] != attack:
+        return False
+    if defense_kind is not None and s["defense"]["kind"] != defense_kind:
+        return False
+    if tag is not None and tag not in (s.get("tags") or ()):
+        return False
+    if status is not None and record.status != status:
+        return False
+    return True
+
+
 class ResultsStore:
     """Append-only JSONL store with a small query API."""
 
@@ -138,25 +166,20 @@ class ResultsStore:
         predicate=None,
     ) -> list[ScenarioRecord]:
         """Latest records matching every given filter."""
-        out = []
-        for record in self.records():
-            s = record.scenario
-            if design is not None and s["design"] != design:
-                continue
-            if split_layer is not None and s["split_layer"] != split_layer:
-                continue
-            if attack is not None and s["attack"] != attack:
-                continue
-            if defense_kind is not None and s["defense"]["kind"] != defense_kind:
-                continue
-            if tag is not None and tag not in (s.get("tags") or ()):
-                continue
-            if status is not None and record.status != status:
-                continue
-            if predicate is not None and not predicate(record):
-                continue
-            out.append(record)
-        return out
+        return [
+            record
+            for record in self.records()
+            if record_matches(
+                record,
+                design=design,
+                split_layer=split_layer,
+                attack=attack,
+                defense_kind=defense_kind,
+                tag=tag,
+                status=status,
+            )
+            and (predicate is None or predicate(record))
+        ]
 
     # -- exports -------------------------------------------------------
     CSV_COLUMNS = (

@@ -50,6 +50,12 @@ _SUITE_BY_NAME = {
 
 _layout_memo: dict[str, Design] = {}
 _split_memo: dict[tuple[str, int], SplitLayout] = {}
+# Trained attacks, keyed by (layer, config fingerprint).  Only
+# populated when the disk cache is disabled: with a weight cache the
+# disk is the sharing medium (and works across processes); without
+# one this memo is what keeps a multi-scenario sweep from retraining
+# the same model once per evaluation node.
+_attack_memo: dict[tuple[int, str], "DLAttack"] = {}
 
 
 def cache_dir() -> Path | None:
@@ -65,6 +71,7 @@ def clear_memo() -> None:
     """Drop in-memory memoisation (tests use this for isolation)."""
     _layout_memo.clear()
     _split_memo.clear()
+    _attack_memo.clear()
 
 
 def build_netlist(name: str) -> Netlist:
@@ -234,13 +241,27 @@ def trained_attack(
     config = config or AttackConfig.fast()
     if train_names is None:
         train_names = default_train_names()
-    attack = DLAttack(config, split_layer, use_disk_cache=use_disk_cache)
 
     weight_path = (
         attack_weight_path(config, split_layer, train_names)
         if use_disk_cache
         else None
     )
+    memo_key = None
+    if use_disk_cache and weight_path is None:
+        # Caching wanted but the disk cache is disabled by the
+        # environment: share the trained model in-process so a sweep's
+        # evaluation nodes (which run serially in this situation) train
+        # once per (layer, config) rather than once per scenario.
+        memo_key = (
+            split_layer,
+            _config_fingerprint(config, split_layer, train_names),
+        )
+        memo = _attack_memo.get(memo_key)
+        if memo is not None:
+            return memo
+
+    attack = DLAttack(config, split_layer, use_disk_cache=use_disk_cache)
     if weight_path is not None:
         if weight_path.exists():
             try:
@@ -253,4 +274,6 @@ def trained_attack(
     attack.train(train_splits, verbose=verbose)
     if weight_path is not None:
         attack.save(weight_path)
+    if memo_key is not None:
+        _attack_memo[memo_key] = attack
     return attack

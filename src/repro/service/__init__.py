@@ -13,19 +13,22 @@ The subsystem turns the blocking CLI sweep into a long-running service:
   per-node telemetry into the results store;
 * :class:`AttackService` — stdlib-only HTTP API
   (``http.server.ThreadingHTTPServer``): ``POST /jobs``,
-  ``GET /jobs/<id>`` (long-poll with ``?wait=``), ``GET /results``
-  backed by :meth:`repro.experiments.ResultsStore.query`;
+  ``GET /jobs/<id>`` (long-poll with ``?wait=``), ``DELETE /jobs/<id>``
+  (cancellation), ``GET /results`` backed by
+  :meth:`repro.experiments.ResultsStore.query`; the job journal is
+  compacted at startup (terminal jobs past a TTL are dropped);
 * :class:`ServiceClient` + :func:`run_load` — urllib client and load
   generator (``scripts/bench_service.py``).
 """
 
 from .client import LoadReport, ServiceClient, run_load
-from .queue import Job, JobQueue
+from .queue import DEFAULT_COMPACT_TTL_S, Job, JobQueue
 from .scheduler import SweepScheduler
 from .server import AttackService
 
 __all__ = [
     "AttackService",
+    "DEFAULT_COMPACT_TTL_S",
     "Job",
     "JobQueue",
     "LoadReport",

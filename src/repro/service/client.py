@@ -1,7 +1,8 @@
 """HTTP client + load generator for the attack service.
 
-:class:`ServiceClient` wraps the four endpoints with plain
-``urllib.request`` (stdlib only, like the server).  :func:`run_load`
+:class:`ServiceClient` wraps the service endpoints (submit, status,
+cancel, results, health) with plain ``urllib.request`` (stdlib only,
+like the server).  :func:`run_load`
 replays a stream of submissions at configurable thread concurrency and
 reports latency percentiles — the measurement half of the service
 acceptance bar (``scripts/bench_service.py`` drives it).
@@ -78,6 +79,10 @@ class ServiceClient:
     def jobs(self) -> list[dict]:
         return self._request("GET", "/jobs")["jobs"]
 
+    def cancel(self, job_id: str) -> dict:
+        """Cancel a queued/running job (``DELETE /jobs/<id>``)."""
+        return self._request("DELETE", f"/jobs/{job_id}")
+
     def wait(self, job_id: str, timeout: float = 300.0) -> dict:
         """Long-poll until the job is terminal; raises on timeout."""
         deadline = time.monotonic() + timeout
@@ -89,7 +94,7 @@ class ServiceClient:
             if remaining <= 0:
                 raise TimeoutError(f"job {job_id} still running")
             view = self.job(job_id, wait=min(remaining, chunk))
-            if view["status"] in ("done", "failed"):
+            if view["status"] in ("done", "failed", "cancelled"):
                 return view
 
     def results(self, **filters) -> list[dict]:

@@ -18,6 +18,13 @@ The in-memory view is a pure fold over the journal, which buys:
   the scheduler (``from_store``).
 * **atomic claims** — a claim is one appended event; readers folding
   the same journal agree on the owner (first claim per job wins).
+* **cancellation** — :meth:`JobQueue.cancel` appends a ``cancel``
+  event; the scheduler drops the job's pending nodes on its next
+  iteration and the long-poll returns immediately.
+* **bounded growth** — :meth:`JobQueue.compact` drops terminal jobs
+  older than a TTL and atomically rewrites the journal as one
+  state-snapshot event per surviving job (run at service startup;
+  ``repro serve --compact`` forces a full sweep).
 
 One *live* scheduler per journal: recovery treats any claimant seen at
 replay as dead, so a second service process opened on the same journal
@@ -39,15 +46,20 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from ..core.atomic import atomic_append_line
+from ..core.atomic import atomic_append_line, atomic_write_text
 from ..experiments.spec import ScenarioSpec
 from ..experiments.store import ResultsStore, results_dir
 
 QUEUE_FILENAME = "service_queue.jsonl"
 
-#: queued -> running -> done | failed (requeue puts running back)
-JOB_STATUSES = ("queued", "running", "done", "failed")
-TERMINAL = ("done", "failed")
+#: queued -> running -> done | failed | cancelled (requeue puts running
+#: back; cancel is valid from any non-terminal state)
+JOB_STATUSES = ("queued", "running", "done", "failed", "cancelled")
+TERMINAL = ("done", "failed", "cancelled")
+
+#: default journal TTL: terminal jobs older than this are dropped by
+#: :meth:`JobQueue.compact` (which the service runs at startup).
+DEFAULT_COMPACT_TTL_S = 7 * 24 * 3600.0
 
 
 @dataclass
@@ -61,6 +73,7 @@ class Job:
     source: dict = field(default_factory=dict)  # e.g. {"grid": "table3"}
     status: str = "queued"
     submitted_at: float = 0.0
+    finished_at: float = 0.0  # wall-clock of the terminal event
     claimed_by: str | None = None
     error: str | None = None
     from_store: bool = False
@@ -82,6 +95,7 @@ class Job:
             "source": self.source,
             "status": self.status,
             "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
             "claimed_by": self.claimed_by,
             "error": self.error,
             "from_store": self.from_store,
@@ -151,12 +165,22 @@ class JobQueue:
             job.nodes_done = event.get("nodes_done", job.nodes_done)
             job.reused = event.get("reused", job.reused)
         elif kind == "done":
-            job.status = "done"
-            job.telemetry = event.get("telemetry") or job.telemetry
-            job.nodes_done = job.nodes_total or job.nodes_done
+            # A cancelled job's in-flight batch may still complete and
+            # journal a terminal event; cancellation wins.
+            if job.status != "cancelled":
+                job.status = "done"
+                job.telemetry = event.get("telemetry") or job.telemetry
+                job.nodes_done = job.nodes_total or job.nodes_done
+                job.finished_at = event.get("at", 0.0)
         elif kind == "failed":
-            job.status = "failed"
-            job.error = event.get("error")
+            if job.status != "cancelled":
+                job.status = "failed"
+                job.error = event.get("error")
+                job.finished_at = event.get("at", 0.0)
+        elif kind == "cancel":
+            if not job.done:
+                job.status = "cancelled"
+                job.finished_at = event.get("at", 0.0)
         elif kind == "requeue":
             if job.status == "running":
                 job.status = "queued"
@@ -224,6 +248,7 @@ class JobQueue:
                 job.from_store = True
                 job.nodes_total = 0
                 job.reused = len(hashes)
+                job.finished_at = job.submitted_at
             self._append({"event": "submit", "job": job.to_dict()})
             self._jobs[job.job_id] = job
             self._arrival[job.job_id] = next(self._seq)
@@ -271,7 +296,7 @@ class JobQueue:
         with self._lock:
             event = {
                 "event": "done", "job_id": job_id,
-                "telemetry": telemetry or {},
+                "telemetry": telemetry or {}, "at": time.time(),
             }
             self._append(event)
             self._apply(event)
@@ -279,10 +304,74 @@ class JobQueue:
 
     def fail(self, job_id: str, error: str) -> None:
         with self._lock:
-            event = {"event": "failed", "job_id": job_id, "error": error}
+            event = {
+                "event": "failed", "job_id": job_id, "error": error,
+                "at": time.time(),
+            }
             self._append(event)
             self._apply(event)
             self.changed.notify_all()
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued or running job; True when it took effect.
+
+        Cancellation is one journaled event, so every reader folding
+        the journal converges on it.  The scheduler drops the job's
+        not-yet-dispatched nodes on its next iteration (nodes shared
+        with other live jobs keep running); already-terminal jobs and
+        unknown ids return False.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.done:
+                return False
+            event = {
+                "event": "cancel", "job_id": job_id, "at": time.time(),
+            }
+            self._append(event)
+            self._apply(event)
+            self.changed.notify_all()
+            return True
+
+    # -- maintenance ---------------------------------------------------
+    def compact(self, ttl_s: float = 0.0) -> int:
+        """Drop terminal jobs older than ``ttl_s`` seconds and rewrite
+        the journal atomically; returns the number of jobs dropped.
+
+        The journal otherwise only grows (every transition is an
+        appended event).  Compaction folds each surviving job into a
+        single snapshot ``submit`` event carrying its full current
+        state — replaying the rewritten journal reconstructs exactly
+        the in-memory view — and ``os.replace``s it onto the old file,
+        so concurrent readers never observe a torn journal.  Terminal
+        events journaled before the ``at`` timestamp existed replay
+        with ``finished_at == 0`` and are dropped by any TTL.
+        """
+        with self._lock:
+            cutoff = time.time() - max(ttl_s, 0.0)
+            keep = [
+                job for job in self.jobs()
+                if not job.done or job.finished_at >= cutoff
+            ]
+            dropped = len(self._jobs) - len(keep)
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(
+                self.path,
+                "".join(
+                    json.dumps(
+                        {"event": "submit", "job": job.to_dict()},
+                        sort_keys=True,
+                    ) + "\n"
+                    for job in keep
+                ),
+            )
+            self._jobs = {job.job_id: job for job in keep}
+            self._seq = itertools.count()
+            self._arrival = {
+                job.job_id: next(self._seq) for job in keep
+            }
+            self.changed.notify_all()
+            return dropped
 
     # -- queries -------------------------------------------------------
     def get(self, job_id: str) -> Job | None:

@@ -18,7 +18,10 @@ One background thread owns the whole execution side of the service:
   :func:`repro.experiments.run_sweep` writes.
 
 Node failures are contained: the failing node's owners fail with the
-error in their journal entry; unrelated jobs keep running.
+error in their journal entry; unrelated jobs keep running.  Cancelled
+jobs (``JobQueue.cancel`` / ``DELETE /jobs/<id>``) are deactivated on
+the next loop iteration: their pending nodes never dispatch, while
+nodes shared with other live jobs keep running for those owners.
 """
 
 from __future__ import annotations
@@ -128,6 +131,7 @@ class SweepScheduler:
     def _loop(self) -> None:
         while not self._stop.is_set():
             self._claim_all()
+            self._drop_cancelled()
             batch = self._ready_batch()
             if batch:
                 self._run_batch(batch)
@@ -260,14 +264,43 @@ class SweepScheduler:
             if not active.remaining:
                 self._finish(active)
 
+    def _drop_cancelled(self) -> None:
+        """Deactivate jobs cancelled through the queue.
+
+        Their not-yet-dispatched nodes leave the ready scan (nodes
+        shared with other live jobs keep running); nodes already in a
+        dispatched batch finish, but `_advance` ignores inactive jobs
+        so a cancelled job never progresses or completes.
+        """
+        cancelled = [
+            job_id
+            for job_id in self._active
+            if (job := self.queue.get(job_id)) is not None
+            and job.status == "cancelled"
+        ]
+        for job_id in cancelled:
+            active = self._active.pop(job_id)
+            for owners in self._owners.values():
+                if job_id in owners:
+                    owners.remove(job_id)
+            self.progress(
+                f"job {job_id}: cancelled "
+                f"({len(active.remaining)} pending nodes dropped)"
+            )
+        if cancelled:
+            self._prune_unreachable()
+
     def _fail_owners(self, key: NodeKey, error: str) -> None:
         for job_id in list(self._owners.get(key, ())):
             active = self._active.pop(job_id, None)
             if active is not None:
                 self.queue.fail(job_id, error)
-        # Nodes only this key's jobs wanted may now be unreachable;
-        # dropping them keeps the ready scan from re-dispatching work
-        # nobody is waiting for.
+        self._prune_unreachable()
+
+    def _prune_unreachable(self) -> None:
+        # Nodes no remaining active job wants (transitively) must leave
+        # the ready scan, or it would re-dispatch work nobody is
+        # waiting for.
         wanted = {
             k
             for active in self._active.values()
@@ -288,6 +321,7 @@ class SweepScheduler:
         for k in list(self._nodes):
             if k not in closure and k not in self._done:
                 del self._nodes[k]
+                self._owners.pop(k, None)
 
     def _finish(self, active: _ActiveJob) -> None:
         self._active.pop(active.job.job_id, None)

@@ -18,6 +18,12 @@ framework, no new dependencies.  Endpoints:
     the job is terminal (or the timeout passes); a finished job's
     response embeds its scenario records.
 
+``DELETE /jobs/<id>``
+    Cancel a queued or running job.  Responds with an ``outcome`` of
+    ``cancelled`` (the cancellation took effect — the scheduler will
+    not dispatch any of the job's pending nodes) or ``noop`` (the job
+    was already terminal), plus the job view.
+
 ``GET /results?design=&split_layer=&attack=&defense=&tag=&status=``
     Query the results store (:meth:`ResultsStore.query`) without
     running anything.
@@ -36,7 +42,7 @@ from urllib.parse import parse_qs, urlsplit
 from ..experiments.registry import build_grid
 from ..experiments.spec import ScenarioSpec
 from ..experiments.store import ResultsStore
-from .queue import Job, JobQueue
+from .queue import DEFAULT_COMPACT_TTL_S, Job, JobQueue
 from .scheduler import SweepScheduler
 
 MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -75,9 +81,17 @@ class AttackService:
         queue_path=None,
         workers: int | None = None,
         progress=None,
+        compact_ttl_s: float | None = DEFAULT_COMPACT_TTL_S,
     ):
         self.store = store if store is not None else ResultsStore()
         self.queue = JobQueue(queue_path)
+        # Startup maintenance: bound the journal's growth by dropping
+        # terminal jobs past the TTL (0.0 = drop all terminal jobs,
+        # None = keep the journal as-is).
+        self.compacted_jobs = (
+            self.queue.compact(compact_ttl_s)
+            if compact_ttl_s is not None else 0
+        )
         self.scheduler = SweepScheduler(
             self.queue, self.store, workers=workers, progress=progress
         )
@@ -167,6 +181,16 @@ class AttackService:
                 r.to_dict() for r in records if r is not None
             ]
         return view
+
+    def cancel_job(self, job_id: str) -> dict:
+        job = self.queue.get(job_id)
+        if job is None:
+            raise ServiceError(404, f"unknown job {job_id!r}")
+        cancelled = self.queue.cancel(job_id)
+        return {
+            "outcome": "cancelled" if cancelled else "noop",
+            "job": self._job_view(self.queue.get(job_id)),
+        }
 
     def query_results(self, query: dict) -> list[dict]:
         def one(name):
@@ -260,6 +284,17 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     self.service.submit_payload(self._read_json()),
                     status=202,
                 )
+            )
+        else:
+            self._send_json({"error": "not found"}, status=404)
+
+    def do_DELETE(self) -> None:
+        parts = urlsplit(self.path)
+        path = parts.path.rstrip("/")
+        if path.startswith("/jobs/"):
+            job_id = path[len("/jobs/"):]
+            self._dispatch(
+                lambda: self._send_json(self.service.cancel_job(job_id))
             )
         else:
             self._send_json({"error": "not found"}, status=404)

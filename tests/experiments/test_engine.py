@@ -157,6 +157,26 @@ class TestExecution:
         assert second.executed == 1
         assert second.records[0].status == "ok"
 
+    def test_no_disk_cache_shares_training_in_process(self, monkeypatch):
+        # With the disk cache disabled the plan has no train nodes and
+        # each dl eval calls trained_attack in-process; the attack memo
+        # must keep that at one training per (layer, config), exactly
+        # like the legacy direct harness did.
+        monkeypatch.setenv("REPRO_CACHE_DIR", "")
+        clear_memo()
+        calls = []
+        real_train = DLAttack.train
+
+        def counting_train(self, *args, **kwargs):
+            calls.append(1)
+            return real_train(self, *args, **kwargs)
+
+        monkeypatch.setattr(DLAttack, "train", counting_train)
+        result = run_sweep([dl_spec("tiny_a"), dl_spec("tiny_b")])
+        assert [r.status for r in result.records] == ["ok", "ok"]
+        assert len(calls) == 1
+        clear_memo()
+
     def test_failed_late_node_keeps_earlier_levels(self, tmp_path,
                                                    monkeypatch):
         store = ResultsStore(tmp_path / "exp.jsonl")

@@ -1,0 +1,55 @@
+"""The example-study grids registered in PR 4: ablation, transferability."""
+
+import pytest
+
+from repro.experiments import build_grid
+from repro.experiments.registry import TRANSFER_FAMILIES
+
+
+class TestAblationGrid:
+    def test_shares_scenario_hashes_with_figure5(self):
+        # The extra "ablation" tag is presentation-only: an ablation
+        # run and a Figure 5 run must share every store record and
+        # cached artifact.
+        ablation = build_grid("ablation", designs=("c432",))
+        figure5 = build_grid("figure5", designs=("c432",))
+        assert [s.scenario_hash for s in ablation] \
+            == [s.scenario_hash for s in figure5]
+        assert all("ablation" in s.tags for s in ablation)
+
+    def test_one_variant_config_per_design(self):
+        specs = build_grid("ablation", designs=("c432", "c880"))
+        assert len(specs) == 6  # 3 variants x 2 designs
+        configs = {str(sorted(s.config.to_dict().items())) for s in specs}
+        assert len(configs) == 3  # one distinct config per variant
+
+
+class TestTransferabilityGrid:
+    def test_covers_every_family_with_labels(self):
+        specs = build_grid("transferability")
+        by_family = {}
+        for spec in specs:
+            assert spec.attack == "dl"
+            assert "transferability" in spec.tags
+            by_family.setdefault(spec.label, []).append(spec.design)
+        assert by_family == {
+            family: list(designs)
+            for family, designs in TRANSFER_FAMILIES.items()
+        }
+
+    def test_family_subset_and_unknown_family(self):
+        specs = build_grid("transferability", families=("arith",))
+        assert [s.design for s in specs] == ["c6288"]
+        with pytest.raises(KeyError):
+            build_grid("transferability", families=("analog",))
+
+    def test_one_shared_training_fingerprint(self):
+        # Every family cell reuses one trained model: same layer,
+        # config and corpus across the whole grid.
+        specs = build_grid("transferability")
+        fingerprints = {
+            (s.split_layer, s.config.to_dict() == specs[0].config.to_dict(),
+             s.train_names)
+            for s in specs
+        }
+        assert len(fingerprints) == 1

@@ -1,4 +1,5 @@
-"""JobQueue: journal persistence, claims, dedup, crash-resume."""
+"""JobQueue: journal persistence, claims, dedup, crash-resume,
+cancellation, compaction."""
 
 import json
 
@@ -145,6 +146,37 @@ class TestPersistence:
         assert reloaded.get(job.job_id) is not None
         assert len(reloaded.jobs()) == 1
 
+    def test_cancel_is_journaled_and_replayed(self, queue_path):
+        queue = JobQueue(queue_path)
+        job, _ = queue.submit([prox("tiny_a")])
+        assert queue.cancel(job.job_id) is True
+        assert job.status == "cancelled" and job.done
+        assert job.finished_at > 0
+        # Terminal: a second cancel is a no-op, the scheduler never
+        # claims it, and the long-poll returns immediately.
+        assert queue.cancel(job.job_id) is False
+        assert queue.claim() is None
+        assert queue.wait(job.job_id, timeout=0.01).status == "cancelled"
+        # A replaying reader converges on the cancellation and does not
+        # requeue the job.
+        reloaded = JobQueue(queue_path)
+        assert reloaded.get(job.job_id).status == "cancelled"
+        assert reloaded.claim() is None
+
+    def test_cancel_running_job_beats_late_done_event(self, queue_path):
+        queue = JobQueue(queue_path)
+        job, _ = queue.submit([prox("tiny_a")])
+        queue.claim()
+        assert queue.cancel(job.job_id) is True
+        # The scheduler's in-flight batch may still complete the job's
+        # last node and journal a terminal event: cancellation wins.
+        queue.complete(job.job_id)
+        assert queue.get(job.job_id).status == "cancelled"
+        assert JobQueue(queue_path).get(job.job_id).status == "cancelled"
+
+    def test_cancel_unknown_job_is_false(self, queue_path):
+        assert JobQueue(queue_path).cancel("job-nope") is False
+
     def test_wait_times_out_then_completes(self, queue_path):
         queue = JobQueue(queue_path)
         job, _ = queue.submit([prox("tiny_a")])
@@ -152,3 +184,64 @@ class TestPersistence:
         queue.claim()
         queue.complete(job.job_id)
         assert queue.wait(job.job_id, timeout=0.01).status == "done"
+
+
+class TestCompaction:
+    def test_compact_drops_old_terminal_jobs(self, queue_path):
+        queue = JobQueue(queue_path)
+        done, _ = queue.submit([prox("tiny_a")])
+        queue.claim()
+        queue.complete(done.job_id, telemetry={"executed": 2})
+        cancelled, _ = queue.submit([prox("tiny_b")])
+        queue.cancel(cancelled.job_id)
+        pending, _ = queue.submit([prox("tiny_seq")])
+
+        lines_before = len(queue_path.read_text().splitlines())
+        dropped = queue.compact(ttl_s=0.0)
+        assert dropped == 2  # both terminal jobs are past a zero TTL
+        lines_after = len(queue_path.read_text().splitlines())
+        assert lines_after < lines_before
+        assert lines_after == 1  # one snapshot line per surviving job
+
+        # In-memory and replayed views agree: only the pending job.
+        assert [j.job_id for j in queue.jobs()] == [pending.job_id]
+        reloaded = JobQueue(queue_path)
+        assert [j.job_id for j in reloaded.jobs()] == [pending.job_id]
+        assert reloaded.claim().job_id == pending.job_id
+
+    def test_compact_keeps_recent_terminal_state_intact(self, queue_path):
+        queue = JobQueue(queue_path)
+        job, _ = queue.submit([prox("tiny_a")], priority=4)
+        queue.claim()
+        queue.progress(job.job_id, nodes_done=2, nodes_total=2)
+        queue.complete(job.job_id, telemetry={"executed": 2})
+
+        assert queue.compact(ttl_s=3600.0) == 0  # finished just now
+        # The multi-event history collapsed to one snapshot line that
+        # reconstructs the full job state on replay.
+        assert len(queue_path.read_text().splitlines()) == 1
+        reloaded = JobQueue(queue_path).get(job.job_id)
+        assert reloaded.status == "done"
+        assert reloaded.priority == 4
+        assert reloaded.nodes_done == 2
+        assert reloaded.telemetry == {"executed": 2}
+        assert reloaded.finished_at == pytest.approx(
+            job.finished_at, abs=1e-6
+        )
+
+    def test_pre_timestamp_journals_compact_as_ancient(self, queue_path):
+        # Journals written before the `at` field existed replay with
+        # finished_at == 0, so any TTL treats their terminal jobs as
+        # ancient and drops them.
+        queue = JobQueue(queue_path)
+        job, _ = queue.submit([prox("tiny_a")])
+        queue.claim()
+        with open(queue_path, "a") as handle:  # a PR-3-era done event
+            handle.write(
+                json.dumps({"event": "done", "job_id": job.job_id}) + "\n"
+            )
+        reloaded = JobQueue(queue_path)
+        assert reloaded.get(job.job_id).status == "done"
+        assert reloaded.get(job.job_id).finished_at == 0.0
+        assert reloaded.compact(ttl_s=10 * 365 * 24 * 3600.0) == 1
+        assert reloaded.jobs() == []

@@ -114,6 +114,66 @@ class TestExecution:
         assert scheduler.nodes_executed == executed
 
 
+class TestCancellation:
+    def test_cancelled_queued_job_never_dispatches(self, tmp_path):
+        queue = JobQueue(tmp_path / "queue.jsonl")
+        store = ResultsStore(tmp_path / "exp.jsonl")
+        job, _ = queue.submit([prox("tiny_a")])
+        assert queue.cancel(job.job_id) is True
+        # Scheduler started only after the cancellation: the job is
+        # terminal, so nothing is ever claimed or executed.
+        scheduler = SweepScheduler(queue, store, poll_interval=POLL).start()
+        try:
+            done = wait_done(queue, job.job_id)
+            assert done.status == "cancelled"
+            time.sleep(5 * POLL)
+            assert scheduler.nodes_executed == 0
+            assert store.records() == []
+        finally:
+            scheduler.stop()
+
+    def test_cancel_active_job_drops_pending_nodes(self, tmp_path):
+        # Drive the scheduler's internals directly (no thread) so the
+        # cancel lands deterministically between activation and
+        # dispatch — the racy window the loop has to handle.
+        queue = JobQueue(tmp_path / "queue.jsonl")
+        store = ResultsStore(tmp_path / "exp.jsonl")
+        scheduler = SweepScheduler(queue, store, poll_interval=POLL)
+        job, _ = queue.submit([prox("tiny_a"), prox("tiny_b")])
+        scheduler._claim_all()
+        assert queue.get(job.job_id).status == "running"
+        assert scheduler._nodes  # planned, nothing dispatched yet
+        assert queue.cancel(job.job_id) is True
+        scheduler._drop_cancelled()
+        # Every pending node left the ready scan; nothing to dispatch.
+        assert scheduler._ready_batch() == []
+        assert scheduler._nodes == {}
+        assert scheduler.nodes_executed == 0
+        assert queue.get(job.job_id).status == "cancelled"
+        scheduler.executor.close()
+
+    def test_cancel_keeps_nodes_shared_with_live_jobs(self, tmp_path):
+        queue = JobQueue(tmp_path / "queue.jsonl")
+        store = ResultsStore(tmp_path / "exp.jsonl")
+        scheduler = SweepScheduler(queue, store, poll_interval=POLL)
+        # Both jobs need the tiny_a layout; the split_layer=2 eval keeps
+        # them non-duplicate.
+        doomed, _ = queue.submit([prox("tiny_a")])
+        alive, _ = queue.submit([prox("tiny_a").with_(split_layer=2)])
+        scheduler._claim_all()
+        queue.cancel(doomed.job_id)
+        scheduler._drop_cancelled()
+        # The shared layout node survives for the live job; only the
+        # cancelled job's exclusive eval node is gone.
+        kinds = sorted(node.kind for node in scheduler._nodes.values())
+        assert kinds == ["eval", "layout"]
+        assert all(
+            owners == [alive.job_id]
+            for owners in scheduler._owners.values()
+        )
+        scheduler.executor.close()
+
+
 class TestCrashResume:
     def test_restart_skips_work_that_survived_the_crash(self, tmp_path):
         queue_path = tmp_path / "queue.jsonl"

@@ -135,6 +135,72 @@ def test_duplicate_inflight_submission_joins_job(service):
     client.wait(first["job"]["job_id"], timeout=60.0)
 
 
+def test_cancel_over_http(monkeypatch, tmp_path):
+    # HTTP thread only — no scheduler — so the submitted job stays
+    # queued and the DELETE lands deterministically before any
+    # dispatch could happen.
+    import threading
+
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    svc = AttackService(
+        store=ResultsStore(tmp_path / "experiments.jsonl"),
+        queue_path=tmp_path / "queue.jsonl",
+    )
+    http_thread = threading.Thread(
+        target=svc.httpd.serve_forever, daemon=True
+    )
+    http_thread.start()
+    try:
+        client = ServiceClient(svc.url, timeout=10.0)
+        out = client.submit(specs=[
+            {"design": "tiny_a", "split_layer": 3, "attack": "proximity"},
+        ])
+        job_id = out["job"]["job_id"]
+        cancelled = client.cancel(job_id)
+        assert cancelled["outcome"] == "cancelled"
+        assert cancelled["job"]["status"] == "cancelled"
+        # Terminal: the long-poll returns immediately and a second
+        # DELETE is a no-op.
+        view = client.wait(job_id, timeout=5.0)
+        assert view["status"] == "cancelled"
+        assert client.cancel(job_id)["outcome"] == "noop"
+        with pytest.raises(ServiceClientError) as err:
+            client.cancel("job-nope")
+        assert err.value.status == 404
+    finally:
+        svc.httpd.shutdown()
+        svc.httpd.server_close()
+        http_thread.join(5.0)
+
+
+def test_startup_compaction_bounds_the_journal(monkeypatch, tmp_path):
+    from repro.service import JobQueue
+
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    queue_path = tmp_path / "queue.jsonl"
+    queue = JobQueue(queue_path)
+    spec = {"design": "tiny_a", "split_layer": 3, "attack": "proximity"}
+    job, _ = queue.submit([ScenarioSpec.from_dict(spec)])
+    queue.claim()
+    queue.complete(job.job_id)
+    assert len(queue_path.read_text().splitlines()) == 3
+
+    # A service started with compact_ttl_s=0.0 (repro serve --compact)
+    # drops every terminal job from the journal before serving.
+    svc = AttackService(
+        store=ResultsStore(tmp_path / "experiments.jsonl"),
+        queue_path=queue_path,
+        compact_ttl_s=0.0,
+    )
+    try:
+        assert svc.compacted_jobs == 1
+        assert queue_path.read_text() == ""
+        assert svc.queue.jobs() == []
+    finally:
+        svc.scheduler.executor.close()
+        svc.httpd.server_close()
+
+
 def test_http_error_paths(service):
     client = ServiceClient(service.url, timeout=10.0)
     with pytest.raises(ServiceClientError) as err:

@@ -148,6 +148,51 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["submit", "--url", "http://127.0.0.1:1"])
 
+    def test_submit_cancel_round_trip(self, capsys, tmp_path):
+        # HTTP thread only (no scheduler), so the job stays queued and
+        # `submit --cancel` lands deterministically.
+        import threading
+
+        from repro.experiments import ResultsStore
+        from repro.service import AttackService
+
+        service = AttackService(
+            store=ResultsStore(tmp_path / "exp.jsonl"),
+            queue_path=tmp_path / "queue.jsonl",
+        )
+        http_thread = threading.Thread(
+            target=service.httpd.serve_forever, daemon=True
+        )
+        http_thread.start()
+        try:
+            assert main([
+                "submit", "attack-matrix",
+                "--param", "designs=tiny_a",
+                "--param", "split_layers=[3]",
+                "--param", 'attacks=["proximity"]',
+                "--url", service.url,
+            ]) == 0
+            out = capsys.readouterr().out
+            job_id = out.split(":", 1)[1].split()[0]
+            # Grid submissions keep their provenance in the journal
+            # (server-side expansion, like a raw HTTP submission).
+            assert service.queue.get(job_id).source.get("grid") \
+                == "attack-matrix"
+            assert main([
+                "submit", "--cancel", job_id, "--url", service.url,
+            ]) == 0
+            assert "cancelled" in capsys.readouterr().out
+            assert service.queue.get(job_id).status == "cancelled"
+            # Cancelling a terminal job reports failure (exit 1).
+            assert main([
+                "submit", "--cancel", job_id, "--url", service.url,
+            ]) == 1
+        finally:
+            service.httpd.shutdown()
+            service.httpd.server_close()
+            http_thread.join(5.0)
+            service.scheduler.executor.close()
+
     def test_unknown_design_errors(self):
         with pytest.raises(KeyError):
             main(["build", "not_a_design"])
