@@ -238,13 +238,27 @@ def cmd_serve(args) -> int:
         workers=args.workers,
         progress=lambda m: print(f"  .. {m}"),
         # --compact drops every terminal job from the journal at
-        # startup; the default keeps a week of history.
-        compact_ttl_s=0.0 if args.compact else DEFAULT_COMPACT_TTL_S,
+        # startup; the default keeps a week of history; --no-compact
+        # leaves the journal alone (secondary process on a shared
+        # --queue).
+        compact_ttl_s=(
+            None if args.no_compact
+            else 0.0 if args.compact
+            else DEFAULT_COMPACT_TTL_S
+        ),
+        schedulers=args.schedulers,
     )
     service.start()
     print(f"repro attack service listening on {service.url}")
     print(f"  results store: {service.store.path}")
     print(f"  job journal:   {service.queue.path}")
+    print(
+        f"  schedulers:    "
+        + ", ".join(s.worker_id for s in service.schedulers)
+    )
+    if service.compaction_skipped:
+        print("  journal compaction skipped: live leases present "
+              "(another serve process is working this journal)")
     if service.compacted_jobs:
         print(f"  journal compacted: {service.compacted_jobs} "
               "terminal jobs dropped")
@@ -458,6 +472,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--compact", action="store_true",
         help="drop ALL terminal jobs from the journal at startup "
         "(default: terminal jobs older than 7 days)",
+    )
+    p_srv.add_argument(
+        "--schedulers", type=int, default=1,
+        help="scheduler threads sharing the journal via leased claims; "
+        "a second serve process on the same --queue cooperates the "
+        "same way (default: 1)",
+    )
+    p_srv.add_argument(
+        "--no-compact", action="store_true",
+        help="never compact the journal at startup (use for secondary "
+        "serve processes sharing a --queue; compaction is also skipped "
+        "automatically when live leases are present)",
     )
     p_srv.set_defaults(fn=cmd_serve)
 

@@ -15,7 +15,8 @@ This package is the single stable surface over all of them:
   URL is given) behind an unchanged caller surface;
 * :class:`Job` -> :class:`ResultSet` — uniform handles and results
   (built on :class:`~repro.experiments.ScenarioRecord`, with lazy
-  report accessors reusing :mod:`repro.experiments.reports`);
+  report accessors reusing :mod:`repro.experiments.reports`, and
+  :meth:`ResultSet.diff` for sweep-vs-sweep regression checks);
 * :class:`~repro.api.events.ProgressEvent` — one streaming progress
   callback (``on_event``) unifying the engine's ``on_node`` hook with
   the service's long-poll counters.
@@ -35,7 +36,15 @@ from .backends import (
     LocalBackend,
     ServiceBackend,
 )
-from .client import Client, EmptySubmission, Job, ResultSet
+from .client import (
+    DIFF_FIELDS,
+    Client,
+    EmptySubmission,
+    Job,
+    RecordDelta,
+    ResultSet,
+    ResultSetDiff,
+)
 from .events import (
     EVENT_KINDS,
     ProgressEvent,
@@ -49,6 +58,7 @@ __all__ = [
     "BackendError",
     "BackendOutcome",
     "Client",
+    "DIFF_FIELDS",
     "EVENT_KINDS",
     "EmptySubmission",
     "InlineBackend",
@@ -56,7 +66,9 @@ __all__ = [
     "JobCancelled",
     "LocalBackend",
     "ProgressEvent",
+    "RecordDelta",
     "ResultSet",
+    "ResultSetDiff",
     "ServiceBackend",
     "message_printer",
     "progress_adapter",

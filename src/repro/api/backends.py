@@ -231,12 +231,16 @@ class ServiceBackend(Backend):
         workers: int | None = None,
         queue_path=None,
         timeout: float = 30.0,
+        schedulers: int = 1,
     ):
         self.url = url
         self.store = store
         self.workers = workers
         self.queue_path = queue_path
         self.timeout = timeout
+        #: scheduler threads for an auto-spawned service (ignored with
+        #: a remote url — the remote operator chose its own count).
+        self.schedulers = schedulers
         self._service = None  # spawned AttackService, when we own one
         self._client = None
 
@@ -254,6 +258,7 @@ class ServiceBackend(Backend):
                     store=self.store,
                     queue_path=self.queue_path,
                     workers=self.workers,
+                    schedulers=self.schedulers,
                 ).start()
                 self.url = self._service.url
             self._client = ServiceClient(self.url, timeout=self.timeout)

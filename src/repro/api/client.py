@@ -52,6 +52,85 @@ class EmptySubmission(ValueError):
     """A submission (grid or spec list) expanded to zero scenarios."""
 
 
+#: record fields compared by :meth:`ResultSet.diff` — the deterministic
+#: payload.  Wall-clock-dependent fields (``runtime_s``,
+#: ``train_seconds``, the telemetry in ``extra``) are excluded: two
+#: runs of the same grid legitimately differ there.
+DIFF_FIELDS = (
+    "status",
+    "ccr",
+    "n_sink_fragments",
+    "n_source_fragments",
+    "hidden_pins",
+    "wirelength",
+)
+
+
+@dataclass
+class RecordDelta:
+    """One scenario whose deterministic payload changed between sweeps."""
+
+    scenario_hash: str
+    scenario: dict  # the spec dict, for human-readable rendering
+    fields: dict  # field name -> (ours, theirs)
+
+    def describe(self) -> str:
+        spec = ScenarioSpec.from_dict(self.scenario)
+        deltas = ", ".join(
+            f"{name}: {theirs!r} -> {ours!r}"
+            for name, (ours, theirs) in sorted(self.fields.items())
+        )
+        return f"{spec.describe()}  [{deltas}]"
+
+
+@dataclass
+class ResultSetDiff:
+    """Outcome of :meth:`ResultSet.diff` — a sweep-vs-sweep regression
+    check.
+
+    ``changed`` lists scenarios present in both sets whose deterministic
+    fields disagree; ``added`` / ``removed`` list records only one side
+    has (matched by scenario hash).  ``ok`` means the two sweeps agree
+    everywhere it matters — the regression gate.
+    """
+
+    changed: list[RecordDelta] = field(default_factory=list)
+    added: list[ScenarioRecord] = field(default_factory=list)
+    removed: list[ScenarioRecord] = field(default_factory=list)
+    unchanged: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not (self.changed or self.added or self.removed)
+
+    def __bool__(self) -> bool:
+        # Truthy when there IS a difference, like a diff tool's exit
+        # status inverted: ``if result.diff(baseline): alert()``.
+        return not self.ok
+
+    def render(self) -> str:
+        if self.ok:
+            return (
+                f"no regressions: {self.unchanged} scenarios identical"
+            )
+        lines = [
+            f"sweep diff: {len(self.changed)} changed, "
+            f"{len(self.added)} added, {len(self.removed)} removed, "
+            f"{self.unchanged} unchanged"
+        ]
+        for delta in self.changed:
+            lines.append(f"  ~ {delta.describe()}")
+        for record in self.added:
+            lines.append(
+                f"  + {ScenarioSpec.from_dict(record.scenario).describe()}"
+            )
+        for record in self.removed:
+            lines.append(
+                f"  - {ScenarioSpec.from_dict(record.scenario).describe()}"
+            )
+        return "\n".join(lines)
+
+
 @dataclass
 class ResultSet:
     """Records for one finished job, in spec order.
@@ -161,6 +240,65 @@ class ResultSet:
 
     def to_dicts(self) -> list[dict]:
         return [record.to_dict() for record in self.records]
+
+    def diff(self, other, ccr_tol: float = 0.0) -> ResultSetDiff:
+        """Regression check against another sweep of (usually) the same
+        grid.
+
+        ``other`` is a :class:`ResultSet` or any iterable of
+        :class:`~repro.experiments.store.ScenarioRecord` — e.g. a prior
+        run pulled from the store's history.  Records pair up by
+        scenario hash; the deterministic fields (:data:`DIFF_FIELDS`)
+        are compared, with ``ccr_tol`` allowing that much absolute CCR
+        drift before a change is flagged.  Wall-clock fields never
+        count.
+
+        ::
+
+            baseline = client.run("figure5")
+            ...
+            current = client.run("figure5", resume=False)
+            regression = current.diff(baseline)
+            if regression:
+                print(regression.render())
+        """
+        theirs_records = (
+            other.records if isinstance(other, ResultSet) else list(other)
+        )
+        theirs = {r.scenario_hash: r for r in theirs_records}
+        diff = ResultSetDiff()
+        seen = set()
+        for record in self.records:
+            seen.add(record.scenario_hash)
+            base = theirs.get(record.scenario_hash)
+            if base is None:
+                diff.added.append(record)
+                continue
+            fields = {}
+            for name in DIFF_FIELDS:
+                ours_value = getattr(record, name)
+                theirs_value = getattr(base, name)
+                if name == "ccr" and ccr_tol > 0.0:
+                    if (
+                        ours_value is not None
+                        and theirs_value is not None
+                        and abs(ours_value - theirs_value) <= ccr_tol
+                    ):
+                        continue
+                if ours_value != theirs_value:
+                    fields[name] = (ours_value, theirs_value)
+            if fields:
+                diff.changed.append(RecordDelta(
+                    scenario_hash=record.scenario_hash,
+                    scenario=record.scenario,
+                    fields=fields,
+                ))
+            else:
+                diff.unchanged += 1
+        diff.removed.extend(
+            r for h, r in theirs.items() if h not in seen
+        )
+        return diff
 
 
 class Job:
@@ -273,6 +411,9 @@ class Client:
         ``None`` auto-spawns an in-process service on first use.
     queue_path:
         Service backend only — job journal path for a spawned service.
+    schedulers:
+        Service backend only — scheduler threads for a spawned service
+        (they share the journal through leased claims).
     on_event:
         Default :class:`~repro.api.events.ProgressEvent` callback for
         every job submitted through this client (per-call ``on_event``
@@ -286,6 +427,7 @@ class Client:
         workers: int | None = None,
         url: str | None = None,
         queue_path=None,
+        schedulers: int = 1,
         on_event=None,
         timeout: float = 30.0,
     ):
@@ -330,6 +472,7 @@ class Client:
                 workers=workers,
                 queue_path=queue_path,
                 timeout=timeout,
+                schedulers=schedulers,
             )
         else:
             raise ValueError(

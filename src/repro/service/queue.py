@@ -1,4 +1,4 @@
-"""Persistent job queue: append-only JSONL journal with atomic claims.
+"""Persistent job queue: append-only JSONL journal with leased claims.
 
 A *job* is one sweep submission — a list of scenario specs plus a
 priority.  Every state transition is one appended journal line (see
@@ -7,8 +7,8 @@ writes, so concurrent appenders interleave whole events, never bytes).
 The in-memory view is a pure fold over the journal, which buys:
 
 * **crash-resume** — a restarted queue (``recover=True``, the default)
-  replays the journal and re-queues jobs that were claimed but never
-  finished, appending a ``requeue`` event so later readers converge.
+  replays the journal and re-queues jobs whose claim *lease* has
+  expired, appending a ``requeue`` event so later readers converge.
   Because the scheduler plans jobs through the sweep engine, the
   re-run skips every DAG node whose artifact or store record survived
   the crash — nothing re-runs.
@@ -16,21 +16,35 @@ The in-memory view is a pure fold over the journal, which buys:
   job joins that job instead of enqueuing a duplicate; one whose hashes
   are *all* in the results store completes instantly without touching
   the scheduler (``from_store``).
-* **atomic claims** — a claim is one appended event; readers folding
-  the same journal agree on the owner (first claim per job wins).
+* **leased claims** — a claim is one appended event carrying a worker
+  id and a lease duration; readers folding the same journal agree on
+  the owner (first claim per job wins).  The claimant extends its
+  lease with ``heartbeat`` events; any reader observing an *expired*
+  lease may journal a guarded ``requeue`` (it names the expired
+  claimant, so it cannot unseat a fresh re-claim) and claim the job
+  itself.  That is what lets several scheduler threads — or several
+  ``repro serve`` processes — share one journal safely.
 * **cancellation** — :meth:`JobQueue.cancel` appends a ``cancel``
   event; the scheduler drops the job's pending nodes on its next
   iteration and the long-poll returns immediately.
 * **bounded growth** — :meth:`JobQueue.compact` drops terminal jobs
   older than a TTL and atomically rewrites the journal as one
-  state-snapshot event per surviving job (run at service startup;
+  state-snapshot event per surviving job, *preserving live lease and
+  heartbeat state* for non-terminal jobs (run at service startup;
   ``repro serve --compact`` forces a full sweep).
 
-One *live* scheduler per journal: recovery treats any claimant seen at
-replay as dead, so a second service process opened on the same journal
-would steal the first one's in-flight jobs.  Pass ``recover=False``
-for read-only consumers (inspection tools); true multi-scheduler
-operation needs claim leases/heartbeats (see the ROADMAP follow-up).
+Cross-process visibility works by tailing the journal: every public
+entry point re-folds any lines other writers appended since the last
+read (a single ``stat`` when nothing changed).  A torn trailing line —
+a writer that died mid-append — is sealed off with a newline at
+recovery so later appends cannot glue onto it, and is skipped by the
+fold.  Mutations are *append-then-read-back*: the event is appended
+first and the journal tail re-folded, so two processes racing to claim
+the same job both converge on whichever claim line landed first.
+
+Timestamps (lease expiry, ``finished_at``) come from an injectable
+``clock`` (default :func:`time.time`), which is how the fault-injection
+tests drive lease expiry deterministically.
 
 The journal lives next to the results store by default
 (``results/service_queue.jsonl``; the ``REPRO_RESULTS_DIR`` environment
@@ -41,9 +55,10 @@ from __future__ import annotations
 
 import itertools
 import json
+import os
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from pathlib import Path
 
 from ..core.atomic import atomic_append_line, atomic_write_text
@@ -61,6 +76,20 @@ TERMINAL = ("done", "failed", "cancelled")
 #: :meth:`JobQueue.compact` (which the service runs at startup).
 DEFAULT_COMPACT_TTL_S = 7 * 24 * 3600.0
 
+#: default claim lease: a claimant that fails to heartbeat for this
+#: long is presumed dead and its jobs become requeue-able.
+DEFAULT_LEASE_S = 30.0
+
+#: chunk for condition waits inside :meth:`JobQueue.wait` — bounds how
+#: stale a long-poll can be about events appended by *other processes*
+#: (in-process writers notify the condition directly).
+_WAIT_CHUNK_S = 0.5
+
+#: process-wide submission counter: with the pid it makes job ids
+#: unique across every queue instance sharing a journal (a per-queue
+#: count could repeat after compaction under a coarse clock).
+_JOB_IDS = itertools.count()
+
 
 @dataclass
 class Job:
@@ -75,6 +104,11 @@ class Job:
     submitted_at: float = 0.0
     finished_at: float = 0.0  # wall-clock of the terminal event
     claimed_by: str | None = None
+    claimed_at: float = 0.0
+    lease_expires_at: float = 0.0  # claim is dead past this instant
+    heartbeat_at: float = 0.0  # last lease renewal
+    requeues: int = 0  # times a dead claimant's work was requeued
+    claim_epoch: int = 0  # bumps on every applied claim (requeue guard)
     error: str | None = None
     from_store: bool = False
     nodes_total: int | None = None  # None until the scheduler plans it
@@ -85,6 +119,9 @@ class Job:
     @property
     def done(self) -> bool:
         return self.status in TERMINAL
+
+    def lease_expired(self, now: float) -> bool:
+        return self.status == "running" and self.lease_expires_at <= now
 
     def to_dict(self) -> dict:
         return {
@@ -97,6 +134,11 @@ class Job:
             "submitted_at": self.submitted_at,
             "finished_at": self.finished_at,
             "claimed_by": self.claimed_by,
+            "claimed_at": self.claimed_at,
+            "lease_expires_at": self.lease_expires_at,
+            "heartbeat_at": self.heartbeat_at,
+            "requeues": self.requeues,
+            "claim_epoch": self.claim_epoch,
             "error": self.error,
             "from_store": self.from_store,
             "nodes_total": self.nodes_total,
@@ -107,7 +149,11 @@ class Job:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "Job":
-        data = dict(payload)
+        # Tolerate events written by a build with extra fields (mixed
+        # scheduler versions share one journal): drop unknown keys
+        # instead of discarding the whole job on fold.
+        known = {f.name for f in fields(cls)}
+        data = {k: v for k, v in payload.items() if k in known}
         data["spec_hashes"] = tuple(data.get("spec_hashes") or ())
         return cls(**data)
 
@@ -122,30 +168,119 @@ def default_queue_path() -> Path:
 class JobQueue:
     """Journal-backed priority queue of sweep jobs.
 
-    Thread-safe; every mutation appends a journal event *before*
-    updating the in-memory state, and :class:`threading.Condition`
-    waiters (the long-poll handlers and the scheduler) are notified on
-    every event.
+    Thread-safe; every mutation appends a journal event and then folds
+    the journal tail back in (so concurrent writers in *other
+    processes* are observed before the outcome is reported), and
+    :class:`threading.Condition` waiters (the long-poll handlers and
+    the schedulers) are notified on every state change.
+
+    ``clock`` (default :func:`time.time`) supplies every timestamp —
+    lease expiry in particular — so tests can drive time
+    deterministically.  ``recover=False`` opens a read-only view that
+    never seals or requeues anything (inspection tools).
     """
 
     def __init__(
-        self, path: str | Path | None = None, recover: bool = True
+        self,
+        path: str | Path | None = None,
+        recover: bool = True,
+        clock=None,
     ):
         self.path = Path(path) if path else default_queue_path()
+        self.clock = clock or time.time
         self._jobs: dict[str, Job] = {}
         self._seq = itertools.count()
         self._arrival: dict[str, int] = {}  # FIFO order within a priority
+        self._offset = 0  # journal bytes folded so far
+        self._ino = -1  # detects compaction's os.replace
         self._lock = threading.RLock()
         self.changed = threading.Condition(self._lock)
-        self._replay(recover)
+        with self._lock:
+            if recover:
+                self._seal_torn_tail()
+            self._refresh()
+            if recover:
+                self._recover()
 
     # -- journal -------------------------------------------------------
     def _append(self, event: dict) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        # A peer may have died mid-append since we last looked; without
+        # the seal our own event would glue onto its torn fragment and
+        # both lines would be lost.  (Two processes sealing at once
+        # just yields harmless blank lines — the fold skips them.)
+        self._seal_torn_tail()
         atomic_append_line(self.path, json.dumps(event, sort_keys=True))
 
+    def _journal(self, event: dict) -> None:
+        """Append one event, then fold the tail back in (read-back).
+
+        Folding — not direct in-memory mutation — is what applies the
+        event, so this process and every other journal reader run the
+        exact same fold in the exact same order and converge.
+        """
+        self._append(event)
+        self._refresh()
+
+    def _seal_torn_tail(self) -> None:
+        """Isolate a torn trailing line left by a writer that died
+        mid-append: without the sealing newline, the next append would
+        glue onto the fragment and corrupt *its own* event too."""
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() == 0:
+                    return
+                handle.seek(-1, os.SEEK_END)
+                torn = handle.read(1) != b"\n"
+        except OSError:
+            return
+        if torn:
+            with open(self.path, "ab") as handle:
+                handle.write(b"\n")
+
+    def _refresh(self) -> None:
+        """Fold journal lines appended since the last read (cheap: one
+        ``stat`` when nothing changed).  A rewritten journal (another
+        process compacted it: new inode, or shrunk) triggers a full
+        re-fold from byte zero."""
+        try:
+            stat = os.stat(self.path)
+        except OSError:
+            return
+        if stat.st_ino != self._ino or stat.st_size < self._offset:
+            self._jobs.clear()
+            self._arrival.clear()
+            self._seq = itertools.count()
+            self._offset = 0
+            self._ino = stat.st_ino
+        if stat.st_size <= self._offset:
+            return
+        with open(self.path, "rb") as handle:
+            handle.seek(self._offset)
+            chunk = handle.read()
+        complete = chunk.rfind(b"\n")
+        if complete < 0:
+            return  # torn tail in progress: fold it once the line lands
+        for raw in chunk[:complete].split(b"\n"):
+            if not raw.strip():
+                continue
+            try:
+                self._apply(json.loads(raw))
+            except (json.JSONDecodeError, TypeError, KeyError,
+                    UnicodeDecodeError):
+                continue  # torn/foreign line: the journal stays usable
+        self._offset += complete + 1
+
     def _apply(self, event: dict) -> None:
-        """Fold one journal event into the in-memory state."""
+        """Fold one journal event into the in-memory state.
+
+        The fold is deterministic and order-dependent only on the
+        journal itself: first claim per queued job wins, a ``requeue``
+        only unseats the claimant it names, and a terminal status is
+        never overwritten by a later event (``cancel`` included — a
+        cancelled job's in-flight batch may still journal ``done``).
+        """
         kind = event.get("event")
         if kind == "submit":
             job = Job.from_dict(event["job"])
@@ -160,20 +295,34 @@ class JobQueue:
             if job.status == "queued":  # first claim wins
                 job.status = "running"
                 job.claimed_by = event.get("worker")
+                at = event.get("at", 0.0)
+                job.claimed_at = at
+                job.heartbeat_at = at
+                job.lease_expires_at = at + event.get("lease_s", 0.0)
+                job.claim_epoch += 1
+        elif kind == "heartbeat":
+            if (
+                job.status == "running"
+                and job.claimed_by == event.get("worker")
+            ):
+                at = event.get("at", 0.0)
+                job.heartbeat_at = max(job.heartbeat_at, at)
+                job.lease_expires_at = max(
+                    job.lease_expires_at, at + event.get("lease_s", 0.0)
+                )
         elif kind == "progress":
-            job.nodes_total = event.get("nodes_total", job.nodes_total)
-            job.nodes_done = event.get("nodes_done", job.nodes_done)
-            job.reused = event.get("reused", job.reused)
+            if not job.done:
+                job.nodes_total = event.get("nodes_total", job.nodes_total)
+                job.nodes_done = event.get("nodes_done", job.nodes_done)
+                job.reused = event.get("reused", job.reused)
         elif kind == "done":
-            # A cancelled job's in-flight batch may still complete and
-            # journal a terminal event; cancellation wins.
-            if job.status != "cancelled":
+            if not job.done:
                 job.status = "done"
                 job.telemetry = event.get("telemetry") or job.telemetry
                 job.nodes_done = job.nodes_total or job.nodes_done
                 job.finished_at = event.get("at", 0.0)
         elif kind == "failed":
-            if job.status != "cancelled":
+            if not job.done:
                 job.status = "failed"
                 job.error = event.get("error")
                 job.finished_at = event.get("at", 0.0)
@@ -182,31 +331,62 @@ class JobQueue:
                 job.status = "cancelled"
                 job.finished_at = event.get("at", 0.0)
         elif kind == "requeue":
-            if job.status == "running":
+            # Guarded: unseat only the exact claim the event observed —
+            # the claimant it names *and* that claim's epoch — so a
+            # late requeue (two readers both saw the same expired
+            # lease) cannot steal a job already re-claimed, even by
+            # the same worker that recovered from its stall.  Events
+            # without from_worker/epoch (pre-lease journals) apply on
+            # whatever guard they do carry.
+            expired = event.get("from_worker")
+            epoch = event.get("epoch")
+            if job.status == "running" and (
+                expired is None or job.claimed_by == expired
+            ) and (epoch is None or epoch == job.claim_epoch):
                 job.status = "queued"
                 job.claimed_by = None
+                job.claimed_at = 0.0
+                job.lease_expires_at = 0.0
+                job.heartbeat_at = 0.0
+                job.requeues += 1
 
-    def _replay(self, recover: bool) -> None:
-        if self.path.exists():
-            for line in self.path.read_text().splitlines():
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    self._apply(json.loads(line))
-                except (json.JSONDecodeError, TypeError, KeyError):
-                    continue  # torn line: the journal stays usable
-        if not recover:
-            return
-        # Crash-resume: a job claimed by a dead scheduler never reached
-        # a terminal event.  Requeue it — the sweep engine's plan prunes
-        # every node the cache/store already holds, so the re-run only
-        # executes what the crash actually lost.
-        for job in self._jobs.values():
-            if job.status == "running":
-                self._append({"event": "requeue", "job_id": job.job_id})
-                job.status = "queued"
-                job.claimed_by = None
+    def _requeue_expired_locked(self, reason: str) -> list[Job]:
+        """Journal a guarded requeue for every running job whose lease
+        has expired; returns the jobs that folded back to queued.  The
+        guard names both the dead claimant and its claim epoch, so the
+        event is inert against any fresher claim."""
+        now = self.clock()
+        requeued = []
+        for job in list(self._jobs.values()):
+            if not job.lease_expired(now):
+                continue
+            self._journal({
+                "event": "requeue",
+                "job_id": job.job_id,
+                "from_worker": job.claimed_by,
+                "epoch": job.claim_epoch,
+                "reason": reason,
+                "at": now,
+            })
+            folded = self._jobs.get(job.job_id)
+            if folded is not None and folded.status == "queued":
+                requeued.append(folded)
+        return requeued
+
+    def _recover(self) -> None:
+        # Crash-resume: a job whose claimant stopped heartbeating past
+        # its lease never reached a terminal event.  Requeue it — the
+        # sweep engine's plan prunes every node the cache/store already
+        # holds, so the re-run only executes what the crash actually
+        # lost.  Live leases are left alone: their scheduler (possibly
+        # in another process) is still working.
+        self._requeue_expired_locked("startup-recovery")
+
+    def refresh(self) -> None:
+        """Fold in events appended by other processes since the last
+        read (public hook for read-only consumers)."""
+        with self._lock:
+            self._refresh()
 
     # -- submission ----------------------------------------------------
     def submit(
@@ -228,6 +408,7 @@ class JobQueue:
             raise ValueError("cannot submit an empty job")
         hashes = tuple(s.scenario_hash for s in specs)
         with self._lock:
+            self._refresh()  # dedup must see other processes' jobs
             wanted = frozenset(hashes)
             for job in self._jobs.values():
                 if not job.done and frozenset(job.spec_hashes) == wanted:
@@ -235,13 +416,17 @@ class JobQueue:
             from_store = store is not None and all(
                 h in store for h in hashes
             )
+            now = self.clock()
             job = Job(
-                job_id=f"job-{int(time.time() * 1000):x}-{len(self._jobs):04d}",
+                job_id=(
+                    f"job-{int(now * 1000):x}-{os.getpid():x}"
+                    f"-{next(_JOB_IDS):04x}"
+                ),
                 specs=[s.to_dict() for s in specs],
                 spec_hashes=hashes,
                 priority=int(priority),
                 source=source or {},
-                submitted_at=time.time(),
+                submitted_at=now,
             )
             if from_store:
                 job.status = "done"
@@ -249,31 +434,108 @@ class JobQueue:
                 job.nodes_total = 0
                 job.reused = len(hashes)
                 job.finished_at = job.submitted_at
-            self._append({"event": "submit", "job": job.to_dict()})
-            self._jobs[job.job_id] = job
-            self._arrival[job.job_id] = next(self._seq)
+            self._journal({"event": "submit", "job": job.to_dict()})
             self.changed.notify_all()
-            return job, ("from_store" if from_store else "queued")
+            # The fold registered its own Job instance; return that one
+            # so callers and queue readers share a single object.
+            return self._jobs[job.job_id], (
+                "from_store" if from_store else "queued"
+            )
 
     # -- scheduler side ------------------------------------------------
-    def claim(self, worker: str = "scheduler") -> Job | None:
+    def claim(
+        self, worker: str = "scheduler", lease_s: float = DEFAULT_LEASE_S
+    ) -> Job | None:
         """Atomically claim the highest-priority queued job (FIFO within
-        a priority level); None when nothing is queued."""
+        a priority level) under a ``lease_s``-second lease; None when
+        nothing is claimable.
+
+        Running jobs whose lease has expired are requeued first (with a
+        guard naming the dead claimant), so orphaned work is claimable
+        in the same pass.  The claim is append-then-read-back: when two
+        workers race, the journal's first claim line wins and the loser
+        silently moves on to the next queued job.  ``worker`` must be
+        unique per claimant (see
+        :attr:`repro.service.SweepScheduler.worker_id`) or two winners
+        could each believe the claim is theirs.
+        """
         with self._lock:
-            queued = [j for j in self._jobs.values() if j.status == "queued"]
-            if not queued:
-                return None
-            job = min(
-                queued,
-                key=lambda j: (-j.priority, self._arrival[j.job_id]),
+            while True:
+                self._refresh()
+                requeued = self._requeue_expired_locked("lease-expired")
+                queued = [
+                    j for j in self._jobs.values() if j.status == "queued"
+                ]
+                if not queued:
+                    if requeued:
+                        self.changed.notify_all()
+                    return None
+                job = min(
+                    queued,
+                    key=lambda j: (-j.priority, self._arrival[j.job_id]),
+                )
+                self._journal({
+                    "event": "claim",
+                    "job_id": job.job_id,
+                    "worker": worker,
+                    "at": self.clock(),
+                    "lease_s": float(lease_s),
+                })
+                self.changed.notify_all()
+                claimed = self._jobs.get(job.job_id)
+                if (
+                    claimed is not None
+                    and claimed.status == "running"
+                    and claimed.claimed_by == worker
+                ):
+                    return claimed
+                # Another worker's claim line landed first; each pass
+                # removes at least one job from the queued set, so the
+                # loop terminates.
+
+    def heartbeat(
+        self,
+        job_id: str,
+        worker: str,
+        lease_s: float = DEFAULT_LEASE_S,
+    ) -> bool:
+        """Extend ``worker``'s lease on a running job; False when the
+        lease is no longer ours to extend (the job was requeued and
+        possibly re-claimed, finished, or cancelled) — the caller must
+        stop working on it."""
+        with self._lock:
+            self._refresh()
+            job = self._jobs.get(job_id)
+            if (
+                job is None
+                or job.status != "running"
+                or job.claimed_by != worker
+            ):
+                return False
+            self._journal({
+                "event": "heartbeat",
+                "job_id": job_id,
+                "worker": worker,
+                "at": self.clock(),
+                "lease_s": float(lease_s),
+            })
+            job = self._jobs.get(job_id)
+            return (
+                job is not None
+                and job.status == "running"
+                and job.claimed_by == worker
             )
-            self._append(
-                {"event": "claim", "job_id": job.job_id, "worker": worker}
-            )
-            job.status = "running"
-            job.claimed_by = worker
-            self.changed.notify_all()
-            return job
+
+    def requeue_expired(self) -> list[Job]:
+        """Requeue every running job whose lease has expired; returns
+        the requeued jobs.  Safe to call from any reader — the guarded
+        requeue event cannot unseat a fresh claim."""
+        with self._lock:
+            self._refresh()
+            requeued = self._requeue_expired_locked("lease-expired")
+            if requeued:
+                self.changed.notify_all()
+            return requeued
 
     def progress(
         self,
@@ -282,34 +544,28 @@ class JobQueue:
         nodes_total: int,
         reused: int = 0,
     ) -> None:
-        event = {
-            "event": "progress", "job_id": job_id,
-            "nodes_done": nodes_done, "nodes_total": nodes_total,
-            "reused": reused,
-        }
         with self._lock:
-            self._append(event)
-            self._apply(event)
+            self._journal({
+                "event": "progress", "job_id": job_id,
+                "nodes_done": nodes_done, "nodes_total": nodes_total,
+                "reused": reused,
+            })
             self.changed.notify_all()
 
     def complete(self, job_id: str, telemetry: dict | None = None) -> None:
         with self._lock:
-            event = {
+            self._journal({
                 "event": "done", "job_id": job_id,
-                "telemetry": telemetry or {}, "at": time.time(),
-            }
-            self._append(event)
-            self._apply(event)
+                "telemetry": telemetry or {}, "at": self.clock(),
+            })
             self.changed.notify_all()
 
     def fail(self, job_id: str, error: str) -> None:
         with self._lock:
-            event = {
+            self._journal({
                 "event": "failed", "job_id": job_id, "error": error,
-                "at": time.time(),
-            }
-            self._append(event)
-            self._apply(event)
+                "at": self.clock(),
+            })
             self.changed.notify_all()
 
     def cancel(self, job_id: str) -> bool:
@@ -322,16 +578,16 @@ class JobQueue:
         unknown ids return False.
         """
         with self._lock:
+            self._refresh()
             job = self._jobs.get(job_id)
             if job is None or job.done:
                 return False
-            event = {
-                "event": "cancel", "job_id": job_id, "at": time.time(),
-            }
-            self._append(event)
-            self._apply(event)
+            self._journal({
+                "event": "cancel", "job_id": job_id, "at": self.clock(),
+            })
             self.changed.notify_all()
-            return True
+            job = self._jobs.get(job_id)
+            return job is not None and job.status == "cancelled"
 
     # -- maintenance ---------------------------------------------------
     def compact(self, ttl_s: float = 0.0) -> int:
@@ -341,45 +597,62 @@ class JobQueue:
         The journal otherwise only grows (every transition is an
         appended event).  Compaction folds each surviving job into a
         single snapshot ``submit`` event carrying its full current
-        state — replaying the rewritten journal reconstructs exactly
-        the in-memory view — and ``os.replace``s it onto the old file,
-        so concurrent readers never observe a torn journal.  Terminal
-        events journaled before the ``at`` timestamp existed replay
-        with ``finished_at == 0`` and are dropped by any TTL.
+        state — lease, heartbeat and claimant fields included, so a
+        running job keeps its owner and expiry across the rewrite —
+        and ``os.replace``s it onto the old file, so concurrent readers
+        never observe a torn journal (their next refresh detects the
+        new inode and re-folds).  Terminal events journaled before the
+        ``at`` timestamp existed replay with ``finished_at == 0`` and
+        are dropped by any TTL.
+
+        Events appended by *another process* between the snapshot read
+        and the replace are lost; run compaction from a single service
+        process (its own schedulers share this queue object and are
+        safe).
         """
         with self._lock:
-            cutoff = time.time() - max(ttl_s, 0.0)
+            self._refresh()
+            cutoff = self.clock() - max(ttl_s, 0.0)
             keep = [
                 job for job in self.jobs()
                 if not job.done or job.finished_at >= cutoff
             ]
             dropped = len(self._jobs) - len(keep)
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            atomic_write_text(
-                self.path,
-                "".join(
-                    json.dumps(
-                        {"event": "submit", "job": job.to_dict()},
-                        sort_keys=True,
-                    ) + "\n"
-                    for job in keep
-                ),
+            snapshot = "".join(
+                json.dumps(
+                    {"event": "submit", "job": job.to_dict()},
+                    sort_keys=True,
+                ) + "\n"
+                for job in keep
             )
+            atomic_write_text(self.path, snapshot)
             self._jobs = {job.job_id: job for job in keep}
             self._seq = itertools.count()
             self._arrival = {
                 job.job_id: next(self._seq) for job in keep
             }
+            # The snapshot is already folded into memory: fast-forward
+            # the tail pointer past exactly the bytes we wrote, onto
+            # the fresh inode (an append racing in right behind the
+            # replace stays beyond the pointer for the next refresh).
+            try:
+                self._ino = os.stat(self.path).st_ino
+                self._offset = len(snapshot.encode("utf-8"))
+            except OSError:
+                self._ino, self._offset = -1, 0
             self.changed.notify_all()
             return dropped
 
     # -- queries -------------------------------------------------------
     def get(self, job_id: str) -> Job | None:
         with self._lock:
+            self._refresh()
             return self._jobs.get(job_id)
 
     def jobs(self) -> list[Job]:
         with self._lock:
+            self._refresh()
             return sorted(
                 self._jobs.values(), key=lambda j: self._arrival[j.job_id]
             )
@@ -387,11 +660,22 @@ class JobQueue:
     def pending(self) -> list[Job]:
         return [j for j in self.jobs() if not j.done]
 
+    def running(self) -> list[Job]:
+        """Jobs currently claimed under a lease (for ``/healthz``)."""
+        return [j for j in self.jobs() if j.status == "running"]
+
     def wait(self, job_id: str, timeout: float | None = None) -> Job | None:
-        """Block until the job reaches a terminal state (long-poll)."""
+        """Block until the job reaches a terminal state (long-poll).
+
+        Waits in bounded chunks and re-folds the journal between them,
+        so a terminal event appended by *another process* is observed
+        within :data:`_WAIT_CHUNK_S` even though it never notifies this
+        process's condition.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self.changed:
             while True:
+                self._refresh()
                 job = self._jobs.get(job_id)
                 if job is None or job.done:
                     return job
@@ -401,4 +685,8 @@ class JobQueue:
                 )
                 if remaining is not None and remaining <= 0:
                     return job
-                self.changed.wait(remaining)
+                chunk = (
+                    _WAIT_CHUNK_S if remaining is None
+                    else min(remaining, _WAIT_CHUNK_S)
+                )
+                self.changed.wait(chunk)

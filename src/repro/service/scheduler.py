@@ -1,14 +1,23 @@
 """Async scheduler: queued jobs -> merged DAG batches -> executor.
 
-One background thread owns the whole execution side of the service:
+One scheduler thread owns one slice of the execution side of the
+service — several can run at once, in one process or many, sharing a
+single journal:
 
-* it claims queued jobs and plans each through
-  :func:`repro.experiments.plan_sweep` (so the store and every disk
-  cache prune work exactly as they do for the CLI);
-* it keeps one *merged* node table across all active jobs — node keys
-  are content-derived, so two jobs wanting the same layout, feature
-  warm-up or trained model share a single node, and a node already
-  executed earlier in the process never runs again;
+* it claims queued jobs under a *lease* (a time-bounded, journaled
+  claim; see :class:`repro.service.queue.JobQueue`) and plans each
+  through :func:`repro.experiments.plan_sweep` (so the store and every
+  disk cache prune work exactly as they do for the CLI);
+* a background heartbeat thread renews its leases every
+  ``lease_s / 3`` seconds, so a scheduler blocked inside a long
+  executor batch never loses its jobs; a scheduler that *dies* stops
+  heartbeating, its leases expire, and any peer observing the expired
+  lease requeues and re-claims the job — crash recovery without a
+  restart;
+* it keeps one *merged* node table across all of its active jobs —
+  node keys are content-derived, so two jobs wanting the same layout,
+  feature warm-up or trained model share a single node, and a node
+  already executed earlier in the process never runs again;
 * every iteration it dispatches the batch of ready nodes (all deps
   satisfied, across every active job at once) through one long-lived
   :class:`repro.pipeline.parallel.Executor`, highest job priority
@@ -21,11 +30,24 @@ Node failures are contained: the failing node's owners fail with the
 error in their journal entry; unrelated jobs keep running.  Cancelled
 jobs (``JobQueue.cancel`` / ``DELETE /jobs/<id>``) are deactivated on
 the next loop iteration: their pending nodes never dispatch, while
-nodes shared with other live jobs keep running for those owners.
+nodes shared with other live jobs keep running for those owners.  A
+job whose lease was lost (requeued from under us after a stall) is
+*abandoned* the same way — the peer that re-claimed it owns it now;
+node effects are idempotent (content-keyed cache writes, latest-wins
+store records), so the overlap is harmless.
+
+Fault injection: the per-node ``on_node`` hook may raise
+:class:`SchedulerCrashed` to simulate a hard death — the loop thread
+exits immediately, heartbeats stop, and nothing further is journaled,
+which is exactly what a killed process looks like to its peers.  The
+chaos tests (``tests/service/chaos.py``) drive recovery through this
+seam.
 """
 
 from __future__ import annotations
 
+import itertools
+import os
 import threading
 import time
 import traceback
@@ -41,7 +63,18 @@ from ..experiments.engine import (
 from ..experiments.store import ResultsStore, ScenarioRecord
 from ..pipeline.flow import cache_dir
 from ..pipeline.parallel import Executor, resolve_workers
-from .queue import Job, JobQueue
+from .queue import DEFAULT_LEASE_S, Job, JobQueue
+
+
+class SchedulerCrashed(RuntimeError):
+    """Raised by a fault-injection ``on_node`` hook to kill a scheduler
+    dead: no terminal events, no further heartbeats, leases left to
+    expire — the scenario the lease protocol exists to survive."""
+
+
+#: distinguishes schedulers within one process; the pid distinguishes
+#: processes, so default worker ids are unique across a shared journal.
+_WORKER_IDS = itertools.count()
 
 
 def _safe_node(kind: str, payload: tuple):
@@ -63,7 +96,7 @@ class _ActiveJob:
 
 
 class SweepScheduler:
-    """Single-threaded dispatcher over a shared :class:`JobQueue`."""
+    """One leased dispatcher thread over a shared :class:`JobQueue`."""
 
     def __init__(
         self,
@@ -74,11 +107,23 @@ class SweepScheduler:
         poll_interval: float = 0.25,
         progress=None,
         store_lock: threading.Lock | None = None,
+        worker_id: str | None = None,
+        lease_s: float = DEFAULT_LEASE_S,
+        on_node=None,
     ):
         self.queue = queue
         self.store = store
         self.poll_interval = poll_interval
         self.progress = progress or (lambda message: None)
+        self.worker_id = worker_id or (
+            f"sched-{os.getpid():x}-{next(_WORKER_IDS):x}"
+        )
+        self.lease_s = float(lease_s)
+        #: called after each node's effects land (record stored, memo
+        #: updated) and *before* its progress is journaled.  Raising
+        #: :class:`SchedulerCrashed` here simulates dying mid-sweep at
+        #: exactly that node — the fault-injection seam.
+        self.on_node = on_node
         self._owns_executor = executor is None
         if executor is None:
             n_workers = resolve_workers(workers)
@@ -99,18 +144,34 @@ class SweepScheduler:
         self._done: set[NodeKey] = set()
         self._failed: dict[NodeKey, str] = {}
         self.nodes_executed = 0
+        self.heartbeats_sent = 0
+        self.last_heartbeat_at = 0.0
 
+        #: job ids whose lease the heartbeat thread found gone; the
+        #: loop abandons them on its next iteration.
+        self._lost: set[str] = set()
+        #: jobs claimed but still inside plan_sweep — heartbeated like
+        #: active ones, or a slow plan would forfeit the fresh lease.
+        self._planning: set[str] = set()
+        self._crashed = False
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        self._hb_thread: threading.Thread | None = None
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "SweepScheduler":
         if self._thread is not None:
             raise RuntimeError("scheduler already started")
         self._thread = threading.Thread(
-            target=self._loop, name="repro-scheduler", daemon=True
+            target=self._loop, name=f"repro-{self.worker_id}", daemon=True
         )
         self._thread.start()
+        self._hb_thread = threading.Thread(
+            target=self._heartbeat_loop,
+            name=f"repro-{self.worker_id}-hb",
+            daemon=True,
+        )
+        self._hb_thread.start()
         return self
 
     def stop(self, timeout: float = 10.0) -> None:
@@ -120,34 +181,102 @@ class SweepScheduler:
         if self._thread is not None:
             self._thread.join(timeout)
             self._thread = None
+        if self._hb_thread is not None:
+            self._hb_thread.join(timeout)
+            self._hb_thread = None
         if self._owns_executor:
             self.executor.close()
+
+    @property
+    def alive(self) -> bool:
+        """Is the loop thread still dispatching?  False after a crash
+        (simulated or real) even though :meth:`stop` was never called —
+        what ``/healthz`` reports per scheduler."""
+        return (
+            self._thread is not None
+            and self._thread.is_alive()
+            and not self._crashed
+        )
+
+    @property
+    def active_jobs(self) -> int:
+        return len(self._active)
 
     @property
     def idle(self) -> bool:
         return not self._active and not self.queue.pending()
 
+    # -- heartbeats ----------------------------------------------------
+    def _heartbeat_loop(self) -> None:
+        # Renew well inside the lease window; the floor keeps a tiny
+        # test lease from turning this thread into a busy spin.
+        interval = max(self.lease_s / 3.0, 0.02)
+        while not self._stop.wait(interval):
+            if self._crashed:
+                return  # a dead scheduler does not heartbeat
+            self._heartbeat_tick()
+
+    def _heartbeat_tick(self) -> None:
+        """Renew every active lease; flag the ones we lost.
+
+        Runs off the loop thread on purpose: a scheduler blocked inside
+        a long executor batch — or still planning a freshly claimed
+        job — keeps its leases alive, so peers never steal work from a
+        scheduler that is merely busy.
+        """
+        for job_id in set(self._planning) | set(self._active):
+            if self.queue.heartbeat(
+                job_id, self.worker_id, lease_s=self.lease_s
+            ):
+                self.heartbeats_sent += 1
+                self.last_heartbeat_at = self.queue.clock()
+                continue
+            job = self.queue.get(job_id)
+            if job is not None and not job.done:
+                # Requeued from under us (and possibly re-claimed):
+                # the loop must abandon it, not finish it.
+                self._lost.add(job_id)
+        # Surface peers' expired leases promptly so some scheduler's
+        # next claim pass (possibly ours) picks the orphans up.
+        self.queue.requeue_expired()
+
     # -- main loop -----------------------------------------------------
     def _loop(self) -> None:
-        while not self._stop.is_set():
-            self._claim_all()
-            self._drop_cancelled()
-            batch = self._ready_batch()
-            if batch:
-                self._run_batch(batch)
-                continue
-            with self.queue.changed:
-                if not self._stop.is_set():
-                    self.queue.changed.wait(self.poll_interval)
+        try:
+            while not self._stop.is_set():
+                self._abandon_lost()
+                self._claim_all()
+                self._drop_cancelled()
+                batch = self._ready_batch()
+                if batch:
+                    self._run_batch(batch)
+                    continue
+                with self.queue.changed:
+                    if not self._stop.is_set():
+                        self.queue.changed.wait(self.poll_interval)
+        except SchedulerCrashed:
+            self._crashed = True  # fault injection: die silently
+        except BaseException:
+            self._crashed = True  # real bug: die loudly, leases expire
+            raise
 
     def _claim_all(self) -> None:
         while not self._stop.is_set():
-            job = self.queue.claim()
+            job = self.queue.claim(
+                worker=self.worker_id, lease_s=self.lease_s
+            )
             if job is None:
                 return
             self._activate(job)
 
     def _activate(self, job: Job) -> None:
+        self._planning.add(job.job_id)
+        try:
+            self._activate_planned(job)
+        finally:
+            self._planning.discard(job.job_id)
+
+    def _activate_planned(self, job: Job) -> None:
         try:
             with self.store_lock:
                 plan = plan_sweep(
@@ -239,6 +368,11 @@ class SweepScheduler:
                 record.extra["telemetry"]["job_ids"] = owners
                 with self.store_lock:
                     self.store.add(record)
+            if self.on_node is not None:
+                # After the node's durable effects, before its progress
+                # is journaled: a SchedulerCrashed raised here leaves
+                # the journal exactly as a mid-sweep kill would.
+                self.on_node(node, seconds)
             self._advance(node.key, seconds)
             # Executed nodes leave the ready-scan tables; the _done
             # memo is all later plans need, and the scan stays
@@ -280,15 +414,52 @@ class SweepScheduler:
         ]
         for job_id in cancelled:
             active = self._active.pop(job_id)
-            for owners in self._owners.values():
-                if job_id in owners:
-                    owners.remove(job_id)
+            self._disown(job_id)
             self.progress(
                 f"job {job_id}: cancelled "
                 f"({len(active.remaining)} pending nodes dropped)"
             )
         if cancelled:
             self._prune_unreachable()
+
+    def _abandon_lost(self) -> None:
+        """Deactivate jobs whose lease is no longer ours.
+
+        A lease can slip away two ways: the heartbeat tick flagged it
+        (``_lost``), or the loop itself observes the job requeued /
+        re-claimed by a peer.  Either way the re-claimant owns the job
+        now — drop its nodes from our scan exactly like a cancellation
+        (shared nodes survive for jobs we still hold).
+        """
+        lost = set(self._lost)
+        self._lost.difference_update(lost)
+        for job_id in list(self._active):
+            if job_id in lost:
+                continue
+            job = self.queue.get(job_id)
+            if job is not None and not job.done and (
+                job.status != "running"
+                or job.claimed_by != self.worker_id
+            ):
+                lost.add(job_id)
+        dropped = False
+        for job_id in lost:
+            active = self._active.pop(job_id, None)
+            if active is None:
+                continue  # finished between the flag and this pass
+            dropped = True
+            self._disown(job_id)
+            self.progress(
+                f"job {job_id}: lease lost to another scheduler "
+                f"({len(active.remaining)} pending nodes abandoned)"
+            )
+        if dropped:
+            self._prune_unreachable()
+
+    def _disown(self, job_id: str) -> None:
+        for owners in self._owners.values():
+            if job_id in owners:
+                owners.remove(job_id)
 
     def _fail_owners(self, key: NodeKey, error: str) -> None:
         for job_id in list(self._owners.get(key, ())):

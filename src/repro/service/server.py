@@ -29,7 +29,16 @@ framework, no new dependencies.  Endpoints:
     running anything.
 
 ``GET /healthz``
-    Liveness + queue/scheduler counters.
+    Liveness + queue/scheduler counters, including one entry per
+    hosted scheduler (worker id, alive, active jobs, heartbeats) and
+    one per live lease (claimant, age, time to expiry) — how an
+    operator sees a dead scheduler's jobs being picked up by a peer.
+
+The service can host several scheduler threads (``schedulers=N`` /
+``repro serve --schedulers N``); they share one journal, one results
+store and one store lock, and cooperate through the queue's lease
+protocol — as does a *second* ``repro serve`` process pointed at the
+same journal.
 """
 
 from __future__ import annotations
@@ -42,7 +51,7 @@ from urllib.parse import parse_qs, urlsplit
 from ..experiments.registry import build_grid
 from ..experiments.spec import ScenarioSpec
 from ..experiments.store import ResultsStore
-from .queue import DEFAULT_COMPACT_TTL_S, Job, JobQueue
+from .queue import DEFAULT_COMPACT_TTL_S, DEFAULT_LEASE_S, Job, JobQueue
 from .scheduler import SweepScheduler
 
 MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -82,25 +91,62 @@ class AttackService:
         workers: int | None = None,
         progress=None,
         compact_ttl_s: float | None = DEFAULT_COMPACT_TTL_S,
+        schedulers: int = 1,
+        lease_s: float = DEFAULT_LEASE_S,
+        poll_interval: float = 0.25,
+        clock=None,
     ):
         self.store = store if store is not None else ResultsStore()
-        self.queue = JobQueue(queue_path)
+        self.queue = JobQueue(queue_path, clock=clock)
         # Startup maintenance: bound the journal's growth by dropping
         # terminal jobs past the TTL (0.0 = drop all terminal jobs,
-        # None = keep the journal as-is).
+        # None = keep the journal as-is).  Compaction is safe only when
+        # one process owns the journal — the rewrite loses events a
+        # *second* process appends mid-replace — so it is skipped when
+        # any job is running under a live lease: startup recovery just
+        # requeued every expired one, so a surviving claim means a peer
+        # service is working this journal right now.  (`repro serve
+        # --no-compact` skips unconditionally.)
+        self.compaction_skipped = (
+            compact_ttl_s is not None and bool(self.queue.running())
+        )
         self.compacted_jobs = (
             self.queue.compact(compact_ttl_s)
-            if compact_ttl_s is not None else 0
+            if compact_ttl_s is not None and not self.compaction_skipped
+            else 0
         )
-        self.scheduler = SweepScheduler(
-            self.queue, self.store, workers=workers, progress=progress
-        )
+        # N scheduler threads cooperating through the lease protocol.
+        # Worker ids self-generate (pid + process-wide counter) so two
+        # services in one process — or two processes on one journal —
+        # never collide.  One store lock spans them all: HTTP readers
+        # and every scheduler's writes serialise on it.
+        store_lock = threading.Lock()
+        self.schedulers = [
+            SweepScheduler(
+                self.queue,
+                self.store,
+                workers=workers,
+                progress=progress,
+                store_lock=store_lock,
+                lease_s=lease_s,
+                poll_interval=poll_interval,
+            )
+            for _ in range(max(1, int(schedulers)))
+        ]
         handler = type(
             "BoundServiceHandler", (ServiceHandler,), {"service": self}
         )
         self.httpd = ThreadingHTTPServer((host, port), handler)
         self.host, self.port = self.httpd.server_address[:2]
         self._http_thread: threading.Thread | None = None
+        # Jobs we already re-read the store for (cross-process record
+        # fetch); bounds job_status to one reload per job.
+        self._reloaded_for: set[str] = set()
+
+    @property
+    def scheduler(self) -> SweepScheduler:
+        """The first hosted scheduler (single-scheduler call sites)."""
+        return self.schedulers[0]
 
     @property
     def url(self) -> str:
@@ -108,7 +154,8 @@ class AttackService:
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "AttackService":
-        self.scheduler.start()
+        for scheduler in self.schedulers:
+            scheduler.start()
         self._http_thread = threading.Thread(
             target=self.httpd.serve_forever,
             name="repro-http",
@@ -123,7 +170,8 @@ class AttackService:
         if self._http_thread is not None:
             self._http_thread.join(5.0)
             self._http_thread = None
-        self.scheduler.stop()
+        for scheduler in self.schedulers:
+            scheduler.stop()
 
     def __enter__(self) -> "AttackService":
         return self.start()
@@ -177,6 +225,21 @@ class AttackService:
                 records = [
                     self.store.get(h) for h in job.spec_hashes
                 ]
+                if (
+                    any(r is None for r in records)
+                    and job_id not in self._reloaded_for
+                ):
+                    # The job finished in *another* service process on
+                    # the shared journal: its records are on disk but
+                    # not in this process's store view yet.  At most
+                    # one reload per job — a record that is *still*
+                    # missing afterwards is permanently gone, and
+                    # status polls must not re-read the store forever.
+                    self._reloaded_for.add(job_id)
+                    self.store.reload()
+                    records = [
+                        self.store.get(h) for h in job.spec_hashes
+                    ]
             view["records"] = [
                 r.to_dict() for r in records if r is not None
             ]
@@ -213,11 +276,35 @@ class AttackService:
 
     def health(self) -> dict:
         jobs = self.queue.jobs()
+        now = self.queue.clock()
         return {
             "ok": True,
             "jobs": len(jobs),
             "pending": sum(1 for j in jobs if not j.done),
-            "nodes_executed": self.scheduler.nodes_executed,
+            "nodes_executed": sum(
+                s.nodes_executed for s in self.schedulers
+            ),
+            "schedulers": [
+                {
+                    "worker": s.worker_id,
+                    "alive": s.alive,
+                    "active_jobs": s.active_jobs,
+                    "nodes_executed": s.nodes_executed,
+                    "heartbeats": s.heartbeats_sent,
+                }
+                for s in self.schedulers
+            ],
+            "leases": [
+                {
+                    "job_id": j.job_id,
+                    "worker": j.claimed_by,
+                    "age_s": round(max(0.0, now - j.claimed_at), 3),
+                    "expires_in_s": round(j.lease_expires_at - now, 3),
+                    "requeues": j.requeues,
+                }
+                for j in jobs
+                if j.status == "running"
+            ],
             "store_records": len(self.store),
             "store_path": str(self.store.path),
         }

@@ -1,0 +1,144 @@
+"""ResultSet.diff: sweep-vs-sweep regression checks.
+
+Two sweeps of the same grid must be comparable without re-running
+anything: records pair by scenario hash, only the deterministic fields
+count (wall-clock runtimes and telemetry never do), and the diff is
+the regression gate — empty means "ship it".  The golden two-scenario
+sweep is the fixture: an undisturbed run against a perturbed copy.
+"""
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import Client, ResultSet, ResultSetDiff
+from repro.experiments import ScenarioRecord, ScenarioSpec
+from repro.pipeline import clear_memo
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+WARM_CACHE = REPO_ROOT / ".repro_cache"
+GOLDEN_PATH = REPO_ROOT / "tests" / "experiments" / "golden_sweep.json"
+
+GOLDEN_SPECS = [
+    {"design": "c432", "split_layer": 3, "attack": "proximity",
+     "tags": ["golden"]},
+    {"design": "c880", "split_layer": 3, "attack": "proximity",
+     "tags": ["golden"]},
+]
+
+
+def golden_result() -> ResultSet:
+    """The golden sweep as a ResultSet built straight from the
+    committed goldens — no execution needed."""
+    golden = json.loads(GOLDEN_PATH.read_text())
+    specs, records = [], []
+    for payload in GOLDEN_SPECS:
+        spec = ScenarioSpec.from_dict(payload)
+        entry = golden[spec.scenario_hash]
+        specs.append(spec)
+        records.append(ScenarioRecord(
+            scenario_hash=spec.scenario_hash,
+            scenario=spec.to_dict(),
+            status="ok",
+            ccr=entry["ccr"],
+            runtime_s=1.0,
+            n_sink_fragments=entry["n_sink_fragments"],
+            n_source_fragments=entry["n_source_fragments"],
+            hidden_pins=entry["hidden_pins"],
+            wirelength=entry["wirelength"],
+        ))
+    return ResultSet(specs=specs, records=records)
+
+
+def test_identical_sweeps_diff_clean():
+    ours, theirs = golden_result(), golden_result()
+    # Wall-clock divergence must not register as a regression.
+    theirs.records[0].runtime_s = 99.0
+    theirs.records[1].extra["telemetry"] = {"node_seconds": 12.0}
+    diff = ours.diff(theirs)
+    assert diff.ok
+    assert not diff  # falsy when clean: `if result.diff(base): alert()`
+    assert diff.unchanged == 2
+    assert "no regressions" in diff.render()
+
+
+def test_perturbed_copy_is_flagged_field_by_field():
+    ours, theirs = golden_result(), golden_result()
+    baseline_ccr = theirs.records[0].ccr
+    theirs.records[0].ccr = baseline_ccr + 7.5
+    theirs.records[0].status = "timeout"
+    diff = ours.diff(theirs)
+    assert not diff.ok and diff
+    assert diff.unchanged == 1
+    assert len(diff.changed) == 1
+    delta = diff.changed[0]
+    assert delta.scenario_hash == ours.records[0].scenario_hash
+    assert delta.fields["ccr"] == (baseline_ccr, baseline_ccr + 7.5)
+    assert delta.fields["status"] == ("ok", "timeout")
+    rendered = diff.render()
+    assert "1 changed" in rendered and "c432" in rendered
+
+
+def test_added_and_removed_scenarios():
+    ours, theirs = golden_result(), golden_result()
+    extra_spec = ScenarioSpec(
+        design="c1355", split_layer=3, attack="proximity"
+    )
+    ours.records.append(ScenarioRecord(
+        scenario_hash=extra_spec.scenario_hash,
+        scenario=extra_spec.to_dict(),
+        status="ok", ccr=10.0, runtime_s=0.1,
+    ))
+    del theirs.records[1:]  # c880 exists only on our side now
+    diff = ours.diff(theirs)
+    added = {r.scenario["design"] for r in diff.added}
+    assert added == {"c1355", "c880"}
+    assert diff.removed == []
+    assert diff.unchanged == 1
+    # ... and the comparison is directional.
+    reverse = ResultSet(specs=theirs.specs, records=theirs.records) \
+        .diff(ours)
+    assert {r.scenario["design"] for r in reverse.removed} == added
+
+
+def test_ccr_tolerance_absorbs_small_drift():
+    ours, theirs = golden_result(), golden_result()
+    theirs.records[0].ccr += 0.05
+    assert not ours.diff(theirs).ok
+    assert ours.diff(theirs, ccr_tol=0.1).ok
+    theirs.records[0].ccr += 5.0
+    assert not ours.diff(theirs, ccr_tol=0.1).ok
+
+
+def test_diff_accepts_bare_record_iterables():
+    ours = golden_result()
+    theirs = [copy.deepcopy(r) for r in ours.records]
+    theirs[1].wirelength += 3
+    diff = ours.diff(theirs)
+    assert len(diff.changed) == 1
+    assert "wirelength" in diff.changed[0].fields
+
+
+@pytest.mark.skipif(
+    not (WARM_CACHE / "c432.def").exists(),
+    reason="committed warm cache not present",
+)
+def test_live_golden_sweep_diffs_clean_against_committed_goldens(
+    monkeypatch, tmp_path
+):
+    # The regression check end to end: a fresh run of the golden sweep
+    # on the warm cache vs the committed baseline — the same gate a
+    # nightly re-run would use.
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(WARM_CACHE))
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    clear_memo()
+    try:
+        with Client(store=tmp_path / "experiments.jsonl") as client:
+            live = client.run(GOLDEN_SPECS, timeout=30.0)
+        diff = live.diff(golden_result())
+        assert diff.ok, diff.render()
+        assert diff.unchanged == 2
+    finally:
+        clear_memo()

@@ -1,0 +1,274 @@
+"""Property tests: journal replay always converges to a consistent
+queue state.
+
+Two generators, many seeds each:
+
+* **valid histories** — random interleavings of the real queue API
+  (submit / claim / heartbeat / progress / done / failed / cancel /
+  requeue-expired / compact, with the clock jumping around).  A fresh
+  replay of the journal must reconstruct the live queue's state
+  *exactly*, event for event — replay is the source of truth the whole
+  multi-scheduler design leans on.
+
+* **adversarial event soups** — raw journal lines with no discipline
+  at all: claims on running jobs, requeues naming the wrong claimant,
+  events for unknown jobs, events after terminal ones, torn lines.
+  Replay must never crash and must keep the core invariants: every
+  status is legal, no job is both claimed-live and pending (queued
+  with a claimant, or running without one), the *first applied
+  terminal event wins* (late done/failed/cancel/claim/requeue events
+  cannot resurrect a finished job), and replay is deterministic.
+
+Plus the crash axis: truncating the journal at any byte replays the
+surviving complete-line prefix — never an error, never a torn fold.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.experiments import ScenarioSpec
+from repro.service import JobQueue
+from repro.service.queue import JOB_STATUSES, TERMINAL
+
+from chaos import FakeClock
+
+WORKERS = ("w1", "w2", "w3")
+
+SPEC_POOL = [
+    ScenarioSpec(design=design, split_layer=layer, attack="proximity")
+    for design in ("tiny_a", "tiny_b", "tiny_seq")
+    for layer in (1, 2, 3, 4)
+]
+
+
+def snapshot(queue: JobQueue) -> list[dict]:
+    return [job.to_dict() for job in queue.jobs()]
+
+
+def check_invariants(queue: JobQueue) -> None:
+    for job in queue.jobs():
+        assert job.status in JOB_STATUSES
+        if job.status == "queued":
+            assert job.claimed_by is None, (
+                f"{job.job_id} both pending and claimed-live"
+            )
+        if job.status == "running":
+            assert job.claimed_by is not None, (
+                f"{job.job_id} running without a claimant"
+            )
+        assert job.requeues >= 0
+
+
+# -- valid histories ----------------------------------------------------
+
+
+def drive_random_ops(rng, queue, clock, n_ops=40):
+    job_ids: list[str] = []
+
+    def any_job():
+        return rng.choice(job_ids) if job_ids else "job-nope"
+
+    for _ in range(n_ops):
+        op = rng.randrange(10)
+        if op <= 2:
+            specs = rng.sample(SPEC_POOL, rng.randrange(1, 3))
+            job, _ = queue.submit(specs, priority=rng.randrange(3))
+            job_ids.append(job.job_id)
+        elif op == 3:
+            queue.claim(
+                worker=rng.choice(WORKERS),
+                lease_s=rng.choice((0.0, 5.0, 60.0)),
+            )
+        elif op == 4:
+            queue.heartbeat(
+                any_job(), rng.choice(WORKERS), lease_s=60.0
+            )
+        elif op == 5:
+            queue.progress(
+                any_job(),
+                nodes_done=rng.randrange(5),
+                nodes_total=4,
+                reused=rng.randrange(2),
+            )
+        elif op == 6:
+            queue.complete(any_job(), telemetry={"executed": op})
+        elif op == 7:
+            queue.fail(any_job(), error="boom")
+        elif op == 8:
+            queue.cancel(any_job())
+        else:
+            queue.requeue_expired()
+        if rng.random() < 0.3:
+            clock.advance(rng.choice((0.1, 10.0, 120.0)))
+        if rng.random() < 0.05:
+            queue.compact(ttl_s=rng.choice((0.0, 3600.0)))
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_replay_reconstructs_valid_histories_exactly(seed, tmp_path):
+    rng = random.Random(seed)
+    clock = FakeClock()
+    path = tmp_path / "q.jsonl"
+    queue = JobQueue(path, clock=clock)
+    drive_random_ops(rng, queue, clock)
+    check_invariants(queue)
+    # recover=False: pure fold, no recovery side effects.
+    replayed = JobQueue(path, clock=clock, recover=False)
+    assert snapshot(replayed) == snapshot(queue)
+    check_invariants(replayed)
+    # Replay is idempotent: folding the same journal again changes
+    # nothing.
+    assert snapshot(JobQueue(path, clock=clock, recover=False)) == \
+        snapshot(replayed)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_recovery_requeues_only_expired_leases(seed, tmp_path):
+    rng = random.Random(1000 + seed)
+    clock = FakeClock()
+    path = tmp_path / "q.jsonl"
+    queue = JobQueue(path, clock=clock)
+    drive_random_ops(rng, queue, clock, n_ops=25)
+    before = {j.job_id: j for j in queue.jobs()}
+    recovered = JobQueue(path, clock=clock)  # recover=True
+    for job in recovered.jobs():
+        old = before[job.job_id]
+        if old.lease_expired(clock.now):
+            assert job.status == "queued"
+            assert job.claimed_by is None
+            assert job.requeues == old.requeues + 1
+        else:
+            assert job.status == old.status
+            assert job.claimed_by == old.claimed_by
+    check_invariants(recovered)
+
+
+# -- adversarial event soups --------------------------------------------
+
+_SPEC_DICT = SPEC_POOL[0].to_dict()
+_SPEC_HASH = SPEC_POOL[0].scenario_hash
+
+
+def random_soup(rng, n_events=60) -> list[str]:
+    job_ids = [f"job-{i}" for i in range(4)] + ["job-unknown"]
+    lines = []
+    for i in range(n_events):
+        kind = rng.choice((
+            "submit", "claim", "claim", "heartbeat", "progress",
+            "done", "failed", "cancel", "requeue", "requeue", "junk",
+        ))
+        job_id = rng.choice(job_ids)
+        at = rng.uniform(0, 1000)
+        if kind == "submit":
+            event = {"event": "submit", "job": {
+                "job_id": job_id,
+                "specs": [_SPEC_DICT],
+                "spec_hashes": [_SPEC_HASH],
+                "priority": rng.randrange(3),
+                "submitted_at": at,
+            }}
+        elif kind == "claim":
+            event = {
+                "event": "claim", "job_id": job_id,
+                "worker": rng.choice(WORKERS), "at": at,
+                "lease_s": rng.choice((0.0, 30.0)),
+            }
+        elif kind == "heartbeat":
+            event = {
+                "event": "heartbeat", "job_id": job_id,
+                "worker": rng.choice(WORKERS), "at": at, "lease_s": 30.0,
+            }
+        elif kind == "progress":
+            event = {
+                "event": "progress", "job_id": job_id,
+                "nodes_done": rng.randrange(5), "nodes_total": 4,
+                "reused": 0,
+            }
+        elif kind == "requeue":
+            event = {
+                "event": "requeue", "job_id": job_id,
+                "from_worker": rng.choice(WORKERS + (None,)),
+                "at": at,
+            }
+        elif kind == "junk":
+            lines.append(rng.choice((
+                '{"event": "claim", "job_id": [1, 2]}',
+                '{"not even": "an event"}',
+                'not json at all',
+                '',
+            )))
+            continue
+        else:  # done / failed / cancel
+            event = {"event": kind, "job_id": job_id, "at": at}
+            if kind == "failed":
+                event["error"] = "boom"
+        lines.append(json.dumps(event, sort_keys=True))
+    return lines
+
+
+def first_terminal_oracle(lines) -> dict[str, str]:
+    """Per job: the first terminal event applied after its submit —
+    which the fold must preserve against everything that follows."""
+    submitted: set[str] = set()
+    verdict: dict[str, str] = {}
+    for line in lines:
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if not isinstance(event, dict):
+            continue
+        kind = event.get("event")
+        if kind == "submit" and isinstance(event.get("job"), dict):
+            submitted.add(event["job"].get("job_id"))
+        elif kind in ("done", "failed", "cancel"):
+            job_id = event.get("job_id")
+            if job_id in submitted and job_id not in verdict:
+                verdict[job_id] = (
+                    "cancelled" if kind == "cancel" else kind
+                )
+    return verdict
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_adversarial_soup_replays_to_a_consistent_state(seed, tmp_path):
+    rng = random.Random(2000 + seed)
+    lines = random_soup(rng)
+    path = tmp_path / "q.jsonl"
+    path.write_text("".join(line + "\n" for line in lines))
+    clock = FakeClock()
+    queue = JobQueue(path, clock=clock, recover=False)
+    check_invariants(queue)
+    # Terminal beats late events: whatever terminal event landed first
+    # per job is final, no matter what the soup appended afterwards.
+    verdict = first_terminal_oracle(lines)
+    for job in queue.jobs():
+        if job.job_id in verdict:
+            assert job.status == verdict[job.job_id]
+        else:
+            assert job.status not in TERMINAL
+    # Determinism: a second fold agrees bit for bit.
+    assert snapshot(JobQueue(path, clock=clock, recover=False)) == \
+        snapshot(queue)
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_truncation_at_any_byte_replays_the_prefix(seed, tmp_path):
+    rng = random.Random(3000 + seed)
+    lines = random_soup(rng, n_events=30)
+    text = "".join(line + "\n" for line in lines)
+    cut = rng.randrange(len(text))
+    path = tmp_path / "q.jsonl"
+    path.write_text(text[:cut])
+    clock = FakeClock()
+    queue = JobQueue(path, clock=clock, recover=False)
+    check_invariants(queue)
+    # The fold equals a clean replay of the complete-line prefix: the
+    # torn final line contributes nothing.
+    prefix = text[:cut].rsplit("\n", 1)[0] if "\n" in text[:cut] else ""
+    clean = tmp_path / "clean.jsonl"
+    clean.write_text(prefix + ("\n" if prefix else ""))
+    assert snapshot(JobQueue(clean, clock=clock, recover=False)) == \
+        snapshot(queue)

@@ -109,12 +109,16 @@ class TestPersistence:
     def test_crash_resume_requeues_claimed_jobs(self, queue_path):
         queue = JobQueue(queue_path)
         job, _ = queue.submit([prox("tiny_a")])
-        queue.claim(worker="dead-scheduler")
+        # lease_s=0.0: the claimant's lease is already expired by the
+        # time anyone replays — a scheduler that died long ago.
+        queue.claim(worker="dead-scheduler", lease_s=0.0)
         assert queue.get(job.job_id).status == "running"
 
         # Simulated crash: a new process replays the journal; the
-        # running job has no terminal event, so it is requeued (and the
-        # requeue is itself journaled for other readers).
+        # running job's lease is expired with no terminal event, so it
+        # is requeued (and the requeue is itself journaled for other
+        # readers).  Live leases survive a replay — see
+        # tests/service/test_leases.py.
         survivor = JobQueue(queue_path)
         rejob = survivor.get(job.job_id)
         assert rejob.status == "queued"

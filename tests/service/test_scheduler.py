@@ -179,12 +179,13 @@ class TestCrashResume:
         queue_path = tmp_path / "queue.jsonl"
         store_path = tmp_path / "exp.jsonl"
 
-        # A scheduler claims a two-scenario job, finishes the tiny_a
-        # half (layout cached + record stored), then dies without a
-        # terminal journal event.
+        # A scheduler claims a two-scenario job (under an already-
+        # expired lease: it dies long before anyone replays), finishes
+        # the tiny_a half (layout cached + record stored), then dies
+        # without a terminal journal event.
         queue = JobQueue(queue_path)
         job, _ = queue.submit([prox("tiny_a"), prox("tiny_b")])
-        assert queue.claim() is not None
+        assert queue.claim(lease_s=0.0) is not None
         from repro.experiments import run_sweep
 
         run_sweep([prox("tiny_a")], store=ResultsStore(store_path))
