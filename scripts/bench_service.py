@@ -17,11 +17,22 @@ The store is populated one of two ways:
   once against the committed warm ``.repro_cache`` and those records
   are replayed.
 
+``--scenario deep-history`` benchmarks the *read path at depth*: it
+seeds stores of increasing size (100 -> 10,000 records by default) on
+both storage backends, measures paginated ``GET /results?limit=N``
+latency at each depth, and asserts the p50 stays flat (within
+``--tolerance``) as history grows — the indexed-store acceptance bar.
+It finishes with a hundreds-of-clients stage: ``--clients`` concurrent
+client threads paging the deepest store at once.
+
+``--scenario all`` runs both and writes one combined report.
+
 Writes the percentile report to ``results/bench_service.txt``
 (atomically) and prints it.
 
     PYTHONPATH=src python scripts/bench_service.py
     PYTHONPATH=src python scripts/bench_service.py --requests 500 -c 8
+    PYTHONPATH=src python scripts/bench_service.py --scenario deep-history
 """
 
 from __future__ import annotations
@@ -74,6 +85,132 @@ def golden_store(store) -> int:
     return result.executed
 
 
+def deep_store(scratch: Path, backend: str, depth: int):
+    """A scratch store of one backend kind holding ``depth`` distinct
+    synthetic scenario records."""
+    from repro.experiments import (
+        ResultsStore,
+        ScenarioRecord,
+        ScenarioSpec,
+    )
+
+    suffix = {"jsonl": "jsonl", "sqlite": "sqlite"}[backend]
+    store = ResultsStore(scratch / f"deep_{backend}_{depth}.{suffix}")
+    records = []
+    for i in range(depth):
+        spec = ScenarioSpec(
+            design=f"synth{i:05d}", split_layer=3, attack="proximity"
+        )
+        records.append(ScenarioRecord(
+            scenario_hash=spec.scenario_hash,
+            scenario=spec.to_dict(),
+            status="ok",
+            ccr=50.0,
+            runtime_s=0.1,
+            extra={"synthetic": True},
+        ))
+    store.add_many(records)
+    return store
+
+
+def deep_history_scenario(args, scratch: Path) -> tuple[list, list[str]]:
+    """Paginated read latency vs store depth, per storage backend, then
+    a hundreds-of-clients stage on the deepest indexed store.
+
+    Returns the report sections and any acceptance failures.
+    """
+    from repro.service import AttackService, ServiceClient, run_load
+
+    depths = [int(d) for d in args.depths.split(",")]
+    # Rotate over pages that are full at *every* depth, so each request
+    # serves identical work and depth is the only variable.  (Deep
+    # offsets would measure OFFSET's O(k) scan; offsets past the end of
+    # the shallow store would compare full pages against empty ones.)
+    pages = max(1, min(depths) // args.page)
+    sections, failures = [], []
+    deepest_sqlite = None
+    for backend in ("jsonl", "sqlite"):
+        p50s = {}
+        for depth in depths:
+            store = deep_store(scratch, backend, depth)
+            if backend == "sqlite":
+                deepest_sqlite = store
+            service = AttackService(
+                store=store, queue_path=scratch / f"q_{backend}_{depth}.jsonl"
+            )
+            service.start()
+            try:
+                client = ServiceClient(service.url, timeout=30.0)
+
+                def page(i: int) -> None:
+                    out = client.results_page(
+                        limit=args.page,
+                        offset=args.page * (i % pages),
+                    )
+                    if out["total"] != depth:
+                        raise RuntimeError(
+                            f"expected {depth} records, saw {out['total']}"
+                        )
+
+                run_load(page, 20, 1, "warmup")
+                report = run_load(
+                    page,
+                    args.requests,
+                    args.concurrency,
+                    label=(
+                        f"GET /results?limit={args.page} "
+                        f"[{backend}, {depth} records]"
+                    ),
+                )
+                sections.append(report)
+                p50s[depth] = report.percentile(50)
+                if report.errors:
+                    failures.append(
+                        f"{backend}@{depth}: {report.errors} errors"
+                    )
+            finally:
+                service.stop()
+        ratio = p50s[depths[-1]] / max(p50s[depths[0]], 1e-9)
+        flat = ratio <= 1.0 + args.tolerance
+        print(
+            f"{backend}: p50 {1e3 * p50s[depths[0]]:.2f} ms @ "
+            f"{depths[0]} -> {1e3 * p50s[depths[-1]]:.2f} ms @ "
+            f"{depths[-1]} records (x{ratio:.2f}) "
+            f"{'FLAT' if flat else 'NOT FLAT'}"
+        )
+        if not flat:
+            failures.append(
+                f"{backend}: p50 grew x{ratio:.2f} from "
+                f"{depths[0]} to {depths[-1]} records "
+                f"(tolerance x{1.0 + args.tolerance:.2f})"
+            )
+    # Hundreds of clients paging the deepest indexed store at once.
+    service = AttackService(
+        store=deepest_sqlite, queue_path=scratch / "q_clients.jsonl"
+    )
+    service.start()
+    try:
+        client = ServiceClient(service.url, timeout=60.0)
+        swarm = run_load(
+            lambda i: client.results_page(
+                limit=args.page,
+                offset=args.page * (i % pages),
+            ),
+            args.clients * 10,
+            args.clients,
+            label=(
+                f"GET /results?limit={args.page} "
+                f"[sqlite, {depths[-1]} records, {args.clients} clients]"
+            ),
+        )
+        sections.append(swarm)
+        if swarm.errors:
+            failures.append(f"client swarm: {swarm.errors} errors")
+    finally:
+        service.stop()
+    return sections, failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--requests", type=int, default=300)
@@ -82,6 +219,26 @@ def main() -> int:
         "--real", action="store_true",
         help="replay the golden warm-cache sweep instead of synthetic "
         "records",
+    )
+    parser.add_argument(
+        "--scenario", choices=("replay", "deep-history", "all"),
+        default="replay",
+    )
+    parser.add_argument(
+        "--depths", default="100,10000",
+        help="comma-separated store depths for --scenario deep-history",
+    )
+    parser.add_argument(
+        "--page", type=int, default=20,
+        help="page size for the deep-history paginated reads",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=200,
+        help="client threads for the deep-history swarm stage",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="allowed fractional p50 growth across the depth range",
     )
     parser.add_argument(
         "--out", default=str(REPO_ROOT / "results" / "bench_service.txt")
@@ -96,6 +253,26 @@ def main() -> int:
     from repro.core.atomic import atomic_write_text
     from repro.experiments import ResultsStore
     from repro.service import AttackService, ServiceClient, run_load
+
+    sections: list = []
+    failures: list[str] = []
+    if args.scenario in ("deep-history", "all"):
+        deep_sections, deep_failures = deep_history_scenario(args, scratch)
+        sections.extend(deep_sections)
+        failures.extend(deep_failures)
+        if args.scenario == "deep-history":
+            text = "\n\n".join(s.render() for s in sections) + "\n"
+            print(text)
+            out_path = Path(args.out)
+            out_path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(out_path, text)
+            print(f"wrote {out_path}")
+            ok = not failures
+            print(
+                "acceptance (p50 flat across depths, 0 errors): "
+                + ("PASS" if ok else "FAIL: " + "; ".join(failures))
+            )
+            return 0 if ok else 1
 
     store = ResultsStore(scratch / "experiments.jsonl")
     if args.real:
@@ -146,14 +323,24 @@ def main() -> int:
     finally:
         service.stop()
 
-    text = "\n\n".join([report.render(), queries.render()]) + "\n"
+    sections.extend([report, queries])
+    text = "\n\n".join(s.render() for s in sections) + "\n"
     print(text)
     out_path = Path(args.out)
     out_path.parent.mkdir(parents=True, exist_ok=True)
     atomic_write_text(out_path, text)
     print(f"wrote {out_path}")
-    ok = report.throughput_rps >= 50 and report.errors == 0
-    print(f"acceptance (>=50 req/s, 0 errors): {'PASS' if ok else 'FAIL'}")
+    if report.throughput_rps < 50:
+        failures.append(
+            f"replay throughput {report.throughput_rps:.1f} req/s < 50"
+        )
+    if report.errors:
+        failures.append(f"replay: {report.errors} errors")
+    ok = not failures
+    print(
+        "acceptance (>=50 req/s replay, flat deep-history p50, 0 errors): "
+        + ("PASS" if ok else "FAIL: " + "; ".join(failures))
+    )
     return 0 if ok else 1
 
 

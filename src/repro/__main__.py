@@ -15,7 +15,11 @@ sweep       run a registered scenario grid through the DAG engine
 serve       run the attack service (job queue + scheduler + HTTP API)
 submit      submit a grid or spec file to a running service (or cancel
             a submitted job with ``--cancel JOB_ID``)
-report      summarise the results store (slowest nodes, cache hits)
+report      summarise the results store (slowest nodes, cache hits);
+            ``--limit`` / ``--offset`` page through deep histories
+migrate-store
+            replay one store's history into another backend/format
+            (JSONL journal <-> indexed SQLite)
 
 Every execution command is a thin argument parser over
 :class:`repro.api.Client`: ``attack``, ``table3``, ``figure5``,
@@ -328,8 +332,34 @@ def cmd_report(args) -> int:
         attack=args.attack,
         tag=args.tag,
         status=args.status,
+        limit=args.limit,
+        offset=args.offset,
     )
-    print(store_summary(records, top=args.top, title=str(store.path)))
+    title = str(store.path)
+    if args.limit is not None or args.offset:
+        total = store.count(
+            design=args.design,
+            attack=args.attack,
+            tag=args.tag,
+            status=args.status,
+        )
+        title += (
+            f" (records {args.offset + 1}-"
+            f"{args.offset + len(records)} of {total})"
+        )
+    print(store_summary(records, top=args.top, title=title))
+    return 0
+
+
+def cmd_migrate_store(args) -> int:
+    from repro.experiments import migrate_store
+
+    try:
+        migrated = migrate_store(args.source, args.dest)
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    print(f"migrated {migrated} records: {args.source} -> {args.dest}")
     return 0
 
 
@@ -527,7 +557,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument(
         "--top", type=int, default=10, help="slowest nodes to list"
     )
+    p_rep.add_argument(
+        "--limit", type=int, default=None,
+        help="cap the records summarised (page size)",
+    )
+    p_rep.add_argument(
+        "--offset", type=int, default=0,
+        help="records to skip before the page starts",
+    )
     p_rep.set_defaults(fn=cmd_report)
+
+    p_mig = sub.add_parser(
+        "migrate-store",
+        help="replay one results store's history into another format "
+        "(e.g. experiments.jsonl -> experiments.sqlite)",
+    )
+    p_mig.add_argument(
+        "source", help="store to read (suffix selects the backend)"
+    )
+    p_mig.add_argument(
+        "dest", help="store to write (suffix selects the backend)"
+    )
+    p_mig.set_defaults(fn=cmd_migrate_store)
     return parser
 
 

@@ -216,12 +216,18 @@ class ServiceBackend(Backend):
     are persistent (journal-backed), deduped against in-flight jobs and
     the service's results store, and cancellable while queued or
     running (``DELETE /jobs/<id>``).
+
+    Progress arrives by consuming the service's ``/jobs/<id>/events``
+    SSE stream — every scheduler-side ``node``/``progress`` event lands
+    in the job's ``on_event`` callback push-fashion, no polling loop.
+    If the stream cannot be used (older service, broken transport) the
+    backend degrades to the deprecated ``?wait=`` long-poll.
     """
 
     name = "service"
 
-    #: long-poll chunk — short enough to surface progress events
-    #: promptly, long enough not to hammer the service.
+    #: fallback long-poll chunk — short enough to surface progress
+    #: events promptly, long enough not to hammer the service.
     POLL_CHUNK_S = 2.0
 
     def __init__(
@@ -308,6 +314,48 @@ class ServiceBackend(Backend):
         deadline = (
             None if timeout is None else time.monotonic() + timeout
         )
+        view = self._run_streaming(job, client, timeout)
+        if view is None:
+            # The event stream was unavailable or broke mid-job (older
+            # service, proxy stripping the stream, transient socket
+            # error) — the job is still running server-side, so degrade
+            # to the deprecated long-poll loop.
+            view = self._run_longpoll(job, client, deadline)
+        return self._finish(job, view)
+
+    def _run_streaming(self, job, client, timeout: float | None):
+        """Consume ``/jobs/<id>/events`` until the terminal event.
+
+        Forwards ``node``/``progress``/``message`` events into the
+        job's ``on_event`` stream as they arrive (no polling loop);
+        skips the stream's ``submitted`` snapshot (:meth:`start`
+        already emitted it) and the terminal event itself
+        (:meth:`_finish` / ``Job.wait`` own terminal reporting).
+        Returns the job's final view, or None when the stream could
+        not be used and the caller should fall back to long-polling.
+        """
+        terminal = False
+        try:
+            for event in client.events(job.job_id, timeout=timeout):
+                kind = event.get("kind")
+                data = event.get("data") or {}
+                if kind in TERMINAL_STATES:
+                    job.status = kind
+                    terminal = True
+                    break
+                if kind in ("node", "progress", "message"):
+                    job.status = "running"
+                    job._emit(kind, event.get("message", ""), **data)
+        except TimeoutError:
+            raise TimeoutError(f"job {job.job_id} still {job.status}") \
+                from None
+        except Exception:
+            return None  # stream transport failed; long-poll instead
+        if not terminal:
+            return None  # stream ended early (service shutting down)
+        return client.job(job.job_id)
+
+    def _run_longpoll(self, job, client, deadline):
         last_progress = None
         while True:
             wait = self.POLL_CHUNK_S
@@ -334,7 +382,10 @@ class ServiceBackend(Backend):
                     reused=progress[2],
                 )
             if view["status"] in TERMINAL_STATES:
-                break
+                return view
+
+    def _finish(self, job, view) -> BackendOutcome:
+        job.status = view["status"]
         if view["status"] == "failed":
             job.error = view.get("error") or "job failed"
             job._emit("failed", job.error)

@@ -172,9 +172,13 @@ class ResultSet:
         defense_kind: str | None = None,
         tag: str | None = None,
         status: str | None = None,
+        limit: int | None = None,
+        offset: int = 0,
+        order: str = "asc",
     ) -> list[ScenarioRecord]:
-        """Filter this result set with the store's query vocabulary."""
-        return [
+        """Filter this result set with the store's query vocabulary
+        (including ``limit`` / ``offset`` / ``order`` pagination)."""
+        matched = [
             record
             for record in self.records
             if record_matches(
@@ -187,6 +191,13 @@ class ResultSet:
                 status=status,
             )
         ]
+        if order == "desc":
+            matched.reverse()
+        if offset:
+            matched = matched[offset:]
+        if limit is not None:
+            matched = matched[:max(0, int(limit))]
+        return matched
 
     def report(self):
         """Grid-aware legacy report object (lazy).
@@ -665,7 +676,12 @@ class Client:
     # -- queries -------------------------------------------------------
     def results(self, **filters) -> list[ScenarioRecord]:
         """Query stored records (local store, or the service's store
-        over HTTP when this client points at a remote service)."""
+        over HTTP when this client points at a remote service).
+
+        Accepts the store's filter vocabulary plus ``limit`` /
+        ``offset`` / ``order`` pagination; both travel to the service
+        as query parameters and push down into its storage backend.
+        """
         if (
             isinstance(self.backend, ServiceBackend)
             and self.backend.url is not None

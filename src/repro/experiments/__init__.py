@@ -44,7 +44,13 @@ from .reports import (
     table3_report,
 )
 from .spec import ATTACK_KINDS, DEFENSE_KINDS, DefenseSpec, ScenarioSpec
-from .store import ResultsStore, ScenarioRecord, results_dir
+from .storage import (
+    STORE_BACKEND_ENV,
+    StorageBackend,
+    migrate_store,
+    open_backend,
+)
+from .store import ResultsStore, ScenarioRecord, record_matches, results_dir
 
 __all__ = [
     "ATTACK_KINDS",
@@ -54,8 +60,10 @@ __all__ = [
     "PlanNode",
     "ResultsStore",
     "ScenarioGrid",
+    "STORE_BACKEND_ENV",
     "ScenarioRecord",
     "ScenarioSpec",
+    "StorageBackend",
     "SweepPlan",
     "SweepResult",
     "attach_node_telemetry",
@@ -65,7 +73,10 @@ __all__ = [
     "figure5_report",
     "get_grid",
     "list_grids",
+    "migrate_store",
+    "open_backend",
     "plan_sweep",
+    "record_matches",
     "register",
     "render_records",
     "results_dir",

@@ -1,0 +1,100 @@
+"""The :class:`StorageBackend` protocol behind :class:`ResultsStore`.
+
+A storage backend persists :class:`~repro.experiments.records.ScenarioRecord`
+rows with *latest-wins* semantics: appends accumulate history, and the
+most recent record per scenario hash is the one queries serve.  Two
+implementations ship:
+
+* :class:`~repro.experiments.storage.jsonl.JsonlStorageBackend` — the
+  append-only JSONL journal (the durable export format, and the
+  coordination-free choice for concurrent appenders);
+* :class:`~repro.experiments.storage.sqlite.SqliteStorageBackend` — an
+  indexed SQLite database whose query cost stays flat as history grows
+  (the service read path at scale).
+
+All query methods speak the one filter vocabulary of
+:func:`~repro.experiments.records.record_matches` (``design``,
+``split_layer``, ``attack``, ``defense_kind``, ``tag``, ``status``),
+so the store facade, the HTTP ``/results`` endpoint and the API client
+can push filters and pagination down without caring which backend is
+underneath.  The conformance suite
+(``tests/experiments/test_storage_backends.py``) runs every backend
+through the same assertions.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..records import ScenarioRecord
+
+#: accepted values for the ``order`` query parameter: first-seen
+#: scenario order, ascending or descending.
+ORDERS = ("asc", "desc")
+
+
+def check_order(order: str) -> str:
+    if order not in ORDERS:
+        raise ValueError(f"order must be one of {ORDERS}, got {order!r}")
+    return order
+
+
+class StorageBackend:
+    """Persistence strategy for scenario records (latest-wins)."""
+
+    #: registry key (``REPRO_STORE_BACKEND`` value), e.g. ``"jsonl"``.
+    kind = "backend"
+    #: True when the format is an append-only text journal that must
+    #: tolerate torn trailing lines (the conformance suite keys its
+    #: torn-line tests off this).
+    journal_format = False
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    # -- writes --------------------------------------------------------
+    def append(self, record: ScenarioRecord) -> None:
+        """Durably append one record; it becomes the latest for its
+        scenario hash."""
+        raise NotImplementedError
+
+    def append_many(self, records: list[ScenarioRecord]) -> None:
+        """Append a batch (backends may override to amortise fsyncs)."""
+        for record in records:
+            self.append(record)
+
+    # -- reads ---------------------------------------------------------
+    def latest(self, scenario_hash: str) -> ScenarioRecord | None:
+        """The most recently appended record for a scenario hash."""
+        raise NotImplementedError
+
+    def history(self) -> list[ScenarioRecord]:
+        """Every record ever appended, oldest first."""
+        raise NotImplementedError
+
+    def query(
+        self,
+        filters: dict | None = None,
+        limit: int | None = None,
+        offset: int = 0,
+        order: str = "asc",
+    ) -> list[ScenarioRecord]:
+        """Latest records matching every filter, in first-seen scenario
+        order (``order="desc"`` reverses), paginated by
+        ``limit``/``offset``."""
+        raise NotImplementedError
+
+    def count(self, filters: dict | None = None) -> int:
+        """Number of latest records matching the filters (the ``total``
+        a paginated query reports)."""
+        raise NotImplementedError
+
+    def reload_tail(self) -> int:
+        """Fold in records other writers appended since the last read;
+        returns how many were picked up.  Backends that always read the
+        live data (SQLite) return 0."""
+        raise NotImplementedError
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Release handles; further use is undefined."""

@@ -1,159 +1,150 @@
-"""Queryable, append-only results store.
+"""Queryable, latest-wins results store over pluggable storage backends.
 
-Every evaluated scenario lands here as one JSON line keyed by its
-content hash, so completed work is never recomputed: the sweep engine
-consults the store before scheduling evaluation nodes, and the report
-formatters (Table 3 / Figure 5 / defense tables) read records instead
-of re-running attacks.
+Every evaluated scenario lands here as one record keyed by its content
+hash, so completed work is never recomputed: the sweep engine consults
+the store before scheduling evaluation nodes, and the report formatters
+(Table 3 / Figure 5 / defense tables) read records instead of
+re-running attacks.  Re-evaluations append a new record and the
+*latest* record per scenario hash wins.
 
-The file is append-only — re-evaluations append a new line and the
-*latest* record per scenario hash wins — which makes concurrent writers
-safe (single ``O_APPEND`` writes, see :mod:`repro.core.atomic`) and
-keeps history inspectable.  ``to_csv`` snapshots the latest records
-through the atomic temp-file + ``os.replace`` helpers.
+Persistence is delegated to a
+:class:`~repro.experiments.storage.StorageBackend`:
 
-The default location is ``results/experiments.jsonl``; relocate it with
-the ``REPRO_RESULTS_DIR`` environment variable.
+* ``jsonl`` (default) — the append-only JSONL journal
+  (``results/experiments.jsonl``), concurrent-writer safe via single
+  ``O_APPEND`` writes and reloadable incrementally (tail-aware: a
+  cross-process refresh costs one ``stat`` plus the new tail, not a
+  re-parse of the whole history);
+* ``sqlite`` — an indexed SQLite database (WAL mode) whose query cost
+  stays flat as history grows; the service read path at scale.
+
+Select a backend with ``ResultsStore(backend=...)``, a path suffix
+(``.sqlite`` / ``.db`` vs ``.jsonl``), or the ``REPRO_STORE_BACKEND``
+environment variable; migrate history between formats with
+:func:`repro.experiments.storage.migrate_store` (CLI:
+``repro migrate-store``).  The default location is
+``results/``; relocate it with the ``REPRO_RESULTS_DIR`` environment
+variable.
+
+Queries take the shared filter vocabulary of :func:`record_matches`
+plus ``limit``/``offset``/``order`` pagination, which both backends
+push down (SQL on SQLite); ``count`` reports the total a paginated
+page was cut from.  ``to_csv`` snapshots the latest records through
+the atomic temp-file + ``os.replace`` helpers.
 """
 
 from __future__ import annotations
 
-import json
-import os
-from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 
-from ..core.atomic import atomic_append_line, atomic_write_text
+from ..core.atomic import atomic_write_text
+from .records import (
+    RESULTS_DIR_ENV,
+    ScenarioRecord,
+    record_matches,
+    results_dir,
+)
 from .spec import ScenarioSpec
+from .storage import StorageBackend, open_backend
 
-RESULTS_DIR_ENV = "REPRO_RESULTS_DIR"
+__all__ = [
+    "DEFAULT_FILENAME",
+    "RESULTS_DIR_ENV",
+    "ResultsStore",
+    "ScenarioRecord",
+    "record_matches",
+    "results_dir",
+]
+
 DEFAULT_FILENAME = "experiments.jsonl"
 
 
-@dataclass
-class ScenarioRecord:
-    """Outcome of evaluating one scenario."""
+class ResultsStore:
+    """Latest-wins record store with a small query API.
 
-    scenario_hash: str
-    scenario: dict  # ScenarioSpec.to_dict()
-    status: str  # "ok" | "timeout"
-    ccr: float | None
-    runtime_s: float | None
-    n_sink_fragments: int = 0
-    n_source_fragments: int = 0
-    hidden_pins: int = 0
-    wirelength: int = 0
-    train_seconds: float | None = None
-    extra: dict = field(default_factory=dict)
+    ``path`` and ``backend`` both default sensibly: no arguments means
+    the JSONL journal at ``results/experiments.jsonl`` (or whatever
+    ``REPRO_STORE_BACKEND`` / ``REPRO_RESULTS_DIR`` say); ``backend``
+    accepts a kind name (``"jsonl"`` / ``"sqlite"``) or a constructed
+    :class:`~repro.experiments.storage.StorageBackend`.
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        backend: str | StorageBackend | None = None,
+    ):
+        self.backend = open_backend(path, backend)
 
     @property
-    def spec(self) -> ScenarioSpec:
-        return ScenarioSpec.from_dict(self.scenario)
-
-    def to_dict(self) -> dict:
-        return asdict(self)
-
-    @classmethod
-    def from_dict(cls, payload: dict) -> "ScenarioRecord":
-        # Tolerate records written by a build with extra fields: drop
-        # unknown keys instead of discarding the whole line on reload.
-        known = {f.name for f in fields(cls)}
-        return cls(**{k: v for k, v in payload.items() if k in known})
-
-
-def results_dir() -> Path:
-    return Path(os.environ.get(RESULTS_DIR_ENV, "") or "results")
-
-
-def record_matches(
-    record: ScenarioRecord,
-    design: str | None = None,
-    split_layer: int | None = None,
-    attack: str | None = None,
-    defense_kind: str | None = None,
-    tag: str | None = None,
-    status: str | None = None,
-) -> bool:
-    """Does a record match every given filter?  The one filter
-    vocabulary shared by :meth:`ResultsStore.query`, the HTTP
-    ``/results`` endpoint and :meth:`repro.api.ResultSet.query`."""
-    s = record.scenario
-    if design is not None and s["design"] != design:
-        return False
-    if split_layer is not None and s["split_layer"] != split_layer:
-        return False
-    if attack is not None and s["attack"] != attack:
-        return False
-    if defense_kind is not None and s["defense"]["kind"] != defense_kind:
-        return False
-    if tag is not None and tag not in (s.get("tags") or ()):
-        return False
-    if status is not None and record.status != status:
-        return False
-    return True
-
-
-class ResultsStore:
-    """Append-only JSONL store with a small query API."""
-
-    def __init__(self, path: str | Path | None = None):
-        self.path = Path(path) if path else results_dir() / DEFAULT_FILENAME
-        self._history: list[ScenarioRecord] = []
-        self._latest: dict[str, ScenarioRecord] = {}
-        self.reload()
+    def path(self) -> Path:
+        return self.backend.path
 
     # -- persistence ---------------------------------------------------
-    def reload(self) -> None:
-        """Re-read the backing file (picks up other writers' appends)."""
-        self._history = []
-        self._latest = {}
-        if not self.path.exists():
-            return
-        for line in self.path.read_text().splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = ScenarioRecord.from_dict(json.loads(line))
-            except (json.JSONDecodeError, TypeError):
-                continue  # torn/foreign line: ignore, appends still work
-            self._history.append(record)
-            self._latest[record.scenario_hash] = record
+    def reload(self) -> int:
+        """Fold in other writers' appends since the last read.
+
+        Incremental: the JSONL backend tails the journal from its last
+        byte offset (one ``stat`` when nothing changed) and the SQLite
+        backend reads live data anyway — so cross-process refresh cost
+        no longer scales with history length.  Returns the number of
+        newly observed records.
+        """
+        return self.backend.reload_tail()
 
     def add(self, record: ScenarioRecord) -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        atomic_append_line(
-            self.path,
-            json.dumps(record.to_dict(), sort_keys=True),
-        )
-        self._history.append(record)
-        self._latest[record.scenario_hash] = record
+        self.backend.append(record)
 
     def add_many(self, records) -> None:
-        for record in records:
-            self.add(record)
+        self.backend.append_many(list(records))
+
+    def close(self) -> None:
+        self.backend.close()
 
     # -- queries -------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._latest)
+        return self.backend.count()
 
     def __contains__(self, scenario_hash: str) -> bool:
-        return scenario_hash in self._latest
+        return self.backend.latest(scenario_hash) is not None
 
     def get(self, key: str | ScenarioSpec) -> ScenarioRecord | None:
         """Latest record for a scenario hash (or a spec's hash)."""
         if isinstance(key, ScenarioSpec):
             key = key.scenario_hash
-        return self._latest.get(key)
+        return self.backend.latest(key)
 
     def records(self) -> list[ScenarioRecord]:
-        """Latest record per scenario, in first-seen order (dict
-        insertion order keeps a key at its first position)."""
-        return list(self._latest.values())
+        """Latest record per scenario, in first-seen order."""
+        return self.backend.query()
 
     def history(self) -> list[ScenarioRecord]:
         """Every record ever appended, oldest first."""
-        return list(self._history)
+        return self.backend.history()
+
+    def count(self, **filters) -> int:
+        """Latest records matching the filters (no pagination) — the
+        ``total`` field of the paginated HTTP responses."""
+        return self.backend.count(self._filters(**filters))
+
+    @staticmethod
+    def _filters(
+        design: str | None = None,
+        split_layer: int | None = None,
+        attack: str | None = None,
+        defense_kind: str | None = None,
+        tag: str | None = None,
+        status: str | None = None,
+    ) -> dict:
+        filters = {
+            "design": design,
+            "split_layer": split_layer,
+            "attack": attack,
+            "defense_kind": defense_kind,
+            "tag": tag,
+            "status": status,
+        }
+        return {k: v for k, v in filters.items() if v is not None}
 
     def query(
         self,
@@ -164,22 +155,37 @@ class ResultsStore:
         tag: str | None = None,
         status: str | None = None,
         predicate=None,
+        limit: int | None = None,
+        offset: int = 0,
+        order: str = "asc",
     ) -> list[ScenarioRecord]:
-        """Latest records matching every given filter."""
-        return [
-            record
-            for record in self.records()
-            if record_matches(
-                record,
-                design=design,
-                split_layer=split_layer,
-                attack=attack,
-                defense_kind=defense_kind,
-                tag=tag,
-                status=status,
+        """Latest records matching every given filter, paginated.
+
+        Filters and pagination push down into the storage backend
+        (indexed SQL on SQLite).  ``predicate`` cannot be pushed down;
+        when given, pagination applies after it, in Python.
+        """
+        filters = self._filters(
+            design=design,
+            split_layer=split_layer,
+            attack=attack,
+            defense_kind=defense_kind,
+            tag=tag,
+            status=status,
+        )
+        if predicate is None:
+            return self.backend.query(
+                filters, limit=limit, offset=offset, order=order
             )
-            and (predicate is None or predicate(record))
+        records = [
+            r for r in self.backend.query(filters, order=order)
+            if predicate(r)
         ]
+        if offset:
+            records = records[offset:]
+        if limit is not None:
+            records = records[:max(0, int(limit))]
+        return records
 
     # -- exports -------------------------------------------------------
     CSV_COLUMNS = (
@@ -199,9 +205,11 @@ class ResultsStore:
         writer.writerow(self.CSV_COLUMNS)
         for record in self.records():
             s = record.scenario
+            defense = s.get("defense") or {}
             writer.writerow([
-                record.scenario_hash, s["design"], s["split_layer"],
-                s["attack"], s["defense"]["kind"], s["defense"]["strength"],
+                record.scenario_hash, s.get("design"), s.get("split_layer"),
+                s.get("attack"), defense.get("kind"),
+                defense.get("strength"),
                 record.status,
                 "" if record.ccr is None else f"{record.ccr:.6f}",
                 "" if record.runtime_s is None else f"{record.runtime_s:.6f}",

@@ -17,10 +17,12 @@ The subsystem turns the blocking CLI sweep into a long-running service:
   per-node telemetry into the results store;
 * :class:`AttackService` — stdlib-only HTTP API
   (``http.server.ThreadingHTTPServer``): ``POST /jobs``,
-  ``GET /jobs/<id>`` (long-poll with ``?wait=``), ``DELETE /jobs/<id>``
-  (cancellation), ``GET /results`` backed by
-  :meth:`repro.experiments.ResultsStore.query`; the job journal is
-  compacted at startup (terminal jobs past a TTL are dropped);
+  ``GET /jobs/<id>/events`` (SSE progress stream), ``GET /jobs/<id>``
+  (deprecated long-poll with ``?wait=``), ``DELETE /jobs/<id>``
+  (cancellation), paginated ``GET /results`` backed by
+  :meth:`repro.experiments.ResultsStore.query` push-down; the job
+  journal is compacted at startup (terminal jobs past a TTL are
+  dropped);
 * :class:`ServiceClient` + :func:`run_load` — urllib client and load
   generator (``scripts/bench_service.py``).
 """

@@ -1,8 +1,10 @@
 """HTTP client + load generator for the attack service.
 
 :class:`ServiceClient` wraps the service endpoints (submit, status,
-cancel, results, health) with plain ``urllib.request`` (stdlib only,
-like the server).  :func:`run_load`
+events, cancel, results, health) with plain ``urllib.request`` (stdlib
+only, like the server).  :meth:`ServiceClient.events` consumes the
+``GET /jobs/<id>/events`` SSE stream as an iterator of event dicts —
+the push-based replacement for the ``wait=`` long-poll.  :func:`run_load`
 replays a stream of submissions at configurable thread concurrency and
 reports latency percentiles — the measurement half of the service
 acceptance bar (``scripts/bench_service.py`` drives it).
@@ -97,12 +99,67 @@ class ServiceClient:
             if view["status"] in ("done", "failed", "cancelled"):
                 return view
 
+    def events(self, job_id: str, timeout: float | None = None):
+        """Iterate one job's SSE stream as parsed event dicts.
+
+        Yields each ``data:`` payload (``{"kind", "message", "job_id",
+        "data"}``) in order: a ``submitted`` snapshot, ``node`` /
+        ``progress`` events as the scheduler works, then one terminal
+        ``done`` / ``failed`` / ``cancelled`` event, after which the
+        iterator ends.  Keepalive comment frames are consumed silently.
+        ``timeout`` bounds the *whole stream* (default: no bound — the
+        server ends the stream at the terminal event).
+        """
+        request = urllib.request.Request(
+            f"{self.base_url}/jobs/{job_id}/events",
+            headers={"Accept": "text/event-stream"},
+        )
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        try:
+            # Per-read socket timeout: generous enough that the
+            # server's 0.25s keepalive cadence never trips it.
+            response = urllib.request.urlopen(
+                request, timeout=max(self.timeout, 5.0)
+            )
+        except urllib.error.HTTPError as err:
+            try:
+                message = json.loads(err.read()).get("error", "")
+            except Exception:
+                message = err.reason
+            raise ServiceClientError(err.code, message) from None
+        with response:
+            data_lines: list[str] = []
+            for raw in response:
+                if deadline is not None and time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"event stream for job {job_id} still open"
+                    )
+                line = raw.decode("utf-8").rstrip("\r\n")
+                if not line:  # blank line terminates one frame
+                    if data_lines:
+                        yield json.loads("\n".join(data_lines))
+                        data_lines = []
+                    continue
+                if line.startswith(":"):
+                    continue  # keepalive comment
+                if line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].lstrip())
+                # "event:" lines are redundant with payload["kind"]
+
     def results(self, **filters) -> list[dict]:
+        return self.results_page(**filters)["records"]
+
+    def results_page(self, **filters) -> dict:
+        """Full paginated response: ``records`` plus ``total`` /
+        ``limit`` / ``offset`` / ``order``.  Pass ``limit`` / ``offset``
+        / ``order`` alongside the record filters."""
         query = urllib.parse.urlencode(
             {k: v for k, v in filters.items() if v is not None}
         )
         path = "/results" + (f"?{query}" if query else "")
-        return self._request("GET", path)["records"]
+        return self._request("GET", path)
 
     def health(self) -> dict:
         return self._request("GET", "/healthz")

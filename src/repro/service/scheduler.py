@@ -110,6 +110,7 @@ class SweepScheduler:
         worker_id: str | None = None,
         lease_s: float = DEFAULT_LEASE_S,
         on_node=None,
+        on_job_event=None,
     ):
         self.queue = queue
         self.store = store
@@ -124,6 +125,12 @@ class SweepScheduler:
         #: :class:`SchedulerCrashed` here simulates dying mid-sweep at
         #: exactly that node — the fault-injection seam.
         self.on_node = on_node
+        #: optional observer ``(job_id, kind, message, data)`` fired on
+        #: per-job lifecycle moments (node done, progress counters,
+        #: done/failed) — the feed behind the service's SSE streaming
+        #: endpoint.  Observer errors are swallowed: a broken watcher
+        #: must never take the dispatch loop down.
+        self.on_job_event = on_job_event
         self._owns_executor = executor is None
         if executor is None:
             n_workers = resolve_workers(workers)
@@ -260,6 +267,14 @@ class SweepScheduler:
             self._crashed = True  # real bug: die loudly, leases expire
             raise
 
+    def _emit(self, job_id: str, kind: str, message: str = "", **data):
+        if self.on_job_event is None:
+            return
+        try:
+            self.on_job_event(job_id, kind, message, dict(data))
+        except Exception:
+            pass  # observers must never take the dispatch loop down
+
     def _claim_all(self) -> None:
         while not self._stop.is_set():
             job = self.queue.claim(
@@ -283,7 +298,9 @@ class SweepScheduler:
                     job.specs_objects(), store=self.store, resume=True
                 )
         except Exception:  # bad spec payloads must not kill the thread
-            self.queue.fail(job.job_id, traceback.format_exc(limit=8))
+            error = traceback.format_exc(limit=8)
+            self.queue.fail(job.job_id, error)
+            self._emit(job.job_id, "failed", error, error=error)
             return
         active = _ActiveJob(job, plan)
         # A node that already failed this process poisons the whole job
@@ -292,6 +309,10 @@ class SweepScheduler:
         for key in plan.nodes:
             if key in self._failed:
                 self.queue.fail(job.job_id, self._failed[key])
+                self._emit(
+                    job.job_id, "failed", self._failed[key],
+                    error=self._failed[key],
+                )
                 return
         for key, node in plan.nodes.items():
             if key in self._done:
@@ -303,6 +324,14 @@ class SweepScheduler:
                 self._owners.setdefault(key, []).append(job.job_id)
         self.queue.progress(
             job.job_id,
+            nodes_done=len(plan.nodes) - len(active.remaining),
+            nodes_total=len(plan.nodes),
+            reused=len(plan.reused),
+        )
+        self._emit(
+            job.job_id, "progress",
+            f"planned: {len(active.remaining)} nodes to run, "
+            f"{len(plan.reused)} scenarios from store",
             nodes_done=len(plan.nodes) - len(active.remaining),
             nodes_total=len(plan.nodes),
             reused=len(plan.reused),
@@ -373,6 +402,14 @@ class SweepScheduler:
                 # is journaled: a SchedulerCrashed raised here leaves
                 # the journal exactly as a mid-sweep kill would.
                 self.on_node(node, seconds)
+            for job_id in self._owners.get(node.key, ()):
+                if job_id in self._active:
+                    self._emit(
+                        job_id, "node",
+                        f"{node.kind} node done in {seconds:.2f}s",
+                        node_kind=node.kind, key=repr(node.key),
+                        seconds=seconds,
+                    )
             self._advance(node.key, seconds)
             # Executed nodes leave the ready-scan tables; the _done
             # memo is all later plans need, and the scan stays
@@ -391,6 +428,13 @@ class SweepScheduler:
             total = len(active.plan.nodes)
             self.queue.progress(
                 job_id,
+                nodes_done=total - len(active.remaining),
+                nodes_total=total,
+                reused=len(active.plan.reused),
+            )
+            self._emit(
+                job_id, "progress",
+                f"{total - len(active.remaining)}/{total} nodes",
                 nodes_done=total - len(active.remaining),
                 nodes_total=total,
                 reused=len(active.plan.reused),
@@ -466,6 +510,7 @@ class SweepScheduler:
             active = self._active.pop(job_id, None)
             if active is not None:
                 self.queue.fail(job_id, error)
+                self._emit(job_id, "failed", error, error=error)
         self._prune_unreachable()
 
     def _prune_unreachable(self) -> None:
@@ -505,6 +550,12 @@ class SweepScheduler:
                 "planned": active.plan.counts(),
                 "cache_hits": dict(active.plan.pruned),
             },
+        )
+        self._emit(
+            active.job.job_id, "done",
+            f"done ({active.executed} nodes executed)",
+            executed=active.executed,
+            reused=len(active.plan.reused),
         )
         self.progress(
             f"job {active.job.job_id}: done "

@@ -16,7 +16,17 @@ framework, no new dependencies.  Endpoints:
 ``GET /jobs/<id>[?wait=SECONDS]``
     One job's status with per-node progress.  ``wait`` long-polls until
     the job is terminal (or the timeout passes); a finished job's
-    response embeds its scenario records.
+    response embeds its scenario records.  (Long-poll is the
+    deprecated fallback — stream ``/jobs/<id>/events`` instead.)
+
+``GET /jobs/<id>/events``
+    Server-sent event stream of the job's lifecycle: ``submitted``,
+    ``node``, ``progress``, then exactly one terminal ``done`` /
+    ``failed`` / ``cancelled`` event, after which the stream closes.
+    In-process scheduler events arrive push-fashion (no polling loop);
+    a job worked by a *peer* process on the shared journal degrades to
+    queue-state polling inside the same stream.  Idle periods carry
+    ``: keepalive`` comment frames.
 
 ``DELETE /jobs/<id>``
     Cancel a queued or running job.  Responds with an ``outcome`` of
@@ -26,7 +36,11 @@ framework, no new dependencies.  Endpoints:
 
 ``GET /results?design=&split_layer=&attack=&defense=&tag=&status=``
     Query the results store (:meth:`ResultsStore.query`) without
-    running anything.
+    running anything.  ``limit`` / ``offset`` / ``order=asc|desc``
+    paginate; the response carries ``records`` plus the ``total``
+    match count, and the filters/pagination push down into the storage
+    backend (indexed SQL on the SQLite backend) instead of
+    materialising the full history per request.
 
 ``GET /healthz``
     Liveness + queue/scheduler counters, including one entry per
@@ -46,6 +60,7 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from queue import Empty, SimpleQueue
 from urllib.parse import parse_qs, urlsplit
 
 from ..experiments.registry import build_grid
@@ -121,6 +136,11 @@ class AttackService:
         # never collide.  One store lock spans them all: HTTP readers
         # and every scheduler's writes serialise on it.
         store_lock = threading.Lock()
+        # Per-job event bus behind the SSE endpoint: scheduler threads
+        # publish, each open stream subscribes one SimpleQueue.
+        self._watchers: dict[str, list[SimpleQueue]] = {}
+        self._watch_lock = threading.Lock()
+        self._closing = False
         self.schedulers = [
             SweepScheduler(
                 self.queue,
@@ -130,6 +150,7 @@ class AttackService:
                 store_lock=store_lock,
                 lease_s=lease_s,
                 poll_interval=poll_interval,
+                on_job_event=self._publish_job_event,
             )
             for _ in range(max(1, int(schedulers)))
         ]
@@ -165,6 +186,7 @@ class AttackService:
         return self
 
     def stop(self) -> None:
+        self._closing = True  # open SSE streams wind down promptly
         self.httpd.shutdown()
         self.httpd.server_close()
         if self._http_thread is not None:
@@ -250,12 +272,151 @@ class AttackService:
         if job is None:
             raise ServiceError(404, f"unknown job {job_id!r}")
         cancelled = self.queue.cancel(job_id)
+        if cancelled:
+            self._publish_job_event(job_id, "cancelled", "cancelled", {})
         return {
             "outcome": "cancelled" if cancelled else "noop",
             "job": self._job_view(self.queue.get(job_id)),
         }
 
-    def query_results(self, query: dict) -> list[dict]:
+    # -- job event streaming -------------------------------------------
+    #: SSE fallback-poll chunk; also bounds keepalive frame spacing.
+    STREAM_POLL_S = 0.25
+
+    def _publish_job_event(
+        self, job_id: str, kind: str, message: str, data: dict
+    ) -> None:
+        """Scheduler-side ``on_job_event`` hook: fan the event out to
+        every open stream for the job (no watchers -> no cost)."""
+        with self._watch_lock:
+            targets = list(self._watchers.get(job_id, ()))
+        if not targets:
+            return
+        event = {
+            "kind": kind, "message": message,
+            "job_id": job_id, "data": dict(data or {}),
+        }
+        for subscription in targets:
+            subscription.put(event)
+
+    def _subscribe(self, job_id: str) -> SimpleQueue:
+        subscription = SimpleQueue()
+        with self._watch_lock:
+            self._watchers.setdefault(job_id, []).append(subscription)
+        return subscription
+
+    def _unsubscribe(self, job_id: str, subscription: SimpleQueue) -> None:
+        with self._watch_lock:
+            watchers = self._watchers.get(job_id, [])
+            if subscription in watchers:
+                watchers.remove(subscription)
+            if not watchers:
+                self._watchers.pop(job_id, None)
+
+    def _terminal_event(self, job: Job) -> dict:
+        data = {
+            "status": job.status,
+            "nodes_done": job.nodes_done,
+            "nodes_total": job.nodes_total,
+            "reused": job.reused,
+        }
+        if job.status == "failed":
+            data["error"] = job.error
+            return {
+                "kind": "failed", "message": job.error or "failed",
+                "job_id": job.job_id, "data": data,
+            }
+        if job.status == "cancelled":
+            return {
+                "kind": "cancelled", "message": "cancelled",
+                "job_id": job.job_id, "data": data,
+            }
+        return {
+            "kind": "done",
+            "message": f"done ({job.nodes_done} nodes)",
+            "job_id": job.job_id, "data": data,
+        }
+
+    def job_events(self, job_id: str):
+        """Generator of one job's lifecycle events (the SSE feed).
+
+        Yields event dicts — an initial ``submitted`` snapshot, then
+        scheduler-published ``node``/``progress`` events, ending with
+        exactly one terminal event — and ``None`` as a keepalive when a
+        poll chunk passes quietly.  In-process events arrive through
+        the bus with no polling; the queue-state poll underneath only
+        does the work when a *peer* process owns the job (its events
+        never reach this process's bus) and dedups against whatever the
+        bus already delivered.
+        """
+        job = self.queue.get(job_id)
+        if job is None:
+            raise ServiceError(404, f"unknown job {job_id!r}")
+        subscription = self._subscribe(job_id)
+        try:
+            yield {
+                "kind": "submitted",
+                "message": (
+                    f"{job.status}: {job.job_id} "
+                    f"({len(job.spec_hashes)} scenarios)"
+                ),
+                "job_id": job_id,
+                "data": {
+                    "status": job.status,
+                    "n_scenarios": len(job.spec_hashes),
+                },
+            }
+            if job.done:
+                yield self._terminal_event(job)
+                return
+            last = (job.nodes_done, job.nodes_total, job.reused)
+            while not self._closing:
+                try:
+                    event = subscription.get(timeout=self.STREAM_POLL_S)
+                except Empty:
+                    event = None
+                if event is not None:
+                    if event["kind"] == "progress":
+                        counters = (
+                            event["data"].get("nodes_done"),
+                            event["data"].get("nodes_total"),
+                            event["data"].get("reused"),
+                        )
+                        if counters == last:
+                            continue
+                        last = counters
+                    yield event
+                    if event["kind"] in ("done", "failed", "cancelled"):
+                        return
+                    continue
+                # Quiet chunk: consult the shared queue for transitions
+                # made by peer processes, then keep the stream alive.
+                job = self.queue.get(job_id)
+                if job is None:
+                    return  # journal compacted from under the stream
+                counters = (job.nodes_done, job.nodes_total, job.reused)
+                if job.nodes_total is not None and counters != last:
+                    last = counters
+                    yield {
+                        "kind": "progress",
+                        "message": (
+                            f"{job.nodes_done}/{job.nodes_total} nodes"
+                        ),
+                        "job_id": job_id,
+                        "data": {
+                            "nodes_done": job.nodes_done,
+                            "nodes_total": job.nodes_total,
+                            "reused": job.reused,
+                        },
+                    }
+                if job.done:
+                    yield self._terminal_event(job)
+                    return
+                yield None
+        finally:
+            self._unsubscribe(job_id, subscription)
+
+    def query_results(self, query: dict) -> dict:
         def one(name):
             values = query.get(name)
             return values[0] if values else None
@@ -263,16 +424,39 @@ class AttackService:
         split_layer = one("split_layer")
         if split_layer is not None:
             split_layer = _client_number(split_layer, int, "split_layer")
-        with self.scheduler.store_lock:
-            records = self.store.query(
-                design=one("design"),
-                split_layer=split_layer,
-                attack=one("attack"),
-                defense_kind=one("defense"),
-                tag=one("tag"),
-                status=one("status"),
+        limit = one("limit")
+        if limit is not None:
+            limit = max(0, _client_number(limit, int, "limit"))
+        offset = one("offset")
+        offset = (
+            0 if offset is None
+            else max(0, _client_number(offset, int, "offset"))
+        )
+        order = one("order") or "asc"
+        if order not in ("asc", "desc"):
+            raise ServiceError(
+                400, f"order must be 'asc' or 'desc', got {order!r}"
             )
-            return [r.to_dict() for r in records]
+        filters = dict(
+            design=one("design"),
+            split_layer=split_layer,
+            attack=one("attack"),
+            defense_kind=one("defense"),
+            tag=one("tag"),
+            status=one("status"),
+        )
+        with self.scheduler.store_lock:
+            total = self.store.count(**filters)
+            records = self.store.query(
+                **filters, limit=limit, offset=offset, order=order
+            )
+        return {
+            "records": [r.to_dict() for r in records],
+            "total": total,
+            "limit": limit,
+            "offset": offset,
+            "order": order,
+        }
 
     def health(self) -> dict:
         jobs = self.queue.jobs()
@@ -352,13 +536,48 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):
         pass  # the service's progress hook reports; stderr stays quiet
 
+    def _stream_events(self, job_id: str) -> None:
+        events = self.service.job_events(job_id)
+        # Pull the first event before sending headers: an unknown job
+        # id must surface as a JSON 404, not a half-open stream.
+        try:
+            first = next(events)
+        except StopIteration:
+            first = None
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        # No Content-Length on a stream: the connection carries it and
+        # closes with the terminal event.
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
+        try:
+            if first is not None:
+                self._write_sse(first)
+            for event in events:
+                self._write_sse(event)
+        finally:
+            events.close()  # unsubscribe even on client disconnect
+
+    def _write_sse(self, event: dict | None) -> None:
+        if event is None:
+            self.wfile.write(b": keepalive\n\n")
+        else:
+            frame = (
+                f"event: {event['kind']}\n"
+                f"data: {json.dumps(event)}\n\n"
+            )
+            self.wfile.write(frame.encode("utf-8"))
+        self.wfile.flush()
+
     def _dispatch(self, handler) -> None:
         try:
             handler()
         except ServiceError as err:
             self._send_json({"error": str(err)}, status=err.status)
-        except BrokenPipeError:
-            pass  # client gave up on a long-poll
+        except ConnectionError:
+            pass  # client gave up on a long-poll / event stream
         except Exception as err:  # never take the server thread down
             self._send_json({"error": f"internal: {err}"}, status=500)
 
@@ -401,6 +620,9 @@ class ServiceHandler(BaseHTTPRequestHandler):
                         for j in self.service.queue.jobs()
                     ]
                 })
+            elif path.startswith("/jobs/") and path.endswith("/events"):
+                job_id = path[len("/jobs/"):-len("/events")]
+                self._stream_events(job_id)
             elif path.startswith("/jobs/"):
                 job_id = path[len("/jobs/"):]
                 wait = query.get("wait")
@@ -414,9 +636,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     )
                 )
             elif path == "/results":
-                self._send_json(
-                    {"records": self.service.query_results(query)}
-                )
+                self._send_json(self.service.query_results(query))
             else:
                 raise ServiceError(404, "not found")
 

@@ -1,0 +1,326 @@
+"""Storage-backend conformance suite.
+
+Every :class:`~repro.experiments.storage.StorageBackend` must present
+the same observable store semantics — latest-wins, the shared filter
+vocabulary, pagination, cross-process reload pickup — so the whole
+suite runs once per backend kind.  Backend-specific durability quirks
+(torn JSONL tails) key off the backend's ``journal_format`` flag, and
+the migrator is checked in both directions for byte-identical payload
+round-trips.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.experiments import (
+    DefenseSpec,
+    ResultsStore,
+    ScenarioRecord,
+    ScenarioSpec,
+    migrate_store,
+    open_backend,
+    record_matches,
+)
+from repro.experiments.storage import (
+    BACKENDS,
+    STORE_BACKEND_ENV,
+    backend_kind_for_path,
+)
+
+KINDS = sorted(BACKENDS)
+SUFFIXES = {"jsonl": ".jsonl", "sqlite": ".sqlite"}
+
+
+def spec_for(i, **kw):
+    kw.setdefault("design", f"tiny_{chr(ord('a') + i % 4)}")
+    kw.setdefault("split_layer", (1, 3)[i % 2])
+    kw.setdefault("attack", ("proximity", "flow")[i % 2])
+    if kw["attack"] == "flow":
+        kw.setdefault("flow_timeout_s", 5.0)
+    return ScenarioSpec(**kw)
+
+
+def record_for(spec, ccr=50.0, status="ok"):
+    return ScenarioRecord(
+        scenario_hash=spec.scenario_hash,
+        scenario=spec.to_dict(),
+        status=status,
+        ccr=ccr,
+        runtime_s=1.0,
+        n_sink_fragments=4,
+        n_source_fragments=2,
+    )
+
+
+def store_for(tmp_path, kind, name="exp"):
+    return ResultsStore(tmp_path / f"{name}{SUFFIXES[kind]}")
+
+
+@pytest.mark.parametrize("kind", KINDS)
+class TestConformance:
+    def test_kind_resolution(self, tmp_path, kind):
+        store = store_for(tmp_path, kind)
+        assert store.backend.kind == kind
+        assert backend_kind_for_path(store.path) == kind
+
+    def test_latest_wins_and_history(self, tmp_path, kind):
+        store = store_for(tmp_path, kind)
+        spec = spec_for(0)
+        store.add(record_for(spec, ccr=10.0))
+        store.add(record_for(spec, ccr=20.0))
+        assert len(store) == 1
+        assert store.get(spec).ccr == 20.0
+        assert [r.ccr for r in store.history()] == [10.0, 20.0]
+        # persisted, not just in-memory state
+        fresh = store_for(tmp_path, kind)
+        assert fresh.get(spec).ccr == 20.0
+        assert len(fresh.history()) == 2
+
+    def test_filter_vocabulary(self, tmp_path, kind):
+        store = store_for(tmp_path, kind)
+        specs = [
+            spec_for(0, design="tiny_a", split_layer=1, attack="proximity"),
+            spec_for(1, design="tiny_a", split_layer=3, attack="flow"),
+            ScenarioSpec(design="tiny_b", split_layer=3, attack="proximity",
+                         defense=DefenseSpec("lift", 0.5),
+                         tags=("defense-sweep",)),
+        ]
+        store.add(record_for(specs[0], ccr=10.0))
+        store.add(record_for(specs[1], ccr=None, status="timeout"))
+        store.add(record_for(specs[2], ccr=30.0))
+        assert {r.ccr for r in store.query(design="tiny_a")} == {10.0, None}
+        assert store.query(attack="flow")[0].status == "timeout"
+        assert store.query(defense_kind="lift")[0].ccr == 30.0
+        assert store.query(tag="defense-sweep")[0].ccr == 30.0
+        assert store.query(status="ok", split_layer=3)[0].ccr == 30.0
+        assert store.count(design="tiny_a") == 2
+        assert store.count(defense_kind="lift", status="ok") == 1
+        assert store.query(design="nope") == []
+
+    def test_pagination(self, tmp_path, kind):
+        store = store_for(tmp_path, kind)
+        specs = [spec_for(i, design=f"d{i}") for i in range(7)]
+        for i, spec in enumerate(specs):
+            store.add(record_for(spec, ccr=float(i)))
+        ordered = [r.ccr for r in store.records()]
+        assert ordered == [float(i) for i in range(7)]
+        assert [r.ccr for r in store.query(limit=3)] == [0.0, 1.0, 2.0]
+        assert [r.ccr for r in store.query(limit=3, offset=5)] == [5.0, 6.0]
+        assert [r.ccr for r in store.query(offset=5)] == [5.0, 6.0]
+        assert [r.ccr for r in store.query(order="desc", limit=2)] \
+            == [6.0, 5.0]
+        assert store.query(limit=0) == []
+        # count reports the unpaginated total the page was cut from
+        assert store.count() == 7
+        # a walked pagination covers every record exactly once
+        walked = []
+        for offset in range(0, 7, 2):
+            walked.extend(store.query(limit=2, offset=offset))
+        assert [r.ccr for r in walked] == ordered
+
+    def test_first_seen_order_survives_updates(self, tmp_path, kind):
+        store = store_for(tmp_path, kind)
+        specs = [spec_for(i, design=f"d{i}") for i in range(3)]
+        for spec in specs:
+            store.add(record_for(spec, ccr=1.0))
+        store.add(record_for(specs[0], ccr=99.0))  # update the oldest
+        hashes = [r.scenario_hash for r in store.records()]
+        assert hashes == [s.scenario_hash for s in specs]
+        assert store.records()[0].ccr == 99.0
+
+    def test_cross_instance_reload(self, tmp_path, kind):
+        writer = store_for(tmp_path, kind)
+        reader = store_for(tmp_path, kind)
+        spec = spec_for(0)
+        writer.add(record_for(spec, ccr=42.0))
+        assert reader.reload() >= (1 if kind == "jsonl" else 0)
+        assert reader.get(spec).ccr == 42.0
+        # incremental: a second reload with nothing new folds nothing
+        assert reader.reload() == 0
+
+    def test_concurrent_append_then_read(self, tmp_path, kind):
+        store = store_for(tmp_path, kind)
+        n_threads, per_thread = 4, 8
+
+        def writer(t):
+            for i in range(per_thread):
+                spec = spec_for(i, design=f"t{t}_{i}")
+                store.add(record_for(spec, ccr=float(t * 100 + i)))
+
+        threads = [
+            threading.Thread(target=writer, args=(t,))
+            for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(store) == n_threads * per_thread
+        assert len(store.history()) == n_threads * per_thread
+        # a fresh instance converges on the same view
+        fresh = store_for(tmp_path, kind)
+        assert len(fresh) == n_threads * per_thread
+
+    def test_payload_roundtrip_is_exact(self, tmp_path, kind):
+        store = store_for(tmp_path, kind)
+        spec = ScenarioSpec(design="tiny_b", split_layer=3,
+                            attack="proximity",
+                            defense=DefenseSpec("lift", 0.5),
+                            tags=("golden",))
+        record = record_for(spec, ccr=12.5)
+        record.extra["telemetry"] = {"node_seconds": 0.5}
+        store.add(record)
+        got = store_for(tmp_path, kind).get(spec)
+        assert json.dumps(got.to_dict(), sort_keys=True) \
+            == json.dumps(record.to_dict(), sort_keys=True)
+
+
+def test_backends_agree_record_for_record(tmp_path):
+    """The same append sequence produces hash-identical views on every
+    backend — the storage-level half of the cross-backend parity bar."""
+    stores = {k: store_for(tmp_path, k) for k in KINDS}
+    specs = [spec_for(i, design=f"d{i % 3}") for i in range(6)]
+    for i, spec in enumerate(specs):
+        for store in stores.values():
+            store.add(record_for(spec, ccr=float(i)))
+    views = {
+        k: json.dumps([r.to_dict() for r in s.records()], sort_keys=True)
+        for k, s in stores.items()
+    }
+    assert len(set(views.values())) == 1
+    histories = {
+        k: json.dumps([r.to_dict() for r in s.history()], sort_keys=True)
+        for k, s in stores.items()
+    }
+    assert len(set(histories.values())) == 1
+
+
+class TestJournalDurability:
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        store = store_for(tmp_path, "jsonl")
+        assert store.backend.journal_format
+        spec = spec_for(0)
+        store.add(record_for(spec))
+        with open(store.path, "a") as handle:
+            handle.write('{"scenario_hash": "truncat')
+        fresh = store_for(tmp_path, "jsonl")
+        assert len(fresh) == 1
+        # the torn tail stays un-folded on incremental reloads too
+        assert fresh.reload() == 0
+        # a writer completing the line makes it visible
+        with open(store.path, "a") as handle:
+            handle.write('ed"}\n')
+        assert fresh.reload() == 1
+
+    def test_incremental_reload_is_tail_only(self, tmp_path):
+        writer = store_for(tmp_path, "jsonl")
+        reader = store_for(tmp_path, "jsonl")
+        for i in range(5):
+            writer.add(record_for(spec_for(i, design=f"d{i}")))
+        assert reader.reload() == 5
+        offset_after = reader.backend._offset
+        assert offset_after == store_for(tmp_path, "jsonl").path.stat().st_size
+        writer.add(record_for(spec_for(9, design="late")))
+        assert reader.reload() == 1
+        assert reader.backend._offset > offset_after
+
+    def test_replaced_journal_resets(self, tmp_path):
+        writer = store_for(tmp_path, "jsonl")
+        reader = store_for(tmp_path, "jsonl")
+        writer.add(record_for(spec_for(0)))
+        assert reader.reload() == 1
+        # simulate an out-of-band rewrite (compaction/replace)
+        other = spec_for(1, design="other")
+        store_path = writer.path
+        store_path.unlink()
+        solo = ResultsStore(store_path)
+        solo.add(record_for(other))
+        reader.reload()
+        assert len(reader) == 1
+        assert reader.get(other) is not None
+
+
+class TestSelection:
+    def test_env_var_selects_backend(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_BACKEND_ENV, "sqlite")
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        store = ResultsStore()
+        assert store.backend.kind == "sqlite"
+        assert store.path.suffix == ".sqlite"
+
+    def test_suffix_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_BACKEND_ENV, "sqlite")
+        store = ResultsStore(tmp_path / "exp.jsonl")
+        assert store.backend.kind == "jsonl"
+
+    def test_unknown_backend_rejected(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_BACKEND_ENV, "mongodb")
+        with pytest.raises(ValueError, match="unknown storage backend"):
+            ResultsStore(tmp_path / "exp")
+
+    def test_explicit_instance_wins(self, tmp_path):
+        backend = open_backend(tmp_path / "exp.sqlite")
+        store = ResultsStore(backend=backend)
+        assert store.backend is backend
+
+
+class TestMigration:
+    @pytest.mark.parametrize("src_kind,dst_kind",
+                             [("jsonl", "sqlite"), ("sqlite", "jsonl")])
+    def test_roundtrip(self, tmp_path, src_kind, dst_kind):
+        src = store_for(tmp_path, src_kind, name="src")
+        specs = [spec_for(i, design=f"d{i % 2}") for i in range(4)]
+        for i, spec in enumerate(specs):
+            src.add(record_for(spec, ccr=float(i)))
+        src.add(record_for(specs[0], ccr=99.0))  # re-evaluation
+        dst_path = tmp_path / f"dst{SUFFIXES[dst_kind]}"
+        migrated = migrate_store(src.path, dst_path)
+        assert migrated == 5
+        dst = ResultsStore(dst_path)
+        assert json.dumps([r.to_dict() for r in dst.history()],
+                          sort_keys=True) \
+            == json.dumps([r.to_dict() for r in src.history()],
+                          sort_keys=True)
+        assert [r.scenario_hash for r in dst.records()] \
+            == [r.scenario_hash for r in src.records()]
+        assert dst.records()[0].ccr == 99.0
+
+    def test_same_path_rejected(self, tmp_path):
+        store = store_for(tmp_path, "jsonl")
+        store.add(record_for(spec_for(0)))
+        with pytest.raises(ValueError, match="same store"):
+            migrate_store(store.path, store.path)
+
+
+class TestForeignRecords:
+    """Records written by other tools (or older versions) may omit
+    scenario fields; queries must skip, not crash (regression for a
+    KeyError out of record_matches on partial records)."""
+
+    def test_record_matches_tolerates_partial_scenarios(self):
+        partial = ScenarioRecord.from_dict({"scenario_hash": "x"})
+        assert record_matches(partial)  # no filters: matches
+        assert not record_matches(partial, design="tiny_a")
+        assert not record_matches(partial, split_layer=3)
+        assert not record_matches(partial, defense_kind="lift")
+        assert not record_matches(partial, tag="golden")
+        weird = ScenarioRecord.from_dict({
+            "scenario_hash": "y", "scenario": {"defense": "not-a-dict"},
+        })
+        assert not record_matches(weird, defense_kind="lift")
+        with pytest.raises(KeyError):
+            ScenarioRecord.from_dict({"status": "ok"})  # unkeyed
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_store_queries_skip_foreign_records(self, tmp_path, kind):
+        store = store_for(tmp_path, kind)
+        store.add(ScenarioRecord.from_dict(
+            {"scenario_hash": "foreign", "ccr": 1.0}
+        ))
+        store.add(record_for(spec_for(0, design="tiny_a"), ccr=2.0))
+        assert len(store) == 2
+        assert [r.ccr for r in store.query(design="tiny_a")] == [2.0]
+        assert store.count(design="tiny_a") == 1
+        assert store.get("foreign").status == "unknown"
