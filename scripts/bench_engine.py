@@ -20,11 +20,30 @@ import argparse
 import inspect
 import json
 import time
+from pathlib import Path
 
 from repro.core import AttackConfig
 from repro.eval import run_table3
 
 DEFAULT_DESIGNS = ["c432", "c880", "c1355", "b11", "b13", "c2670"]
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def registry_snapshot() -> str:
+    """Counter/sum/count samples from the in-process metrics registry
+    (histogram buckets omitted), or "" on a checkout without repro.obs."""
+    try:
+        from repro.obs import metrics as obs_metrics
+    except ImportError:
+        return ""
+    lines = [
+        "  " + line
+        for line in obs_metrics.get_registry().render().splitlines()
+        if line and not line.startswith("#") and "_bucket{" not in line
+    ]
+    if not lines:
+        return ""
+    return "metrics snapshot (in-process registry):\n" + "\n".join(lines)
 
 
 def main() -> int:
@@ -34,6 +53,12 @@ def main() -> int:
     parser.add_argument("--flow-timeout", type=float, default=30.0)
     parser.add_argument("--workers", type=int, default=None)
     parser.add_argument("--label", default="run")
+    parser.add_argument(
+        "--append-report", metavar="PATH", nargs="?",
+        const=str(REPO_ROOT / "results" / "perf_engine.txt"), default=None,
+        help="append the summary + metrics snapshot to this report file "
+        "(default path when the flag is given bare: results/perf_engine.txt)",
+    )
     args = parser.parse_args()
 
     config = AttackConfig.benchmark()
@@ -65,6 +90,19 @@ def main() -> int:
         },
     }
     print(json.dumps(summary, indent=2))
+    snapshot = registry_snapshot()
+    if snapshot:
+        print(snapshot)
+    if args.append_report:
+        out_path = Path(args.append_report)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        block = f"\n[{args.label}] bench_engine "
+        block += json.dumps(summary) + "\n"
+        if snapshot:
+            block += snapshot + "\n"
+        with open(out_path, "a") as handle:
+            handle.write(block)
+        print(f"appended to {out_path}")
     return 0
 
 

@@ -85,6 +85,17 @@ def golden_store(store) -> int:
     return result.executed
 
 
+def scrape_snapshot(client) -> str:
+    """A compact ``GET /metrics`` digest for the report: every counter
+    sample plus each histogram's ``_count``/``_sum`` (buckets omitted)."""
+    lines = ["metrics snapshot (GET /metrics):"]
+    for line in client.metrics().splitlines():
+        if line.startswith("#") or "_bucket{" in line or not line:
+            continue
+        lines.append("  " + line)
+    return "\n".join(lines)
+
+
 def deep_store(scratch: Path, backend: str, depth: int):
     """A scratch store of one backend kind holding ``depth`` distinct
     synthetic scenario records."""
@@ -320,11 +331,13 @@ def main() -> int:
             args.concurrency,
             label="GET /results?attack=dl",
         )
+        metrics_snapshot = scrape_snapshot(client)
     finally:
         service.stop()
 
     sections.extend([report, queries])
     text = "\n\n".join(s.render() for s in sections) + "\n"
+    text += "\n" + metrics_snapshot + "\n"
     print(text)
     out_path = Path(args.out)
     out_path.parent.mkdir(parents=True, exist_ok=True)

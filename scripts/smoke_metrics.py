@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""CI smoke check for the observability layer.
+
+Starts an in-process :class:`repro.service.AttackService`, runs one
+tiny two-scenario job over HTTP, scrapes ``GET /metrics`` and asserts:
+
+* every non-empty line parses against the Prometheus text exposition
+  grammar (version 0.0.4 comments and samples);
+* every instrumented subsystem (queue, scheduler, storage, executor,
+  HTTP) contributed at least one sample;
+* histogram bucket series are cumulative (monotone non-decreasing,
+  ending at the series count);
+* ``GET /debug/traces?job=`` renders a span tree rooted at ``job.run``.
+
+Exit code 0 on success, 1 with a diagnostic on any violation.
+
+    PYTHONPATH=src python scripts/smoke_metrics.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+import tempfile
+from collections import defaultdict
+from pathlib import Path
+
+SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\\\|\\\"|\\n)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\\\|\\\"|\\n)*\")*\})?"
+    r" (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]Inf|NaN)$"
+)
+COMMENT_RE = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$")
+SUBSYSTEM_PREFIXES = (
+    "repro_queue_",
+    "repro_scheduler_",
+    "repro_storage_",
+    "repro_executor_",
+    "repro_http_",
+)
+
+
+def check_exposition(text: str) -> list[str]:
+    failures = []
+    samples = []
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            if not COMMENT_RE.match(line):
+                failures.append(f"bad comment line: {line!r}")
+        elif not SAMPLE_RE.match(line):
+            failures.append(f"bad sample line: {line!r}")
+        else:
+            samples.append(line)
+    for prefix in SUBSYSTEM_PREFIXES:
+        if not any(line.startswith(prefix) for line in samples):
+            failures.append(f"no {prefix}* samples")
+    # Histogram buckets: cumulative within each labelled series.
+    series: dict[str, list[int]] = defaultdict(list)
+    for line in samples:
+        if "_bucket{" not in line:
+            continue
+        name_and_labels, value = line.rsplit(" ", 1)
+        key = re.sub(r',?le="[^"]*"', "", name_and_labels)
+        series[key].append(int(value))
+    for key, counts in series.items():
+        if counts != sorted(counts):
+            failures.append(f"non-monotone buckets for {key}: {counts}")
+    return failures
+
+
+def main() -> int:
+    scratch = Path(tempfile.mkdtemp(prefix="repro_smoke_metrics_"))
+    os.environ["REPRO_RESULTS_DIR"] = str(scratch)
+    os.environ.setdefault("REPRO_CACHE_DIR", str(scratch / "cache"))
+
+    from repro.experiments import ResultsStore
+    from repro.service import AttackService, ServiceClient
+
+    service = AttackService(
+        store=ResultsStore(scratch / "experiments.jsonl"),
+        queue_path=scratch / "queue.jsonl",
+    )
+    service.scheduler.poll_interval = 0.01
+    service.start()
+    try:
+        client = ServiceClient(service.url, timeout=10.0)
+        out = client.submit(specs=[
+            {"design": d, "split_layer": 3, "attack": "proximity"}
+            for d in ("tiny_a", "tiny_b")
+        ])
+        view = client.wait(out["job"]["job_id"], timeout=30.0)
+        if view["status"] != "done":
+            print(f"FAIL: smoke job ended {view['status']}")
+            return 1
+        failures = check_exposition(client.metrics())
+        trace = client.traces(job_id=view["job_id"])
+        if "job.run" not in trace.get("tree", ""):
+            failures.append("trace tree has no job.run root span")
+    finally:
+        service.stop()
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        "OK: /metrics parses, all subsystems report, buckets monotone, "
+        "trace tree rooted"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

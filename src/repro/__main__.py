@@ -15,6 +15,8 @@ sweep       run a registered scenario grid through the DAG engine
 serve       run the attack service (job queue + scheduler + HTTP API)
 submit      submit a grid or spec file to a running service (or cancel
             a submitted job with ``--cancel JOB_ID``)
+trace       render one job's span tree (or ``--flame`` view) from a
+            running service's trace buffer
 report      summarise the results store (slowest nodes, cache hits);
             ``--limit`` / ``--offset`` page through deep histories
 migrate-store
@@ -240,6 +242,7 @@ def cmd_serve(args) -> int:
         store=_open_store(args),
         queue_path=args.queue or None,
         workers=args.workers,
+        log_json=args.log_json,
         progress=lambda m: print(f"  .. {m}"),
         # --compact drops every terminal job from the journal at
         # startup; the default keeps a week of history; --no-compact
@@ -267,6 +270,7 @@ def cmd_serve(args) -> int:
         print(f"  journal compacted: {service.compacted_jobs} "
               "terminal jobs dropped")
     print("  POST /jobs | GET|DELETE /jobs/<id> | GET /results | /healthz")
+    print("  GET /metrics (Prometheus text) | GET /debug/traces?job=ID")
     try:
         import threading
 
@@ -320,6 +324,39 @@ def cmd_submit(args) -> int:
         print(f"job {job.status}: {err}")
         return 1
     print(result.render(title=f"job {job.job_id}"))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.service.client import ServiceClient, ServiceClientError
+
+    client = ServiceClient(args.url, timeout=10.0)
+    try:
+        if args.job_id is None:
+            listing = client.traces()
+            traces = listing.get("traces", [])
+            print(
+                f"{len(traces)} traces resident "
+                f"({listing.get('spans_resident', 0)} spans, "
+                f"capacity {listing.get('capacity', 0)})"
+            )
+            for trace_id in traces:
+                print(f"  {trace_id}")
+            return 0
+        view = client.traces(
+            trace_id=args.job_id if args.trace else None,
+            job_id=None if args.trace else args.job_id,
+        )
+    except ServiceClientError as err:
+        print(f"trace {args.job_id or ''}: {err}", file=sys.stderr)
+        return 1
+    except OSError as err:
+        print(f"cannot reach {args.url}: {err}", file=sys.stderr)
+        return 1
+    label = view.get("job_id") or view["trace_id"]
+    print(f"trace {view['trace_id']} ({len(view['spans'])} spans)"
+          + (f" for job {label}" if view.get("job_id") else ""))
+    print(view["flame" if args.flame else "tree"])
     return 0
 
 
@@ -515,6 +552,11 @@ def build_parser() -> argparse.ArgumentParser:
         "serve processes sharing a --queue; compaction is also skipped "
         "automatically when live leases are present)",
     )
+    p_srv.add_argument(
+        "--log-json", action="store_true",
+        help="emit one JSON line per request/node/lease event on stdout "
+        "(with trace ids, for log aggregation)",
+    )
     p_srv.set_defaults(fn=cmd_serve)
 
     p_sub = sub.add_parser(
@@ -545,6 +587,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sub.add_argument("--timeout", type=float, default=3600.0)
     p_sub.set_defaults(fn=cmd_submit)
+
+    p_tr = sub.add_parser(
+        "trace",
+        help="render a job's span tree from a running service "
+        "(GET /debug/traces)",
+    )
+    p_tr.add_argument(
+        "job_id", nargs="?", default=None,
+        help="job id (default: list resident trace ids)",
+    )
+    p_tr.add_argument("--url", default="http://127.0.0.1:8732")
+    p_tr.add_argument(
+        "--trace", action="store_true",
+        help="treat the positional argument as a trace id, not a job id",
+    )
+    p_tr.add_argument(
+        "--flame", action="store_true",
+        help="render a flame view (time-scaled bars) instead of the tree",
+    )
+    p_tr.set_defaults(fn=cmd_trace)
 
     p_rep = sub.add_parser(
         "report", help="summarise the results store (telemetry, cache hits)"

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 from ..experiments.engine import run_sweep
 from ..experiments.store import ResultsStore, ScenarioRecord
+from ..obs import trace as obs_trace
 from ..pipeline.flow import cache_dir
 from ..pipeline.parallel import Executor, resolve_workers
 from .events import engine_hooks
@@ -54,6 +55,7 @@ class BackendOutcome:
     executed: int | None = None
     reused: int | None = None
     train_seconds: dict = field(default_factory=dict)
+    trace_id: str | None = None
 
 
 class Backend:
@@ -129,14 +131,17 @@ class _EngineBackend(Backend):
                 "across runs"
             )
         try:
-            result = run_sweep(
-                job.specs,
-                store=self.store,
-                resume=job.resume,
-                progress=progress,
-                on_node=on_node,
-                **self._sweep_kwargs(job),
-            )
+            # One root span per job so every engine/storage span of this
+            # run shares a trace id, which the events then carry.
+            with obs_trace.span("api.job", backend=self.name) as root:
+                result = run_sweep(
+                    job.specs,
+                    store=self.store,
+                    resume=job.resume,
+                    progress=progress,
+                    on_node=on_node,
+                    **self._sweep_kwargs(job),
+                )
         except Exception as err:
             job.status = "failed"
             job.error = str(err)
@@ -147,12 +152,14 @@ class _EngineBackend(Backend):
             f"{result.executed} evaluated, {result.reused} from store",
             nodes_done=result.executed,
             reused=result.reused,
+            trace_id=root.trace_id,
         )
         return BackendOutcome(
             records=result.records,
             executed=result.executed,
             reused=result.reused,
             train_seconds=dict(result.train_seconds),
+            trace_id=root.trace_id,
         )
 
 
@@ -409,6 +416,7 @@ class ServiceBackend(Backend):
         return BackendOutcome(
             records=[by_hash[s.scenario_hash] for s in job.specs],
             reused=view.get("reused"),
+            trace_id=(view.get("telemetry") or {}).get("trace_id"),
         )
 
     def cancel(self, job) -> bool:

@@ -48,6 +48,7 @@ from ..core.dataset import (
     feature_config_fingerprint,
 )
 from ..eval.timeout import run_with_timeout
+from ..obs import trace as obs_trace
 from ..pipeline.flow import (
     _config_fingerprint,
     attack_weight_path,
@@ -442,17 +443,26 @@ def attach_node_telemetry(
 ) -> None:
     """Write per-node wall-clock + plan cache stats into ``extra``.
 
-    ``node_seconds`` is the eval node's in-worker wall-clock;
+    ``node_seconds`` is the eval node's in-worker
+    :func:`time.perf_counter` delta; ``started_at`` is a best-effort
+    epoch (stamped at attach time minus the delta — the node ran in a
+    worker process, which has no shared epoch to report) kept solely
+    for correlating records with logs and traces.
     ``cache_hits``/``planned`` describe the sweep plan the node ran in
     (artifact nodes pruned because their cached artifact existed vs
     scheduled), which is what the ``repro report`` cache-hit ratio
     aggregates.
     """
-    record.extra["telemetry"] = {
+    telemetry = {
         "node_seconds": seconds,
+        "started_at": round(time.time() - seconds, 6),
         "planned": plan.counts(),
         "cache_hits": dict(plan.pruned),
     }
+    trace_id = obs_trace.current_trace_id()
+    if trace_id:
+        telemetry["trace_id"] = trace_id
+    record.extra["telemetry"] = telemetry
 
 
 def run_sweep(
@@ -475,7 +485,22 @@ def run_sweep(
     after every completed node — the service scheduler's telemetry
     hook.
     """
-    plan = plan_sweep(specs, store=store, resume=resume)
+    # One trace per sweep: a child of the ambient context when the
+    # scheduler (or an HTTP request) is already tracing, a fresh root
+    # trace for plain CLI/library runs — `repro trace` works on both.
+    with obs_trace.span("sweep.run", specs=len(specs)) as sweep_span:
+        return _run_sweep_traced(
+            specs, store, workers, progress, resume, executor, on_node,
+            sweep_span,
+        )
+
+
+def _run_sweep_traced(
+    specs, store, workers, progress, resume, executor, on_node,
+    sweep_span,
+) -> SweepResult:
+    with obs_trace.span("sweep.plan"):
+        plan = plan_sweep(specs, store=store, resume=resume)
     owns_executor = executor is None
     if owns_executor:
         n_workers = resolve_workers(workers)
@@ -500,37 +525,49 @@ def run_sweep(
         )
     executed = 0
     try:
-        for level in levels:
-            outcomes = executor.map(
-                run_node,
-                [(node.kind, node.payload) for node in level],
-                progress=progress,
-                label="sweep nodes",
-            )
-            level_records: list[ScenarioRecord] = []
-            for node, (kind, value, seconds) in zip(level, outcomes):
-                if kind == "train":
-                    # Keyed by (layer, config fingerprint): a grid may
-                    # train several configs at one layer (e.g. figure5).
-                    result.train_seconds[
-                        (node.payload[0], node.key[2])
-                    ] = value
-                elif kind == "eval":
-                    record = ScenarioRecord.from_dict(value)
-                    attach_node_telemetry(record, seconds, plan)
-                    by_hash[record.scenario_hash] = record
-                    level_records.append(record)
-                if on_node is not None:
-                    on_node(node, value, seconds)
-            # Persist level by level, so an interrupt or a failing node
-            # in a later level loses at most the in-flight level —
-            # finished evaluations resume from the store on re-run.
-            if store is not None:
-                store.add_many(level_records)
-            executed += len(level_records)
+        for depth, level in enumerate(levels):
+            with obs_trace.span(
+                "sweep.level", depth=depth, nodes=len(level)
+            ):
+                outcomes = executor.map(
+                    run_node,
+                    [(node.kind, node.payload) for node in level],
+                    progress=progress,
+                    label="sweep nodes",
+                )
+                level_records: list[ScenarioRecord] = []
+                for node, (kind, value, seconds) in zip(level, outcomes):
+                    # Nodes are timed inside worker processes, so their
+                    # spans are synthesized here from the returned delta.
+                    obs_trace.record_span(
+                        f"node.{kind}", seconds, kind=kind
+                    )
+                    if kind == "train":
+                        # Keyed by (layer, config fingerprint): a grid
+                        # may train several configs at one layer (e.g.
+                        # figure5).
+                        result.train_seconds[
+                            (node.payload[0], node.key[2])
+                        ] = value
+                    elif kind == "eval":
+                        record = ScenarioRecord.from_dict(value)
+                        attach_node_telemetry(record, seconds, plan)
+                        by_hash[record.scenario_hash] = record
+                        level_records.append(record)
+                    if on_node is not None:
+                        on_node(node, value, seconds)
+                # Persist level by level, so an interrupt or a failing
+                # node in a later level loses at most the in-flight
+                # level — finished evaluations resume from the store on
+                # re-run.
+                if store is not None:
+                    store.add_many(level_records)
+                executed += len(level_records)
     finally:
         if owns_executor:
             executor.close()
     result.executed = executed
     result.records = [by_hash[s.scenario_hash] for s in plan.specs]
+    sweep_span.set_attr("executed", executed)
+    sweep_span.set_attr("reused", result.reused)
     return result

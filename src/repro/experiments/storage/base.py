@@ -24,13 +24,46 @@ through the same assertions.
 
 from __future__ import annotations
 
+import contextlib
+import time
 from pathlib import Path
 
+from ...obs import logging as obs_logging
+from ...obs import metrics as obs_metrics
+from ...obs import trace as obs_trace
 from ..records import ScenarioRecord
 
 #: accepted values for the ``order`` query parameter: first-seen
 #: scenario order, ascending or descending.
 ORDERS = ("asc", "desc")
+
+
+def _op_latency():
+    return obs_metrics.histogram(
+        "repro_storage_op_seconds",
+        "Storage backend operation latency by backend kind and op",
+        labels=("backend", "op"),
+    )
+
+
+@contextlib.contextmanager
+def timed_op(backend_kind: str, op: str, **detail):
+    """Time one backend operation: latency histogram always; slow-op
+    log when over threshold; a ``storage.<op>`` span only when a trace
+    is ambient (plain CLI store traffic must not churn the ring)."""
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        dt = time.perf_counter() - t0
+        _op_latency().labels(backend=backend_kind, op=op).observe(dt)
+        obs_logging.get_slow_op_log().maybe_record(
+            f"storage.{op}", dt, backend=backend_kind, **detail
+        )
+        if obs_trace.current_context() is not None:
+            obs_trace.record_span(
+                f"storage.{op}", dt, backend=backend_kind, **detail
+            )
 
 
 def check_order(order: str) -> str:

@@ -31,7 +31,7 @@ from itertools import islice
 
 from ...core.atomic import atomic_append_line
 from ..records import ScenarioRecord, record_matches
-from .base import StorageBackend, check_order
+from .base import StorageBackend, check_order, timed_op
 
 
 class JsonlStorageBackend(StorageBackend):
@@ -69,37 +69,41 @@ class JsonlStorageBackend(StorageBackend):
             self._ino = stat.st_ino
         if stat.st_size <= self._offset:
             return 0
-        with open(self.path, "rb") as handle:
-            handle.seek(self._offset)
-            chunk = handle.read()
-        complete = chunk.rfind(b"\n")
-        if complete < 0:
-            return 0  # torn tail in progress: fold it once it lands
-        folded = 0
-        for raw in chunk[:complete].split(b"\n"):
-            raw = raw.strip()
-            if not raw:
-                continue
-            try:
-                record = ScenarioRecord.from_dict(json.loads(raw))
-            except (json.JSONDecodeError, TypeError, KeyError,
-                    UnicodeDecodeError):
-                continue  # torn/foreign line: appends still work
-            self._history.append(record)
-            self._latest[record.scenario_hash] = record
-            folded += 1
-        self._offset += complete + 1
+        # Only real folds are timed: the nothing-changed path above is
+        # one stat on every read and must stay free of bookkeeping.
+        with timed_op(self.kind, "reload_tail"):
+            with open(self.path, "rb") as handle:
+                handle.seek(self._offset)
+                chunk = handle.read()
+            complete = chunk.rfind(b"\n")
+            if complete < 0:
+                return 0  # torn tail in progress: fold it once it lands
+            folded = 0
+            for raw in chunk[:complete].split(b"\n"):
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    record = ScenarioRecord.from_dict(json.loads(raw))
+                except (json.JSONDecodeError, TypeError, KeyError,
+                        UnicodeDecodeError):
+                    continue  # torn/foreign line: appends still work
+                self._history.append(record)
+                self._latest[record.scenario_hash] = record
+                folded += 1
+            self._offset += complete + 1
         return folded
 
     # -- writes --------------------------------------------------------
     def append(self, record: ScenarioRecord) -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        atomic_append_line(
-            self.path, json.dumps(record.to_dict(), sort_keys=True)
-        )
-        # Read-back: folding our own line (and any a peer appended just
-        # before it) keeps the offset a true byte position.
-        self.reload_tail()
+        with timed_op(self.kind, "append"):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_append_line(
+                self.path, json.dumps(record.to_dict(), sort_keys=True)
+            )
+            # Read-back: folding our own line (and any a peer appended
+            # just before it) keeps the offset a true byte position.
+            self.reload_tail()
 
     # -- reads ---------------------------------------------------------
     def latest(self, scenario_hash: str) -> ScenarioRecord | None:
@@ -116,26 +120,28 @@ class JsonlStorageBackend(StorageBackend):
         order: str = "asc",
     ) -> list[ScenarioRecord]:
         check_order(order)
-        # Stream instead of materialising the whole latest-wins view:
-        # a shallow page must not cost O(history).
-        records = (
-            reversed(self._latest.values())
-            if order == "desc"
-            else iter(self._latest.values())
-        )
-        if filters:
+        with timed_op(self.kind, "query"):
+            # Stream instead of materialising the whole latest-wins
+            # view: a shallow page must not cost O(history).
             records = (
-                r for r in records if record_matches(r, **filters)
+                reversed(self._latest.values())
+                if order == "desc"
+                else iter(self._latest.values())
             )
-        start = max(0, int(offset or 0))
-        stop = None if limit is None else start + max(0, int(limit))
-        return list(islice(records, start, stop))
+            if filters:
+                records = (
+                    r for r in records if record_matches(r, **filters)
+                )
+            start = max(0, int(offset or 0))
+            stop = None if limit is None else start + max(0, int(limit))
+            return list(islice(records, start, stop))
 
     def count(self, filters: dict | None = None) -> int:
         if not filters:
             return len(self._latest)
-        return sum(
-            1
-            for r in self._latest.values()
-            if record_matches(r, **filters)
-        )
+        with timed_op(self.kind, "count"):
+            return sum(
+                1
+                for r in self._latest.values()
+                if record_matches(r, **filters)
+            )

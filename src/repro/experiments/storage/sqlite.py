@@ -36,7 +36,7 @@ import sqlite3
 import threading
 
 from ..records import ScenarioRecord
-from .base import StorageBackend, check_order
+from .base import StorageBackend, check_order, timed_op
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS records (
@@ -129,15 +129,18 @@ class SqliteStorageBackend(StorageBackend):
         )
 
     def append(self, record: ScenarioRecord) -> None:
-        with self._lock, self._conn:
-            self._insert(record)
+        with timed_op(self.kind, "append"):
+            with self._lock, self._conn:
+                self._insert(record)
 
     def append_many(self, records) -> None:
         # One transaction for the whole batch: the migrator and the
         # sweep engine's level flushes pay one fsync, not N.
-        with self._lock, self._conn:
-            for record in records:
-                self._insert(record)
+        records = list(records)
+        with timed_op(self.kind, "append_many", n=len(records)):
+            with self._lock, self._conn:
+                for record in records:
+                    self._insert(record)
 
     # -- reads ---------------------------------------------------------
     @staticmethod
@@ -164,14 +167,15 @@ class SqliteStorageBackend(StorageBackend):
         return where, params
 
     def latest(self, scenario_hash: str) -> ScenarioRecord | None:
-        with self._lock:
-            row = self._conn.execute(
-                "SELECT r.payload FROM latest l"
-                " JOIN records r ON r.seq = l.seq"
-                " WHERE l.scenario_hash = ?",
-                (scenario_hash,),
-            ).fetchone()
-        return self._parse(row) if row else None
+        with timed_op(self.kind, "latest"):
+            with self._lock:
+                row = self._conn.execute(
+                    "SELECT r.payload FROM latest l"
+                    " JOIN records r ON r.seq = l.seq"
+                    " WHERE l.scenario_hash = ?",
+                    (scenario_hash,),
+                ).fetchone()
+            return self._parse(row) if row else None
 
     def history(self) -> list[ScenarioRecord]:
         with self._lock:
@@ -200,9 +204,10 @@ class SqliteStorageBackend(StorageBackend):
                 -1 if limit is None else max(0, int(limit)),
                 max(0, int(offset or 0)),
             ]
-        with self._lock:
-            rows = self._conn.execute(sql, params).fetchall()
-        return [self._parse(row) for row in rows]
+        with timed_op(self.kind, "query"):
+            with self._lock:
+                rows = self._conn.execute(sql, params).fetchall()
+            return [self._parse(row) for row in rows]
 
     def count(self, filters: dict | None = None) -> int:
         where, params = self._where(filters)
@@ -216,9 +221,10 @@ class SqliteStorageBackend(StorageBackend):
             # join would force an O(history) probe loop; the bare count
             # is answered from a covering index.
             sql = "SELECT COUNT(*) FROM latest"
-        with self._lock:
-            row = self._conn.execute(sql, params).fetchone()
-        return int(row[0])
+        with timed_op(self.kind, "count"):
+            with self._lock:
+                row = self._conn.execute(sql, params).fetchone()
+            return int(row[0])
 
     def reload_tail(self) -> int:
         return 0  # every read already hits the live database

@@ -1,0 +1,91 @@
+"""`repro.obs` — the observability substrate.
+
+Three small stdlib-only pieces every other layer leans on:
+
+* :mod:`repro.obs.metrics` — labelled counters / gauges / histograms
+  in a process-global, test-resettable registry, rendered in the
+  Prometheus text exposition format for ``GET /metrics``;
+* :mod:`repro.obs.trace` — ``span()`` context-manager tracing with
+  trace/span/parent ids, cross-thread ``attach()``, synthesized
+  ``record_span()`` for work timed in worker processes, a bounded
+  ring buffer, and text tree/flame renderers for ``repro trace``;
+* :mod:`repro.obs.logging` — opt-in JSON-lines structured logging
+  (``repro serve --log-json``) with trace ids merged in, plus the
+  slow-op log surfaced by ``/healthz``.
+
+Env knobs: ``REPRO_OBS_TRACE_CAPACITY`` (ring-buffer size, default
+4096 spans), ``REPRO_OBS_SLOW_OP_S`` (slow-op threshold, default
+0.25 s).
+"""
+
+from .logging import (
+    SlowOpLog,
+    get_slow_op_log,
+    log_event,
+    reset_slow_op_log,
+    set_log_sink,
+    slow_threshold_s,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+    reset_registry,
+    set_registry,
+)
+from .trace import (
+    Span,
+    SpanContext,
+    TraceBuffer,
+    attach,
+    current_context,
+    current_trace_id,
+    get_buffer,
+    new_span_id,
+    new_trace_id,
+    record_span,
+    render_flame,
+    render_tree,
+    reset_buffer,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SlowOpLog",
+    "Span",
+    "SpanContext",
+    "TraceBuffer",
+    "attach",
+    "counter",
+    "current_context",
+    "current_trace_id",
+    "gauge",
+    "get_buffer",
+    "get_registry",
+    "get_slow_op_log",
+    "histogram",
+    "log_event",
+    "new_span_id",
+    "new_trace_id",
+    "record_span",
+    "render_flame",
+    "render_tree",
+    "reset_buffer",
+    "reset_registry",
+    "reset_slow_op_log",
+    "set_log_sink",
+    "set_registry",
+    "slow_threshold_s",
+    "span",
+]

@@ -1,0 +1,137 @@
+"""Structured JSON logging and the slow-op log.
+
+:func:`log_event` is the one emission point: when a sink is installed
+(``repro serve --log-json`` installs stdout), each call writes exactly
+one JSON line — ``{"ts": ..., "event": ..., "trace_id": ..., ...}`` —
+with the ambient trace id merged in automatically so logs and traces
+cross-link.  With no sink installed it is a no-op costing one
+attribute read, so instrumented code calls it unconditionally.
+
+:class:`SlowOpLog` is a bounded ring of storage/queue operations that
+exceeded the slow threshold (``REPRO_OBS_SLOW_OP_S``, default 0.25 s).
+``/healthz`` surfaces the most recent entries; crossing the threshold
+also emits a ``slow_op`` log event.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import sys
+import threading
+import time
+from collections import deque
+
+from .trace import current_trace_id
+
+__all__ = [
+    "SlowOpLog",
+    "get_slow_op_log",
+    "log_event",
+    "reset_slow_op_log",
+    "set_log_sink",
+    "slow_threshold_s",
+]
+
+SLOW_OP_ENV = "REPRO_OBS_SLOW_OP_S"
+DEFAULT_SLOW_OP_S = 0.25
+
+_SINK: io.TextIOBase | None = None
+_SINK_LOCK = threading.Lock()
+
+
+def set_log_sink(sink) -> None:
+    """Install a writable text stream as the JSON log sink (``"stdout"``
+    and ``"stderr"`` are accepted as shorthand); ``None`` disables."""
+    global _SINK
+    if sink == "stdout":
+        sink = sys.stdout
+    elif sink == "stderr":
+        sink = sys.stderr
+    with _SINK_LOCK:
+        _SINK = sink
+
+
+def log_event(event: str, **fields) -> None:
+    """Emit one JSON line if a sink is installed; otherwise a no-op.
+    The ambient trace id is merged in unless the caller supplied one."""
+    sink = _SINK
+    if sink is None:
+        return
+    record = {"ts": round(time.time(), 6), "event": event}
+    trace_id = fields.pop("trace_id", None) or current_trace_id()
+    if trace_id:
+        record["trace_id"] = trace_id
+    record.update(fields)
+    line = json.dumps(record, default=str, separators=(",", ":"))
+    with _SINK_LOCK:
+        try:
+            sink.write(line + "\n")
+            sink.flush()
+        except (ValueError, OSError):
+            pass  # closed stream mid-shutdown; logging must never raise
+
+
+def slow_threshold_s() -> float:
+    """The configured slow-op threshold in seconds."""
+    try:
+        return float(os.environ.get(SLOW_OP_ENV, "") or DEFAULT_SLOW_OP_S)
+    except ValueError:
+        return DEFAULT_SLOW_OP_S
+
+
+class SlowOpLog:
+    """Bounded ring of operations that exceeded the slow threshold."""
+
+    def __init__(self, capacity: int = 64):
+        self._entries: deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def maybe_record(
+        self, op: str, duration_s: float, threshold_s: float | None = None,
+        **detail,
+    ) -> bool:
+        """Record the op if it crossed the threshold; returns whether it
+        did.  Also emits a ``slow_op`` log event when recording."""
+        if threshold_s is None:
+            threshold_s = slow_threshold_s()
+        if duration_s < threshold_s:
+            return False
+        entry = {
+            "op": op,
+            "duration_s": round(duration_s, 6),
+            "threshold_s": threshold_s,
+            "at": round(time.time(), 3),
+            **detail,
+        }
+        trace_id = current_trace_id()
+        if trace_id:
+            entry["trace_id"] = trace_id
+        with self._lock:
+            self._entries.append(entry)
+        log_event("slow_op", **entry)
+        return True
+
+    def entries(self) -> list[dict]:
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+_SLOW_OPS = SlowOpLog()
+_SLOW_OPS_LOCK = threading.Lock()
+
+
+def get_slow_op_log() -> SlowOpLog:
+    return _SLOW_OPS
+
+
+def reset_slow_op_log(capacity: int = 64) -> SlowOpLog:
+    global _SLOW_OPS
+    with _SLOW_OPS_LOCK:
+        _SLOW_OPS = SlowOpLog(capacity)
+    return _SLOW_OPS

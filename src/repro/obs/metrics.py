@@ -1,0 +1,422 @@
+"""Thread-safe metrics registry with Prometheus text exposition.
+
+Zero dependencies, three instrument kinds:
+
+* :class:`Counter` — monotonically increasing totals (``inc``);
+* :class:`Gauge` — point-in-time values (``set`` / ``inc`` / ``dec``);
+* :class:`Histogram` — observations bucketed into *fixed* upper bounds
+  (``observe``), rendered as cumulative ``_bucket`` series plus
+  ``_sum`` / ``_count`` — exactly the Prometheus histogram contract.
+
+All three support labels: declare the label *names* once, then bind
+values with :meth:`_Metric.labels`::
+
+    REQUESTS = counter(
+        "repro_http_requests_total", "HTTP requests served",
+        labels=("route", "method", "status"),
+    )
+    REQUESTS.labels(route="/jobs", method="POST", status="202").inc()
+
+Instrumented code fetches instruments through the module-level
+:func:`counter` / :func:`gauge` / :func:`histogram` helpers, which
+get-or-create on the *current process-global registry* — so a test
+that calls :func:`reset_registry` observes every subsystem starting
+from zero without restarting the process, and no import-time handle
+goes stale.  Creation is idempotent but type- and label-checked: two
+subsystems registering the same name must agree on what it is.
+
+:meth:`MetricsRegistry.render` emits the Prometheus text exposition
+format (version 0.0.4: ``# HELP`` / ``# TYPE`` comments, escaped label
+values, cumulative histogram buckets ending in ``le="+Inf"``), which
+is what ``GET /metrics`` serves.  :meth:`MetricsRegistry.snapshot_text`
+is the same data without the comment lines — the form the benchmark
+scripts append to their result files.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "reset_registry",
+    "set_registry",
+]
+
+#: default latency buckets (seconds): sub-millisecond journal folds up
+#: to minute-long training nodes, fixed so dashboards can aggregate
+#: across processes without bucket-boundary mismatches.
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value: integers bare, floats via ``repr`` (which
+    Prometheus parsers accept), infinities in exposition spelling."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer() \
+            and abs(value) < 1e15:
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _escape_label(value) -> str:
+    """Escape a label value per the exposition format: backslash,
+    double quote and newline."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _render_labels(names: tuple[str, ...], values: tuple) -> str:
+    if not names:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(names, values)
+    )
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Shared labelled-series bookkeeping for all instrument kinds."""
+
+    type_name = "untyped"
+
+    def __init__(self, name: str, help: str, labels: tuple[str, ...]):
+        self.name = name
+        self.help = help
+        self.label_names = tuple(labels)
+        self._series: dict[tuple, object] = {}
+        self._lock = threading.Lock()
+
+    def labels(self, **values) -> object:
+        """The child series for one label-value combination (created on
+        first use).  Every declared label must be given."""
+        if set(values) != set(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {self.label_names}, "
+                f"got {tuple(sorted(values))}"
+            )
+        key = tuple(str(values[name]) for name in self.label_names)
+        with self._lock:
+            child = self._series.get(key)
+            if child is None:
+                child = self._make_child()
+                self._series[key] = child
+        return child
+
+    def _default_child(self):
+        """The unlabelled series (metrics with no declared labels)."""
+        if self.label_names:
+            raise ValueError(
+                f"{self.name} has labels {self.label_names}; "
+                "bind them with .labels(...)"
+            )
+        with self._lock:
+            child = self._series.get(())
+            if child is None:
+                child = self._make_child()
+                self._series[()] = child
+        return child
+
+    def _make_child(self):
+        raise NotImplementedError
+
+    def series(self) -> list[tuple[tuple, object]]:
+        with self._lock:
+            return sorted(self._series.items())
+
+    def render(self) -> list[str]:
+        lines = [
+            f"# HELP {self.name} {_escape_help(self.help)}",
+            f"# TYPE {self.name} {self.type_name}",
+        ]
+        for values, child in self.series():
+            lines.extend(self._render_series(values, child))
+        return lines
+
+    def _render_series(self, values: tuple, child) -> list[str]:
+        raise NotImplementedError
+
+
+class _CounterChild:
+    __slots__ = ("value", "_lock")
+
+    def __init__(self):
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self.value += amount
+
+
+class Counter(_Metric):
+    type_name = "counter"
+
+    def _make_child(self):
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+    def value_of(self, **labels) -> float:
+        return self.labels(**labels).value
+
+    def _render_series(self, values, child) -> list[str]:
+        labels = _render_labels(self.label_names, values)
+        return [f"{self.name}{labels} {_format_value(child.value)}"]
+
+
+class _GaugeChild:
+    __slots__ = ("value", "_lock")
+
+    def __init__(self):
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+
+class Gauge(_Metric):
+    type_name = "gauge"
+
+    def _make_child(self):
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        self._default_child().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default_child().dec(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+    def _render_series(self, values, child) -> list[str]:
+        labels = _render_labels(self.label_names, values)
+        return [f"{self.name}{labels} {_format_value(child.value)}"]
+
+
+class _HistogramChild:
+    __slots__ = ("buckets", "counts", "sum", "count", "_lock")
+
+    def __init__(self, buckets: tuple[float, ...]):
+        self.buckets = buckets
+        self.counts = [0] * len(buckets)  # per-bucket (non-cumulative)
+        self.sum = 0.0
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[i] += 1
+                    break
+
+    def cumulative(self) -> list[int]:
+        """Per-bound cumulative counts (the ``le`` series), ending with
+        the ``+Inf`` total — monotone non-decreasing by construction."""
+        with self._lock:
+            out, running = [], 0
+            for n in self.counts:
+                running += n
+                out.append(running)
+            out.append(self.count)
+            return out
+
+
+class Histogram(_Metric):
+    type_name = "histogram"
+
+    def __init__(self, name, help, labels=(), buckets=DEFAULT_BUCKETS):
+        super().__init__(name, help, labels)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket")
+        self.buckets = bounds
+
+    def _make_child(self):
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default_child().observe(value)
+
+    @property
+    def count(self) -> int:
+        return self._default_child().count
+
+    @property
+    def sum(self) -> float:
+        return self._default_child().sum
+
+    def _render_series(self, values, child) -> list[str]:
+        lines = []
+        cumulative = child.cumulative()
+        bounds = [_format_value(b) for b in self.buckets] + ["+Inf"]
+        for bound, total in zip(bounds, cumulative):
+            labels = _render_labels(
+                self.label_names + ("le",), values + (bound,)
+            )
+            lines.append(f"{self.name}_bucket{labels} {total}")
+        labels = _render_labels(self.label_names, values)
+        lines.append(f"{self.name}_sum{labels} {_format_value(child.sum)}")
+        lines.append(f"{self.name}_count{labels} {child.count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create registration.
+
+    Process-global by default (:func:`get_registry`); construct a fresh
+    one and :func:`set_registry` it — or just :func:`reset_registry` —
+    to observe a test run from zero.
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name, help, labels, **kwargs):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help, tuple(labels), **kwargs)
+                self._metrics[name] = metric
+                return metric
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"{name} is already registered as a "
+                f"{metric.type_name}, not a {cls.type_name}"
+            )
+        if metric.label_names != tuple(labels):
+            raise ValueError(
+                f"{name} is already registered with labels "
+                f"{metric.label_names}, not {tuple(labels)}"
+            )
+        return metric
+
+    def counter(self, name, help="", labels=()) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name, help="", labels=()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self, name, help="", labels=(), buckets=DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labels, buckets=buckets
+        )
+
+    def metrics(self) -> list[_Metric]:
+        with self._lock:
+            return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def render(self) -> str:
+        """Prometheus text exposition (version 0.0.4) of every sample."""
+        lines: list[str] = []
+        for metric in self.metrics():
+            lines.extend(metric.render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot_text(self, prefix: str | None = None) -> str:
+        """Bare ``name{labels} value`` lines (no comments) — the
+        compact form the bench scripts append to their reports.
+        ``prefix`` filters by metric-name prefix."""
+        lines = []
+        for metric in self.metrics():
+            if prefix and not metric.name.startswith(prefix):
+                continue
+            for line in metric.render():
+                if not line.startswith("#"):
+                    lines.append(line)
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+_REGISTRY = MetricsRegistry()
+_REGISTRY_LOCK = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The current process-global registry."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-global registry; returns the previous one."""
+    global _REGISTRY
+    with _REGISTRY_LOCK:
+        previous, _REGISTRY = _REGISTRY, registry
+    return previous
+
+
+def reset_registry() -> MetricsRegistry:
+    """Install (and return) a fresh empty registry — every subsystem's
+    next instrument fetch re-registers against it."""
+    fresh = MetricsRegistry()
+    set_registry(fresh)
+    return fresh
+
+
+def counter(name: str, help: str = "", labels=()) -> Counter:
+    """Get-or-create a counter on the current global registry."""
+    return get_registry().counter(name, help, labels)
+
+
+def gauge(name: str, help: str = "", labels=()) -> Gauge:
+    """Get-or-create a gauge on the current global registry."""
+    return get_registry().gauge(name, help, labels)
+
+
+def histogram(
+    name: str, help: str = "", labels=(), buckets=DEFAULT_BUCKETS
+) -> Histogram:
+    """Get-or-create a histogram on the current global registry."""
+    return get_registry().histogram(name, help, labels, buckets=buckets)

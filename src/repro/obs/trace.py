@@ -1,0 +1,375 @@
+"""Trace spans: hierarchical timings across job → plan → node → storage op.
+
+A *span* is one timed operation with a name, attributes, and three ids:
+
+* ``trace_id`` — shared by every span of one logical request (a job's
+  whole lifecycle keeps one trace id even when a crashed scheduler's
+  work is re-claimed by a survivor, because the id is journaled with
+  the job itself);
+* ``span_id`` — unique to this operation;
+* ``parent_id`` — the enclosing span, or ``None`` for a root.
+
+:func:`span` is the instrumentation primitive — a context manager that
+opens a child of the ambient span (a :class:`contextvars.ContextVar`,
+so nesting works without threading state through call signatures),
+times the body with :func:`time.perf_counter`, stamps a ``started_at``
+epoch for correlation with logs, and records the finished span into
+the process-global ring buffer::
+
+    with span("sweep.plan", job_id=job.job_id) as s:
+        plan = plan_sweep(...)
+        s.set_attr("nodes", plan.total())
+
+Crossing a thread boundary is explicit: capture
+:func:`current_context` on the submitting side and wrap the worker
+body in :func:`attach`.  Work timed inside *worker processes* (engine
+nodes) can't share the buffer at all, so the scheduler synthesizes
+their spans after the fact with :func:`record_span` from the
+``(kind, value, seconds)`` tuples the executor returns.
+
+The buffer is a bounded deque (``REPRO_OBS_TRACE_CAPACITY``, default
+4096 spans) — old traces fall off the back; ``GET /debug/traces`` and
+``repro trace`` read whatever is still resident.  :func:`render_tree`
+and :func:`render_flame` format a trace for terminals, tolerating
+orphan spans (parents evicted from the buffer, or killed before
+finishing) by promoting them to roots.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import os
+import threading
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span",
+    "SpanContext",
+    "TraceBuffer",
+    "attach",
+    "current_context",
+    "current_trace_id",
+    "get_buffer",
+    "new_span_id",
+    "new_trace_id",
+    "record_span",
+    "render_flame",
+    "render_tree",
+    "reset_buffer",
+    "span",
+]
+
+TRACE_CAPACITY_ENV = "REPRO_OBS_TRACE_CAPACITY"
+DEFAULT_CAPACITY = 4096
+
+
+def new_trace_id() -> str:
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+_new_span_id = new_span_id
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The (trace, span) pair an operation runs under — what a child
+    span inherits, and what crosses thread boundaries."""
+
+    trace_id: str
+    span_id: str | None = None
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) timed operation."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+    started_at: float = 0.0  # epoch seconds, for log correlation
+    duration_s: float | None = None  # perf_counter delta; None=open
+    status: str = "ok"  # "ok" | "error"
+    attrs: dict = field(default_factory=dict)
+
+    def set_attr(self, key: str, value) -> None:
+        self.attrs[key] = value
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "started_at": self.started_at,
+            "duration_s": self.duration_s,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        return cls(
+            name=payload.get("name", "?"),
+            trace_id=payload.get("trace_id", ""),
+            span_id=payload.get("span_id", ""),
+            parent_id=payload.get("parent_id"),
+            started_at=payload.get("started_at", 0.0),
+            duration_s=payload.get("duration_s"),
+            status=payload.get("status", "ok"),
+            attrs=dict(payload.get("attrs") or {}),
+        )
+
+
+class TraceBuffer:
+    """Bounded ring of finished spans, indexed on read.
+
+    Appends are O(1) under one lock; the deque's ``maxlen`` silently
+    evicts the oldest spans, which is the entire retention policy —
+    traces are a debugging window, not a durable record.
+    """
+
+    def __init__(self, capacity: int | None = None):
+        if capacity is None:
+            capacity = int(
+                os.environ.get(TRACE_CAPACITY_ENV, "") or DEFAULT_CAPACITY
+            )
+        self.capacity = max(1, capacity)
+        self._spans: deque[Span] = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+
+    def add(self, span_: Span) -> None:
+        with self._lock:
+            self._spans.append(span_)
+
+    def spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def for_trace(self, trace_id: str) -> list[Span]:
+        return [s for s in self.spans() if s.trace_id == trace_id]
+
+    def trace_ids(self) -> list[str]:
+        """Distinct trace ids still resident, oldest first."""
+        seen: dict[str, None] = {}
+        for s in self.spans():
+            seen.setdefault(s.trace_id, None)
+        return list(seen)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+_BUFFER = TraceBuffer()
+_BUFFER_LOCK = threading.Lock()
+
+_CONTEXT: contextvars.ContextVar[SpanContext | None] = \
+    contextvars.ContextVar("repro_obs_span_context", default=None)
+
+
+def get_buffer() -> TraceBuffer:
+    """The current process-global span buffer."""
+    return _BUFFER
+
+
+def reset_buffer(capacity: int | None = None) -> TraceBuffer:
+    """Install (and return) a fresh empty buffer."""
+    global _BUFFER
+    with _BUFFER_LOCK:
+        _BUFFER = TraceBuffer(capacity)
+    return _BUFFER
+
+
+def current_context() -> SpanContext | None:
+    """The ambient span context, or None outside any trace."""
+    return _CONTEXT.get()
+
+
+def current_trace_id() -> str | None:
+    ctx = _CONTEXT.get()
+    return ctx.trace_id if ctx else None
+
+
+@contextlib.contextmanager
+def attach(context: SpanContext | None):
+    """Make ``context`` ambient for the body — the cross-thread hand-off
+    (capture :func:`current_context` where work is submitted, attach it
+    where the work runs)."""
+    token = _CONTEXT.set(context)
+    try:
+        yield context
+    finally:
+        _CONTEXT.reset(token)
+
+
+@contextlib.contextmanager
+def span(
+    name: str,
+    trace_id: str | None = None,
+    parent_id: str | None = None,
+    **attrs,
+):
+    """Open a span as a child of the ambient one (or of the explicit
+    ``trace_id``/``parent_id``), make it ambient for the body, and
+    record it on exit.  An exception marks the span ``error`` (with the
+    exception type in attrs) and propagates."""
+    ambient = _CONTEXT.get()
+    if trace_id is None:
+        trace_id = ambient.trace_id if ambient else new_trace_id()
+    if parent_id is None and ambient and ambient.trace_id == trace_id:
+        parent_id = ambient.span_id
+    s = Span(
+        name=name,
+        trace_id=trace_id,
+        span_id=_new_span_id(),
+        parent_id=parent_id,
+        started_at=time.time(),
+        attrs=dict(attrs),
+    )
+    token = _CONTEXT.set(SpanContext(trace_id, s.span_id))
+    t0 = time.perf_counter()
+    try:
+        yield s
+    except BaseException as exc:
+        s.status = "error"
+        s.attrs.setdefault("error", type(exc).__name__)
+        raise
+    finally:
+        s.duration_s = time.perf_counter() - t0
+        _CONTEXT.reset(token)
+        get_buffer().add(s)
+
+
+def record_span(
+    name: str,
+    duration_s: float,
+    trace_id: str | None = None,
+    parent_id: str | None = None,
+    span_id: str | None = None,
+    started_at: float | None = None,
+    status: str = "ok",
+    **attrs,
+) -> Span:
+    """Record an already-finished span — for work timed elsewhere (e.g.
+    engine nodes run in worker processes, whose buffer isn't ours).
+    Parented under the ambient span unless ids are given.  ``span_id``
+    may be pinned when children were handed the id before their parent
+    finished (the scheduler records a job's root span at completion,
+    after every node span already referenced it)."""
+    ambient = _CONTEXT.get()
+    if trace_id is None:
+        trace_id = ambient.trace_id if ambient else new_trace_id()
+    if parent_id is None and ambient and ambient.trace_id == trace_id:
+        parent_id = ambient.span_id
+    if started_at is None:
+        # Best-effort: the op just finished, so it started duration ago.
+        started_at = time.time() - duration_s
+    s = Span(
+        name=name,
+        trace_id=trace_id,
+        span_id=span_id or _new_span_id(),
+        parent_id=parent_id,
+        started_at=started_at,
+        duration_s=duration_s,
+        status=status,
+        attrs=dict(attrs),
+    )
+    get_buffer().add(s)
+    return s
+
+
+def _format_duration(seconds: float | None) -> str:
+    if seconds is None:
+        return "open"
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def _children_index(spans: list[Span]):
+    """(roots, children-by-parent) with orphan spans — parents missing
+    from the list (evicted, or died unfinished) — promoted to roots."""
+    by_id = {s.span_id: s for s in spans}
+    roots, children = [], {}
+    for s in sorted(spans, key=lambda s: s.started_at):
+        if s.parent_id and s.parent_id in by_id:
+            children.setdefault(s.parent_id, []).append(s)
+        else:
+            roots.append(s)
+    return roots, children
+
+
+def _span_label(s: Span) -> str:
+    attrs = ", ".join(
+        f"{k}={v}" for k, v in sorted(s.attrs.items())
+        if k not in ("job_id",)
+    )
+    flag = " !" if s.status == "error" else ""
+    tail = f"  [{attrs}]" if attrs else ""
+    return f"{s.name}{flag}  {_format_duration(s.duration_s)}{tail}"
+
+
+def render_tree(spans: list[Span]) -> str:
+    """Indented tree of one trace's spans, children under parents in
+    start order — the default `repro trace` view."""
+    if not spans:
+        return "(no spans)"
+    roots, children = _children_index(spans)
+    lines: list[str] = []
+
+    def walk(s: Span, prefix: str, is_last: bool) -> None:
+        branch = "`-- " if is_last else "|-- "
+        lines.append(prefix + branch + _span_label(s))
+        kids = children.get(s.span_id, [])
+        child_prefix = prefix + ("    " if is_last else "|   ")
+        for i, kid in enumerate(kids):
+            walk(kid, child_prefix, i == len(kids) - 1)
+
+    for root in roots:
+        lines.append(_span_label(root))
+        kids = children.get(root.span_id, [])
+        for i, kid in enumerate(kids):
+            walk(kid, "", i == len(kids) - 1)
+    return "\n".join(lines)
+
+
+def render_flame(spans: list[Span], width: int = 72) -> str:
+    """Horizontal bars scaled to the trace's wall-clock window — where
+    the time went, at a glance."""
+    timed = [s for s in spans if s.duration_s is not None]
+    if not timed:
+        return "(no spans)"
+    t0 = min(s.started_at for s in timed)
+    t1 = max(s.started_at + s.duration_s for s in timed)
+    window = max(t1 - t0, 1e-9)
+    roots, children = _children_index(timed)
+    lines: list[str] = []
+
+    def walk(s: Span, depth: int) -> None:
+        lead = int((s.started_at - t0) / window * width)
+        bar = max(1, int(s.duration_s / window * width))
+        bar = min(bar, width - min(lead, width - 1))
+        lines.append(
+            " " * min(lead, width - 1)
+            + "#" * bar
+            + f"  {'  ' * depth}{s.name} "
+            + _format_duration(s.duration_s)
+        )
+        for kid in children.get(s.span_id, []):
+            walk(kid, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    header = f"trace window: {_format_duration(window)}"
+    return header + "\n" + "\n".join(lines)

@@ -27,10 +27,35 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Sequence
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+
 __all__ = ["Executor", "parallel_map", "resolve_workers"]
+
+
+def _batch_metrics():
+    return (
+        obs_metrics.counter(
+            "repro_executor_jobs_total",
+            "Jobs run through Executor.map by execution mode",
+            labels=("mode",),
+        ),
+        obs_metrics.histogram(
+            "repro_executor_dispatch_seconds",
+            "Time from batch entry until all jobs are submitted "
+            "(serial: the whole in-process run)",
+            labels=("mode",),
+        ),
+        obs_metrics.histogram(
+            "repro_executor_wait_seconds",
+            "Time spent gathering batch results after dispatch",
+            labels=("mode",),
+        ),
+    )
 
 
 def _square_probe(x: int) -> int:
@@ -103,15 +128,27 @@ class Executor:
         """Run ``fn(*job)`` for every job, preserving job order."""
         jobs = list(jobs)
         n_workers = min(self.n_workers, max(len(jobs), 1))
+        mode = "serial" if n_workers <= 1 else "pool"
+        jobs_total, dispatch_s, wait_s = _batch_metrics()
+        jobs_total.labels(mode=mode).inc(len(jobs))
+        t0 = time.perf_counter()
         if n_workers <= 1:
             results = []
             for i, job in enumerate(jobs):
                 results.append(fn(*job))
                 if progress:
                     progress(f"{label}: {i + 1}/{len(jobs)} done (serial)")
+            # Serial runs have no dispatch/gather split: the whole run
+            # is "dispatch" and the wait is zero by construction.
+            dt = time.perf_counter() - t0
+            dispatch_s.labels(mode=mode).observe(dt)
+            wait_s.labels(mode=mode).observe(0.0)
+            self._record_batch(label, len(jobs), mode, dt, dt)
             return results
         pool = self._get_pool()
         futures = [pool.submit(fn, *job) for job in jobs]
+        dispatched = time.perf_counter()
+        dispatch_s.labels(mode=mode).observe(dispatched - t0)
         results = []
         for i, future in enumerate(futures):
             results.append(future.result())
@@ -120,7 +157,29 @@ class Executor:
                     f"{label}: {i + 1}/{len(jobs)} done "
                     f"({n_workers} workers)"
                 )
+        done = time.perf_counter()
+        wait_s.labels(mode=mode).observe(done - dispatched)
+        self._record_batch(label, len(jobs), mode, done - t0, dispatched - t0)
         return results
+
+    @staticmethod
+    def _record_batch(
+        label: str, n_jobs: int, mode: str,
+        total_s: float, dispatch_s: float,
+    ) -> None:
+        """Synthesize an ``executor.batch`` span under the ambient trace
+        (if any) — the batch body runs in worker processes, so its span
+        can only be recorded after the fact."""
+        if obs_trace.current_context() is None:
+            return
+        obs_trace.record_span(
+            "executor.batch",
+            total_s,
+            label=label,
+            n_jobs=n_jobs,
+            mode=mode,
+            dispatch_s=round(dispatch_s, 6),
+        )
 
     def close(self) -> None:
         if self._pool is not None:

@@ -164,6 +164,34 @@ class ServiceClient:
     def health(self) -> dict:
         return self._request("GET", "/healthz")
 
+    def metrics(self) -> str:
+        """Raw Prometheus exposition text from ``GET /metrics``."""
+        request = urllib.request.Request(
+            self.base_url + "/metrics",
+            headers={"Accept": "text/plain"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as err:
+            raise ServiceClientError(err.code, err.reason) from None
+
+    def traces(
+        self, job_id: str | None = None, trace_id: str | None = None
+    ) -> dict:
+        """``GET /debug/traces`` — one trace's spans (plus rendered
+        ``tree``/``flame`` text) when ``job_id`` or ``trace_id`` is
+        given, else the resident trace-id listing."""
+        if job_id is not None:
+            query = f"?job={urllib.parse.quote(job_id)}"
+        elif trace_id is not None:
+            query = f"?trace={urllib.parse.quote(trace_id)}"
+        else:
+            query = ""
+        return self._request("GET", "/debug/traces" + query)
+
 
 # -- load generation ----------------------------------------------------
 

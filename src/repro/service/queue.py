@@ -64,6 +64,37 @@ from pathlib import Path
 from ..core.atomic import atomic_append_line, atomic_write_text
 from ..experiments.spec import ScenarioSpec
 from ..experiments.store import ResultsStore, results_dir
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..obs.logging import log_event
+
+
+def _queue_metrics():
+    return (
+        obs_metrics.counter(
+            "repro_queue_submits_total",
+            "Job submissions by outcome",
+            labels=("outcome",),
+        ),
+        obs_metrics.counter(
+            "repro_queue_claims_total", "Job claims journaled",
+        ),
+        obs_metrics.counter(
+            "repro_queue_requeues_total",
+            "Expired-lease requeues journaled, by reason",
+            labels=("reason",),
+        ),
+        obs_metrics.counter(
+            "repro_queue_heartbeats_total",
+            "Lease heartbeats by outcome",
+            labels=("outcome",),
+        ),
+        obs_metrics.histogram(
+            "repro_queue_fold_seconds",
+            "Journal fold latency (real folds only; the nothing-new "
+            "stat-and-return path is not observed)",
+        ),
+    )
 
 QUEUE_FILENAME = "service_queue.jsonl"
 
@@ -115,6 +146,10 @@ class Job:
     nodes_done: int = 0
     reused: int = 0  # scenarios resolved from the store at plan time
     telemetry: dict = field(default_factory=dict)
+    # Journaled with the job so every scheduler that ever touches it —
+    # including a survivor re-claiming a dead peer's work — records its
+    # spans into the *same* trace.
+    trace_id: str | None = None
 
     @property
     def done(self) -> bool:
@@ -145,6 +180,7 @@ class Job:
             "nodes_done": self.nodes_done,
             "reused": self.reused,
             "telemetry": self.telemetry,
+            "trace_id": self.trace_id,
         }
 
     @classmethod
@@ -256,6 +292,9 @@ class JobQueue:
             self._ino = stat.st_ino
         if stat.st_size <= self._offset:
             return
+        # Only real folds are timed; the stat-and-return path above
+        # runs on every public entry point and must stay unmetered.
+        fold_started = time.perf_counter()
         with open(self.path, "rb") as handle:
             handle.seek(self._offset)
             chunk = handle.read()
@@ -271,6 +310,7 @@ class JobQueue:
                     UnicodeDecodeError):
                 continue  # torn/foreign line: the journal stays usable
         self._offset += complete + 1
+        _queue_metrics()[4].observe(time.perf_counter() - fold_started)
 
     def _apply(self, event: dict) -> None:
         """Fold one journal event into the in-memory state.
@@ -371,6 +411,12 @@ class JobQueue:
             folded = self._jobs.get(job.job_id)
             if folded is not None and folded.status == "queued":
                 requeued.append(folded)
+                _queue_metrics()[2].labels(reason=reason).inc()
+                log_event(
+                    "job_requeue", job_id=job.job_id,
+                    from_worker=job.claimed_by, reason=reason,
+                    trace_id=job.trace_id,
+                )
         return requeued
 
     def _recover(self) -> None:
@@ -412,6 +458,7 @@ class JobQueue:
             wanted = frozenset(hashes)
             for job in self._jobs.values():
                 if not job.done and frozenset(job.spec_hashes) == wanted:
+                    _queue_metrics()[0].labels(outcome="duplicate").inc()
                     return job, "duplicate"
             from_store = store is not None and all(
                 h in store for h in hashes
@@ -427,6 +474,12 @@ class JobQueue:
                 priority=int(priority),
                 source=source or {},
                 submitted_at=now,
+                # Inherit the submitting request's trace (the HTTP
+                # handler runs submissions inside a request span), so
+                # the whole job lifecycle shares one trace id.
+                trace_id=(
+                    obs_trace.current_trace_id() or obs_trace.new_trace_id()
+                ),
             )
             if from_store:
                 job.status = "done"
@@ -436,11 +489,16 @@ class JobQueue:
                 job.finished_at = job.submitted_at
             self._journal({"event": "submit", "job": job.to_dict()})
             self.changed.notify_all()
+            outcome = "from_store" if from_store else "queued"
+            _queue_metrics()[0].labels(outcome=outcome).inc()
+            log_event(
+                "job_submit", job_id=job.job_id, outcome=outcome,
+                n_specs=len(hashes), priority=job.priority,
+                trace_id=job.trace_id,
+            )
             # The fold registered its own Job instance; return that one
             # so callers and queue readers share a single object.
-            return self._jobs[job.job_id], (
-                "from_store" if from_store else "queued"
-            )
+            return self._jobs[job.job_id], outcome
 
     # -- scheduler side ------------------------------------------------
     def claim(
@@ -488,6 +546,12 @@ class JobQueue:
                     and claimed.status == "running"
                     and claimed.claimed_by == worker
                 ):
+                    _queue_metrics()[1].inc()
+                    log_event(
+                        "job_claim", job_id=claimed.job_id,
+                        worker=worker, lease_s=float(lease_s),
+                        trace_id=claimed.trace_id,
+                    )
                     return claimed
                 # Another worker's claim line landed first; each pass
                 # removes at least one job from the queued set, so the
@@ -511,6 +575,7 @@ class JobQueue:
                 or job.status != "running"
                 or job.claimed_by != worker
             ):
+                _queue_metrics()[3].labels(outcome="lost").inc()
                 return False
             self._journal({
                 "event": "heartbeat",
@@ -520,11 +585,15 @@ class JobQueue:
                 "lease_s": float(lease_s),
             })
             job = self._jobs.get(job_id)
-            return (
+            renewed = (
                 job is not None
                 and job.status == "running"
                 and job.claimed_by == worker
             )
+            _queue_metrics()[3].labels(
+                outcome="renewed" if renewed else "lost"
+            ).inc()
+            return renewed
 
     def requeue_expired(self) -> list[Job]:
         """Requeue every running job whose lease has expired; returns
@@ -559,6 +628,11 @@ class JobQueue:
                 "telemetry": telemetry or {}, "at": self.clock(),
             })
             self.changed.notify_all()
+            job = self._jobs.get(job_id)
+            log_event(
+                "job_done", job_id=job_id,
+                trace_id=job.trace_id if job else None,
+            )
 
     def fail(self, job_id: str, error: str) -> None:
         with self._lock:
@@ -567,6 +641,11 @@ class JobQueue:
                 "at": self.clock(),
             })
             self.changed.notify_all()
+            job = self._jobs.get(job_id)
+            log_event(
+                "job_failed", job_id=job_id, error=error,
+                trace_id=job.trace_id if job else None,
+            )
 
     def cancel(self, job_id: str) -> bool:
         """Cancel a queued or running job; True when it took effect.

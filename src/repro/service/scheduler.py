@@ -61,9 +61,43 @@ from ..experiments.engine import (
     run_node,
 )
 from ..experiments.store import ResultsStore, ScenarioRecord
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..obs.logging import log_event
 from ..pipeline.flow import cache_dir
 from ..pipeline.parallel import Executor, resolve_workers
 from .queue import DEFAULT_LEASE_S, Job, JobQueue
+
+
+def _scheduler_metrics():
+    return (
+        obs_metrics.counter(
+            "repro_scheduler_nodes_total",
+            "DAG nodes executed by kind and outcome",
+            labels=("kind", "outcome"),
+        ),
+        obs_metrics.histogram(
+            "repro_scheduler_node_seconds",
+            "Per-node in-worker wall-clock by node kind",
+            labels=("kind",),
+        ),
+        obs_metrics.histogram(
+            "repro_scheduler_batch_size",
+            "Ready nodes dispatched per executor batch",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+        ),
+        obs_metrics.counter(
+            "repro_scheduler_cache_hits_total",
+            "Plan-time cache hits by source (pruned artifact kinds, "
+            "plus 'store' for scenarios resolved from the results store)",
+            labels=("kind",),
+        ),
+        obs_metrics.counter(
+            "repro_scheduler_jobs_total",
+            "Jobs finished by this process's schedulers, by outcome",
+            labels=("outcome",),
+        ),
+    )
 
 
 class SchedulerCrashed(RuntimeError):
@@ -93,6 +127,14 @@ class _ActiveJob:
         self.remaining: set[NodeKey] = set(plan.nodes)
         self.node_seconds: dict[str, float] = {}
         self.executed = 0
+        # Span bookkeeping: the job's trace id rides in the journal
+        # (survives scheduler death); the root span id is minted here
+        # so node spans can reference their parent before it is
+        # recorded (the root lands when the job finishes).
+        self.trace_id = job.trace_id or obs_trace.new_trace_id()
+        self.root_span_id = obs_trace.new_span_id()
+        self.started_perf = time.perf_counter()
+        self.started_at = time.time()
 
 
 class SweepScheduler:
@@ -141,6 +183,11 @@ class SweepScheduler:
         # Readers of the store (HTTP query handlers) and this thread's
         # writes share one lock so query snapshots are never torn.
         self.store_lock = store_lock or threading.Lock()
+
+        #: one trace per scheduler instance groups its batch spans —
+        #: per-job spans live in each job's own journaled trace.
+        self.trace_id = obs_trace.new_trace_id()
+        self.started_monotonic = time.monotonic()
 
         self._active: dict[str, _ActiveJob] = {}
         # _nodes/_owners hold only not-yet-executed nodes of active
@@ -210,6 +257,12 @@ class SweepScheduler:
         return len(self._active)
 
     @property
+    def node_throughput(self) -> float:
+        """Nodes executed per second of scheduler lifetime (``/healthz``)."""
+        uptime = max(time.monotonic() - self.started_monotonic, 1e-9)
+        return self.nodes_executed / uptime
+
+    @property
     def idle(self) -> bool:
         return not self._active and not self.queue.pending()
 
@@ -270,6 +323,9 @@ class SweepScheduler:
     def _emit(self, job_id: str, kind: str, message: str = "", **data):
         if self.on_job_event is None:
             return
+        active = self._active.get(job_id)
+        if active is not None:
+            data.setdefault("trace_id", active.trace_id)
         try:
             self.on_job_event(job_id, kind, message, dict(data))
         except Exception:
@@ -292,17 +348,40 @@ class SweepScheduler:
             self._planning.discard(job.job_id)
 
     def _activate_planned(self, job: Job) -> None:
+        trace_id = job.trace_id or obs_trace.new_trace_id()
+        root_span_id = obs_trace.new_span_id()
         try:
-            with self.store_lock:
-                plan = plan_sweep(
-                    job.specs_objects(), store=self.store, resume=True
-                )
+            # Plan under the job's trace, parented to its (future) root
+            # span: the storage ops plan_sweep performs become children
+            # of job.plan automatically via the ambient context.
+            with obs_trace.attach(
+                obs_trace.SpanContext(trace_id, root_span_id)
+            ), obs_trace.span(
+                "job.plan", job_id=job.job_id, worker=self.worker_id
+            ):
+                with self.store_lock:
+                    plan = plan_sweep(
+                        job.specs_objects(), store=self.store, resume=True
+                    )
         except Exception:  # bad spec payloads must not kill the thread
             error = traceback.format_exc(limit=8)
             self.queue.fail(job.job_id, error)
             self._emit(job.job_id, "failed", error, error=error)
+            _scheduler_metrics()[4].labels(outcome="failed").inc()
             return
         active = _ActiveJob(job, plan)
+        active.trace_id = trace_id
+        active.root_span_id = root_span_id
+        cache_hits = _scheduler_metrics()[3]
+        for kind, n in plan.pruned.items():
+            cache_hits.labels(kind=kind).inc(n)
+        if plan.reused:
+            cache_hits.labels(kind="store").inc(len(plan.reused))
+        log_event(
+            "job_planned", job_id=job.job_id, worker=self.worker_id,
+            nodes=len(plan.nodes), reused=len(plan.reused),
+            trace_id=trace_id,
+        )
         # A node that already failed this process poisons the whole job
         # — check before registering anything so no orphan nodes are
         # left behind for the ready scan to dispatch.
@@ -335,6 +414,7 @@ class SweepScheduler:
             nodes_done=len(plan.nodes) - len(active.remaining),
             nodes_total=len(plan.nodes),
             reused=len(plan.reused),
+            trace_id=trace_id,
         )
         self.progress(
             f"job {job.job_id}: {len(active.remaining)} nodes to run, "
@@ -371,16 +451,59 @@ class SweepScheduler:
         return ready
 
     def _run_batch(self, batch: list[PlanNode]) -> None:
-        outcomes = self.executor.map(
-            _safe_node,
-            [(node.kind, node.payload) for node in batch],
-            label="service nodes",
+        nodes_total, node_seconds, batch_size = _scheduler_metrics()[:3]
+        batch_size.observe(len(batch))
+        log_event(
+            "batch_dispatch", worker=self.worker_id, nodes=len(batch),
+            trace_id=self.trace_id,
         )
+        # The batch span lives in the scheduler's own trace (a batch
+        # serves many jobs at once); per-job node spans are recorded
+        # into each owner's trace below.
+        with obs_trace.span(
+            "scheduler.batch",
+            trace_id=self.trace_id,
+            worker=self.worker_id,
+            nodes=len(batch),
+        ):
+            outcomes = self.executor.map(
+                _safe_node,
+                [(node.kind, node.payload) for node in batch],
+                label="service nodes",
+            )
         for node, (kind, value, seconds, error) in zip(batch, outcomes):
             if error is not None:
+                nodes_total.labels(kind=node.kind, outcome="error").inc()
+                for job_id in self._owners.get(node.key, ()):
+                    active = self._active.get(job_id)
+                    if active is not None:
+                        obs_trace.record_span(
+                            f"node.{node.kind}", seconds,
+                            trace_id=active.trace_id,
+                            parent_id=active.root_span_id,
+                            status="error",
+                            kind=node.kind, worker=self.worker_id,
+                        )
                 self._failed[node.key] = error
                 self._fail_owners(node.key, error)
                 continue
+            nodes_total.labels(kind=kind, outcome="ok").inc()
+            node_seconds.labels(kind=kind).observe(seconds)
+            log_event(
+                "node_done", kind=kind, seconds=round(seconds, 6),
+                worker=self.worker_id,
+                jobs=list(self._owners.get(node.key, ())),
+                trace_id=self.trace_id,
+            )
+            for job_id in self._owners.get(node.key, ()):
+                active = self._active.get(job_id)
+                if active is not None:
+                    obs_trace.record_span(
+                        f"node.{kind}", seconds,
+                        trace_id=active.trace_id,
+                        parent_id=active.root_span_id,
+                        kind=kind, worker=self.worker_id,
+                    )
             self._done.add(node.key)
             self.nodes_executed += 1
             if kind == "eval":
@@ -395,6 +518,10 @@ class SweepScheduler:
                 )
                 attach_node_telemetry(record, seconds, plan)
                 record.extra["telemetry"]["job_ids"] = owners
+                if owners:
+                    record.extra["telemetry"]["trace_id"] = (
+                        self._active[owners[0]].trace_id
+                    )
                 with self.store_lock:
                     self.store.add(record)
             if self.on_node is not None:
@@ -511,7 +638,25 @@ class SweepScheduler:
             if active is not None:
                 self.queue.fail(job_id, error)
                 self._emit(job_id, "failed", error, error=error)
+                self._record_job_span(active, status="error")
+                _scheduler_metrics()[4].labels(outcome="failed").inc()
         self._prune_unreachable()
+
+    def _record_job_span(self, active: _ActiveJob, status: str) -> None:
+        """The job's root span, recorded at its terminal moment — every
+        node/plan span already referenced its pinned id."""
+        obs_trace.record_span(
+            "job.run",
+            time.perf_counter() - active.started_perf,
+            trace_id=active.trace_id,
+            span_id=active.root_span_id,
+            parent_id=None,
+            started_at=active.started_at,
+            status=status,
+            job_id=active.job.job_id,
+            worker=self.worker_id,
+            executed=active.executed,
+        )
 
     def _prune_unreachable(self) -> None:
         # Nodes no remaining active job wants (transitively) must leave
@@ -541,6 +686,8 @@ class SweepScheduler:
 
     def _finish(self, active: _ActiveJob) -> None:
         self._active.pop(active.job.job_id, None)
+        self._record_job_span(active, status="ok")
+        _scheduler_metrics()[4].labels(outcome="done").inc()
         self.queue.complete(
             active.job.job_id,
             telemetry={
@@ -549,6 +696,8 @@ class SweepScheduler:
                 "node_seconds": active.node_seconds,
                 "planned": active.plan.counts(),
                 "cache_hits": dict(active.plan.pruned),
+                "started_at": active.started_at,
+                "trace_id": active.trace_id,
             },
         )
         self._emit(

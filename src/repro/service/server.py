@@ -59,6 +59,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from queue import Empty, SimpleQueue
 from urllib.parse import parse_qs, urlsplit
@@ -66,11 +67,29 @@ from urllib.parse import parse_qs, urlsplit
 from ..experiments.registry import build_grid
 from ..experiments.spec import ScenarioSpec
 from ..experiments.store import ResultsStore
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..obs.logging import get_slow_op_log, log_event, set_log_sink
 from .queue import DEFAULT_COMPACT_TTL_S, DEFAULT_LEASE_S, Job, JobQueue
 from .scheduler import SweepScheduler
 
 MAX_BODY_BYTES = 8 * 1024 * 1024
 MAX_WAIT_S = 60.0
+
+
+def _http_metrics():
+    return (
+        obs_metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by route template / method / status",
+            labels=("route", "method", "status"),
+        ),
+        obs_metrics.histogram(
+            "repro_http_request_seconds",
+            "HTTP request handling latency by route template and method",
+            labels=("route", "method"),
+        ),
+    )
 
 
 class ServiceError(Exception):
@@ -110,7 +129,13 @@ class AttackService:
         lease_s: float = DEFAULT_LEASE_S,
         poll_interval: float = 0.25,
         clock=None,
+        log_json: bool = False,
     ):
+        self.log_json = log_json
+        if log_json:
+            # One JSON line per request/node/lease event on stdout,
+            # each carrying the trace id it belongs to.
+            set_log_sink("stdout")
         self.store = store if store is not None else ResultsStore()
         self.queue = JobQueue(queue_path, clock=clock)
         # Startup maintenance: bound the journal's growth by dropping
@@ -458,6 +483,71 @@ class AttackService:
             "order": order,
         }
 
+    def metrics_text(self) -> str:
+        """The Prometheus exposition for ``GET /metrics``.
+
+        Queue/store depth gauges are sampled here — at scrape time —
+        rather than maintained on every transition, so the hot queue
+        paths never pay for them.
+        """
+        jobs = self.queue.jobs()
+        depth = obs_metrics.gauge(
+            "repro_queue_depth",
+            "Jobs currently in the journal by status",
+            labels=("status",),
+        )
+        counts = {"queued": 0, "running": 0, "done": 0,
+                  "failed": 0, "cancelled": 0}
+        for job in jobs:
+            counts[job.status] = counts.get(job.status, 0) + 1
+        for status, n in counts.items():
+            depth.labels(status=status).set(n)
+        obs_metrics.gauge(
+            "repro_store_records",
+            "Latest-wins records in the results store",
+        ).set(len(self.store))
+        obs_metrics.gauge(
+            "repro_schedulers_alive",
+            "Scheduler threads currently dispatching",
+        ).set(sum(1 for s in self.schedulers if s.alive))
+        return obs_metrics.get_registry().render()
+
+    def debug_traces(self, query: dict) -> dict:
+        """``GET /debug/traces``: one job's (or raw trace id's) spans
+        still resident in the ring buffer, plus rendered views; with no
+        selector, the resident trace ids."""
+        def one(name):
+            values = query.get(name)
+            return values[0] if values else None
+
+        buffer = obs_trace.get_buffer()
+        job_id, trace_id = one("job"), one("trace")
+        if job_id:
+            job = self.queue.get(job_id)
+            if job is None:
+                raise ServiceError(404, f"unknown job {job_id!r}")
+            trace_id = job.trace_id or (
+                (job.telemetry or {}).get("trace_id")
+            )
+            if not trace_id:
+                raise ServiceError(
+                    404, f"job {job_id!r} has no trace id"
+                )
+        if trace_id:
+            spans = buffer.for_trace(trace_id)
+            return {
+                "trace_id": trace_id,
+                "job_id": job_id,
+                "spans": [s.to_dict() for s in spans],
+                "tree": obs_trace.render_tree(spans),
+                "flame": obs_trace.render_flame(spans),
+            }
+        return {
+            "traces": buffer.trace_ids(),
+            "spans_resident": len(buffer),
+            "capacity": buffer.capacity,
+        }
+
     def health(self) -> dict:
         jobs = self.queue.jobs()
         now = self.queue.clock()
@@ -465,6 +555,7 @@ class AttackService:
             "ok": True,
             "jobs": len(jobs),
             "pending": sum(1 for j in jobs if not j.done),
+            "queue_depth": sum(1 for j in jobs if j.status == "queued"),
             "nodes_executed": sum(
                 s.nodes_executed for s in self.schedulers
             ),
@@ -474,10 +565,12 @@ class AttackService:
                     "alive": s.alive,
                     "active_jobs": s.active_jobs,
                     "nodes_executed": s.nodes_executed,
+                    "node_throughput_per_s": round(s.node_throughput, 4),
                     "heartbeats": s.heartbeats_sent,
                 }
                 for s in self.schedulers
             ],
+            "slow_ops": get_slow_op_log().entries()[-10:],
             "leases": [
                 {
                     "job_id": j.job_id,
@@ -507,7 +600,66 @@ class ServiceHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server_version = "repro-service"
 
+    #: status of the last response line sent (captured for metrics).
+    _last_status = 0
+
     # -- helpers -------------------------------------------------------
+    def send_response(self, code, message=None) -> None:
+        self._last_status = int(code)
+        super().send_response(code, message)
+
+    @staticmethod
+    def _route_template(path: str) -> str:
+        """Collapse ids out of the path so metric label cardinality is
+        bounded by the route table, not by job-id traffic."""
+        if path.startswith("/jobs/"):
+            return (
+                "/jobs/<id>/events" if path.endswith("/events")
+                else "/jobs/<id>"
+            )
+        if path in ("/", "/healthz", "/jobs", "/results", "/metrics",
+                    "/debug/traces"):
+            return path
+        return "<unknown>"
+
+    def _observed(self, route: str, fn) -> None:
+        """Run one route handler inside a request span, with per-route
+        counters/latency and one structured log line.  The span is what
+        job submissions inherit their trace id from."""
+        requests_total, request_seconds = _http_metrics()
+        t0 = time.perf_counter()
+        self._last_status = 0
+        with obs_trace.span(
+            "http.request", route=route, method=self.command
+        ) as request_span:
+            try:
+                self._dispatch(fn)
+            finally:
+                dt = time.perf_counter() - t0
+                status = self._last_status or 0
+                request_span.set_attr("status", status)
+                requests_total.labels(
+                    route=route, method=self.command, status=status
+                ).inc()
+                request_seconds.labels(
+                    route=route, method=self.command
+                ).observe(dt)
+                log_event(
+                    "http_request", route=route, method=self.command,
+                    path=urlsplit(self.path).path, status=status,
+                    seconds=round(dt, 6),
+                )
+
+    def _send_text(self, text: str, status: int = 200) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _send_json(self, payload, status: int = 200) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
@@ -584,26 +736,39 @@ class ServiceHandler(BaseHTTPRequestHandler):
     # -- routes --------------------------------------------------------
     def do_POST(self) -> None:
         parts = urlsplit(self.path)
-        if parts.path.rstrip("/") == "/jobs":
-            self._dispatch(
+        path = parts.path.rstrip("/")
+        if path == "/jobs":
+            self._observed(
+                "/jobs",
                 lambda: self._send_json(
                     self.service.submit_payload(self._read_json()),
                     status=202,
-                )
+                ),
             )
         else:
-            self._send_json({"error": "not found"}, status=404)
+            self._observed(
+                self._route_template(path),
+                lambda: self._send_json(
+                    {"error": "not found"}, status=404
+                ),
+            )
 
     def do_DELETE(self) -> None:
         parts = urlsplit(self.path)
         path = parts.path.rstrip("/")
         if path.startswith("/jobs/"):
             job_id = path[len("/jobs/"):]
-            self._dispatch(
-                lambda: self._send_json(self.service.cancel_job(job_id))
+            self._observed(
+                "/jobs/<id>",
+                lambda: self._send_json(self.service.cancel_job(job_id)),
             )
         else:
-            self._send_json({"error": "not found"}, status=404)
+            self._observed(
+                self._route_template(path),
+                lambda: self._send_json(
+                    {"error": "not found"}, status=404
+                ),
+            )
 
     def do_GET(self) -> None:
         parts = urlsplit(self.path)
@@ -613,6 +778,10 @@ class ServiceHandler(BaseHTTPRequestHandler):
         def route():
             if path == "/healthz":
                 self._send_json(self.service.health())
+            elif path == "/metrics":
+                self._send_text(self.service.metrics_text())
+            elif path == "/debug/traces":
+                self._send_json(self.service.debug_traces(query))
             elif path == "/jobs":
                 self._send_json({
                     "jobs": [
@@ -640,4 +809,4 @@ class ServiceHandler(BaseHTTPRequestHandler):
             else:
                 raise ServiceError(404, "not found")
 
-        self._dispatch(route)
+        self._observed(self._route_template(path), route)

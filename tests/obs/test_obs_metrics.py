@@ -1,0 +1,189 @@
+"""Exposition-format and registry-contract tests for repro.obs.metrics.
+
+The registry is the single source every subsystem writes into, so the
+contracts under test are the load-bearing ones: the rendered text must
+satisfy the Prometheus text-format grammar (escaping included),
+histogram buckets must be cumulative and monotone, and a fresh registry
+must start every instrument from zero (the test-isolation guarantee
+the autouse fixtures of the service tests rely on).
+"""
+
+import re
+import threading
+
+import pytest
+
+from repro.obs import metrics as obs
+
+
+SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\\\|\\\"|\\n)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\\\|\\\"|\\n)*\")*\})?"
+    r" (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]Inf|NaN)$"
+)
+COMMENT_RE = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$")
+
+
+def assert_valid_exposition(text: str) -> None:
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            assert COMMENT_RE.match(line), f"bad comment line: {line!r}"
+        else:
+            assert SAMPLE_RE.match(line), f"bad sample line: {line!r}"
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    obs.reset_registry()
+    yield
+    obs.reset_registry()
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = obs.counter("widgets_total", "Widgets made")
+        c.inc()
+        c.inc(2)
+        assert c.value == 3
+
+    def test_labelled_children_are_independent(self):
+        c = obs.counter("ops_total", "Ops", labels=("kind",))
+        c.labels(kind="a").inc()
+        c.labels(kind="b").inc(5)
+        assert c.value_of(kind="a") == 1
+        assert c.value_of(kind="b") == 5
+
+    def test_negative_inc_rejected(self):
+        c = obs.counter("mono_total", "Monotone")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_reset_on_fresh_registry(self):
+        obs.counter("resets_total", "Reset check").inc(7)
+        obs.reset_registry()
+        # Re-created through the module helper: starts from zero, and
+        # the old handle's count is gone from the exposition.
+        assert obs.counter("resets_total", "Reset check").value == 0
+        assert "resets_total 7" not in obs.get_registry().render()
+
+    def test_wrong_label_set_rejected(self):
+        c = obs.counter("lbl_total", "Labelled", labels=("kind",))
+        with pytest.raises(ValueError):
+            c.labels(other="x")
+
+    def test_type_conflict_rejected(self):
+        obs.counter("clash_total", "As counter")
+        with pytest.raises(TypeError):
+            obs.gauge("clash_total", "As gauge")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = obs.gauge("depth", "Queue depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_buckets_cumulative_and_monotone(self):
+        h = obs.histogram(
+            "lat_seconds", "Latency", buckets=(0.01, 0.1, 1.0)
+        )
+        for v in (0.005, 0.05, 0.5, 5.0):
+            h.observe(v)
+        text = obs.get_registry().render()
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("lat_seconds_bucket")
+        ]
+        assert counts == sorted(counts), "buckets must be cumulative"
+        assert counts[-1] == 4  # +Inf bucket equals the observation count
+        assert 'le="+Inf"' in text
+        assert "lat_seconds_count 4" in text
+
+    def test_sum_tracks_observations(self):
+        h = obs.histogram("s_seconds", "Sum", buckets=(1.0,))
+        h.observe(0.25)
+        h.observe(0.5)
+        assert "s_seconds_sum 0.75" in obs.get_registry().render()
+
+    def test_labelled_histogram_renders_le_last(self):
+        h = obs.histogram(
+            "op_seconds", "Ops", labels=("op",), buckets=(0.1,)
+        )
+        h.labels(op="read").observe(0.05)
+        text = obs.get_registry().render()
+        assert 'op_seconds_bucket{op="read",le="0.1"} 1' in text
+
+
+class TestExposition:
+    def test_full_render_matches_grammar(self):
+        obs.counter("a_total", "A counter", labels=("k",)).labels(
+            k="v"
+        ).inc()
+        obs.gauge("b", "A gauge").set(1.5)
+        obs.histogram("c_seconds", "A histogram").observe(0.2)
+        assert_valid_exposition(obs.get_registry().render())
+
+    def test_label_value_escaping(self):
+        c = obs.counter("esc_total", "Escapes", labels=("p",))
+        c.labels(p='back\\slash "quoted"\nnewline').inc()
+        text = obs.get_registry().render()
+        assert r'p="back\\slash \"quoted\"\nnewline"' in text
+        assert_valid_exposition(text)
+
+    def test_help_text_escaping(self):
+        obs.counter("h_total", "line one\nline two \\ slash").inc()
+        help_line = next(
+            line for line in obs.get_registry().render().splitlines()
+            if line.startswith("# HELP h_total")
+        )
+        assert "\n" not in help_line
+        assert r"line one\nline two \\ slash" in help_line
+
+    def test_help_and_type_precede_samples(self):
+        obs.counter("o_total", "Ordered").inc()
+        lines = obs.get_registry().render().splitlines()
+        i_help = lines.index("# HELP o_total Ordered")
+        i_type = lines.index("# TYPE o_total counter")
+        i_sample = lines.index("o_total 1")
+        assert i_help < i_type < i_sample
+
+    def test_snapshot_text_filters_by_prefix(self):
+        obs.counter("repro_x_total", "X").inc()
+        obs.counter("other_total", "Y").inc()
+        snap = obs.get_registry().snapshot_text("repro_")
+        assert "repro_x_total 1" in snap
+        assert "other_total" not in snap
+        assert "# " not in snap
+
+    def test_integer_values_render_bare(self):
+        obs.counter("int_total", "Int").inc(3)
+        assert "int_total 3" in obs.get_registry().render()
+        assert "int_total 3.0" not in obs.get_registry().render()
+
+
+class TestConcurrency:
+    def test_parallel_increments_are_lossless(self):
+        c = obs.counter("race_total", "Raced", labels=("t",))
+        n, per = 8, 500
+
+        def work(i):
+            child = c.labels(t=str(i % 2))
+            for _ in range(per):
+                child.inc()
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value_of(t="0") + c.value_of(t="1") == n * per

@@ -1,0 +1,176 @@
+"""Span identity, propagation and rendering contracts for repro.obs.trace.
+
+The invariants that keep a trace readable: nested spans share one trace
+id and chain parent ids; contexts cross threads only through explicit
+``attach``; synthesized spans (``record_span``) can pin a span id so a
+parent recorded *after* its children still owns them; and the renderers
+survive the ring buffer's eviction (orphans promote to roots instead of
+crashing the view).
+"""
+
+import threading
+
+import pytest
+
+from repro.obs import trace as obs
+
+
+@pytest.fixture(autouse=True)
+def fresh_buffer():
+    obs.reset_buffer()
+    yield
+    obs.reset_buffer()
+
+
+class TestSpanNesting:
+    def test_nested_spans_share_trace_and_chain_parents(self):
+        with obs.span("outer") as outer:
+            with obs.span("inner") as inner:
+                pass
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        # Both recorded on exit, children first.
+        names = [s.name for s in obs.get_buffer().spans()]
+        assert names == ["inner", "outer"]
+
+    def test_span_times_the_body(self):
+        with obs.span("timed") as s:
+            pass
+        assert s.duration_s is not None and s.duration_s >= 0.0
+        assert s.started_at > 0.0
+
+    def test_exception_marks_error_and_propagates(self):
+        with pytest.raises(KeyError):
+            with obs.span("doomed") as s:
+                raise KeyError("boom")
+        assert s.status == "error"
+        assert s.attrs["error"] == "KeyError"
+        assert obs.get_buffer().spans()[-1].status == "error"
+
+    def test_context_restored_after_span(self):
+        assert obs.current_context() is None
+        with obs.span("a"):
+            assert obs.current_context() is not None
+        assert obs.current_context() is None
+
+
+class TestPropagation:
+    def test_attach_carries_context_across_threads(self):
+        captured = {}
+
+        with obs.span("submit") as parent:
+            context = obs.current_context()
+
+            def worker():
+                with obs.attach(context):
+                    with obs.span("work") as child:
+                        captured["child"] = child
+
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+
+        child = captured["child"]
+        assert child.trace_id == parent.trace_id
+        assert child.parent_id == parent.span_id
+
+    def test_thread_without_attach_starts_a_fresh_trace(self):
+        captured = {}
+
+        with obs.span("submit") as parent:
+            def worker():
+                with obs.span("isolated") as child:
+                    captured["child"] = child
+
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+
+        assert captured["child"].trace_id != parent.trace_id
+
+    def test_record_span_with_pinned_id_owns_earlier_children(self):
+        # The scheduler pattern: children reference a root span id that
+        # is only recorded (with record_span) once the job finishes.
+        trace_id = obs.new_trace_id()
+        root_id = obs.new_span_id()
+        obs.record_span(
+            "node.eval", 0.1, trace_id=trace_id, parent_id=root_id
+        )
+        obs.record_span(
+            "node.eval", 0.2, trace_id=trace_id, parent_id=root_id
+        )
+        root = obs.record_span(
+            "job.run", 0.5, trace_id=trace_id, span_id=root_id,
+            parent_id=None, started_at=1000.0,
+        )
+        assert root.span_id == root_id
+        tree = obs.render_tree(obs.get_buffer().for_trace(trace_id))
+        lines = tree.splitlines()
+        assert lines[0].startswith("job.run")
+        assert sum("node.eval" in line for line in lines[1:]) == 2
+
+    def test_record_span_inherits_ambient_context(self):
+        with obs.span("parent") as parent:
+            s = obs.record_span("child", 0.01)
+        assert s.trace_id == parent.trace_id
+        assert s.parent_id == parent.span_id
+
+
+class TestBuffer:
+    def test_capacity_evicts_oldest(self):
+        obs.reset_buffer(capacity=3)
+        for i in range(5):
+            obs.record_span(f"s{i}", 0.0, trace_id="t")
+        names = [s.name for s in obs.get_buffer().spans()]
+        assert names == ["s2", "s3", "s4"]
+
+    def test_capacity_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_TRACE_CAPACITY", "7")
+        buffer = obs.TraceBuffer()
+        assert buffer.capacity == 7
+
+    def test_for_trace_filters(self):
+        obs.record_span("a", 0.0, trace_id="t1")
+        obs.record_span("b", 0.0, trace_id="t2")
+        assert [s.name for s in obs.get_buffer().for_trace("t1")] == ["a"]
+
+    def test_trace_ids_distinct_oldest_first(self):
+        obs.record_span("a", 0.0, trace_id="t1")
+        obs.record_span("b", 0.0, trace_id="t2")
+        obs.record_span("c", 0.0, trace_id="t1")
+        assert obs.get_buffer().trace_ids() == ["t1", "t2"]
+
+    def test_span_round_trips_through_dict(self):
+        s = obs.record_span(
+            "op", 0.25, trace_id="t", status="error", kind="eval"
+        )
+        clone = obs.Span.from_dict(s.to_dict())
+        assert clone == s
+
+
+class TestRendering:
+    def test_orphan_spans_promote_to_roots(self):
+        # Parent evicted (or died unfinished): the child must still
+        # render, as a root.
+        obs.record_span(
+            "orphan", 0.1, trace_id="t", parent_id="gone-span-id"
+        )
+        tree = obs.render_tree(obs.get_buffer().for_trace("t"))
+        assert "orphan" in tree
+
+    def test_empty_trace_renders_placeholder(self):
+        assert obs.render_tree([]) == "(no spans)"
+        assert obs.render_flame([]) == "(no spans)"
+
+    def test_flame_scales_bars_to_window(self):
+        obs.record_span("whole", 1.0, trace_id="t", started_at=100.0)
+        obs.record_span("half", 0.5, trace_id="t", started_at=100.5)
+        flame = obs.render_flame(
+            obs.get_buffer().for_trace("t"), width=40
+        )
+        lines = flame.splitlines()
+        assert lines[0].startswith("trace window:")
+        whole = next(line for line in lines if "whole" in line)
+        half = next(line for line in lines if "half" in line)
+        assert whole.count("#") > half.count("#")

@@ -1,0 +1,295 @@
+"""Service-level observability: /metrics, /debug/traces, structured
+logs, and span integrity under fault injection.
+
+The chaos case is the one that earns the design its keep: a job's
+trace id is journaled with the job, so when a scheduler dies mid-sweep
+and a survivor re-claims, both schedulers' spans land in the *same*
+trace — and the dead scheduler's orphaned spans must not attach to (or
+otherwise corrupt) the survivor's span tree.
+"""
+
+import io
+import json
+import re
+import urllib.request
+
+import pytest
+
+from repro.experiments import ResultsStore, ScenarioSpec
+from repro.obs import (
+    get_buffer,
+    render_tree,
+    reset_buffer,
+    reset_registry,
+    reset_slow_op_log,
+    set_log_sink,
+)
+from repro.pipeline import clear_memo
+from repro.service import (
+    AttackService,
+    JobQueue,
+    ServiceClient,
+    SweepScheduler,
+)
+from repro.service.client import ServiceClientError
+
+from chaos import FakeClock, kill_after, wait_until
+
+POLL = 0.01
+
+SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\\\|\\\"|\\n)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\\\|\\\"|\\n)*\")*\})?"
+    r" (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]Inf|NaN)$"
+)
+COMMENT_RE = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$")
+
+SUBSYSTEM_PREFIXES = (
+    "repro_queue_",
+    "repro_scheduler_",
+    "repro_storage_",
+    "repro_executor_",
+    "repro_http_",
+)
+
+
+@pytest.fixture(autouse=True)
+def isolated_observability(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+    clear_memo()
+    reset_registry()
+    reset_buffer()
+    reset_slow_op_log()
+    yield
+    set_log_sink(None)
+    clear_memo()
+    reset_registry()
+    reset_buffer()
+    reset_slow_op_log()
+
+
+def prox(design, **kw):
+    return ScenarioSpec(
+        design=design, split_layer=3, attack="proximity", **kw
+    )
+
+
+def spec_dicts(*designs):
+    return [prox(d).to_dict() for d in designs]
+
+
+@pytest.fixture()
+def service(tmp_path):
+    svc = AttackService(
+        store=ResultsStore(tmp_path / "exp.jsonl"),
+        queue_path=tmp_path / "q.jsonl",
+    )
+    svc.scheduler.poll_interval = POLL
+    svc.start()
+    yield svc
+    svc.stop()
+
+
+def run_job(svc, designs=("tiny_a", "tiny_b")) -> tuple[ServiceClient, str]:
+    client = ServiceClient(svc.url, timeout=10.0)
+    out = client.submit(specs=spec_dicts(*designs))
+    view = client.wait(out["job"]["job_id"], timeout=20.0)
+    assert view["status"] == "done"
+    return client, view["job_id"]
+
+
+class TestMetricsEndpoint:
+    def test_every_line_matches_the_exposition_grammar(self, service):
+        client, _ = run_job(service)
+        for line in client.metrics().splitlines():
+            if not line:
+                continue
+            if line.startswith("#"):
+                assert COMMENT_RE.match(line), f"bad comment: {line!r}"
+            else:
+                assert SAMPLE_RE.match(line), f"bad sample: {line!r}"
+
+    def test_every_subsystem_reports_at_least_one_sample(self, service):
+        client, _ = run_job(service)
+        samples = [
+            line for line in client.metrics().splitlines()
+            if line and not line.startswith("#")
+        ]
+        for prefix in SUBSYSTEM_PREFIXES:
+            assert any(line.startswith(prefix) for line in samples), (
+                f"no {prefix}* samples in /metrics"
+            )
+
+    def test_content_type_is_prometheus_text(self, service):
+        with urllib.request.urlopen(service.url + "/metrics") as response:
+            assert response.headers["Content-Type"].startswith(
+                "text/plain; version=0.0.4"
+            )
+
+    def test_queue_depth_gauges_sampled_at_scrape(self, service):
+        client, _ = run_job(service)
+        text = client.metrics()
+        assert 'repro_queue_depth{status="queued"} 0' in text
+        assert 'repro_queue_depth{status="done"} 1' in text
+
+
+class TestDebugTraces:
+    def test_job_trace_has_a_rooted_span_tree(self, service):
+        client, job_id = run_job(service)
+        view = client.traces(job_id=job_id)
+        spans = view["spans"]
+        assert spans, "no spans resident for a just-finished job"
+        assert len({s["trace_id"] for s in spans}) == 1
+        roots = [s for s in spans if s["name"] == "job.run"]
+        assert len(roots) == 1
+        node_spans = [s for s in spans if s["name"].startswith("node.")]
+        assert node_spans
+        assert all(
+            s["parent_id"] == roots[0]["span_id"] for s in node_spans
+        )
+        assert "job.run" in view["tree"]
+        assert view["flame"].startswith("trace window:")
+
+    def test_http_submit_span_joins_the_job_trace(self, service):
+        # The POST /jobs request span and the scheduler's job.run span
+        # share a trace: the queue journals the ambient trace id.
+        client, job_id = run_job(service)
+        names = {s["name"] for s in client.traces(job_id=job_id)["spans"]}
+        assert "http.request" in names
+        assert "job.run" in names
+
+    def test_unknown_job_is_404(self, service):
+        client = ServiceClient(service.url, timeout=5.0)
+        with pytest.raises(ServiceClientError) as err:
+            client.traces(job_id="job-nope")
+        assert err.value.status == 404
+
+    def test_listing_without_selector(self, service):
+        client, _ = run_job(service)
+        listing = client.traces()
+        assert listing["traces"]
+        assert listing["spans_resident"] >= len(listing["traces"])
+        assert listing["capacity"] >= 1
+
+
+class TestStructuredLogs:
+    def test_job_lifecycle_events_share_the_job_trace_id(
+        self, service
+    ):
+        sink = io.StringIO()
+        set_log_sink(sink)
+        client, job_id = run_job(service)
+        events = [
+            json.loads(line) for line in sink.getvalue().splitlines()
+        ]
+        by_kind = {}
+        for event in events:
+            by_kind.setdefault(event["event"], []).append(event)
+        for kind in ("job_submit", "job_claim", "job_done", "http_request"):
+            assert kind in by_kind, f"no {kind} event logged"
+        job_trace = {
+            e["trace_id"] for e in events
+            if e["event"] in ("job_submit", "job_claim", "job_done")
+            and e.get("job_id") == job_id
+        }
+        assert len(job_trace) == 1
+        submit_requests = [
+            e for e in by_kind["http_request"]
+            if e["route"] == "/jobs" and e["method"] == "POST"
+        ]
+        assert submit_requests[0]["trace_id"] == job_trace.pop()
+
+    def test_log_json_flag_installs_a_sink(self, tmp_path):
+        svc = AttackService(
+            store=ResultsStore(tmp_path / "e2.jsonl"),
+            queue_path=tmp_path / "q2.jsonl",
+            log_json=True,
+        )
+        # Constructor installs the stdout sink; no need to start the
+        # HTTP server to verify the wiring.
+        from repro.obs import logging as obs_logging
+
+        assert obs_logging._SINK is not None
+        set_log_sink(None)
+        assert svc.log_json
+
+
+class TestHealthz:
+    def test_health_reports_depth_throughput_and_slow_ops(self, service):
+        client, _ = run_job(service)
+        health = client.health()
+        assert health["queue_depth"] == 0
+        assert isinstance(health["slow_ops"], list)
+        for sched in health["schedulers"]:
+            assert "node_throughput_per_s" in sched
+
+
+class TestChaosSpanIntegrity:
+    def test_killed_scheduler_spans_do_not_corrupt_survivor_trace(
+        self, tmp_path
+    ):
+        specs = [prox("tiny_a"), prox("tiny_b")]
+        clock = FakeClock()
+        queue = JobQueue(tmp_path / "q.jsonl", clock=clock)
+        store = ResultsStore(tmp_path / "exp.jsonl")
+        doomed = SweepScheduler(
+            queue, store, poll_interval=POLL, worker_id="doomed",
+        )
+        kill_after(doomed, 2)
+        doomed.start()
+        job, _ = queue.submit(specs)
+        assert job.trace_id, "submit must journal a trace id"
+        wait_until(lambda: doomed._crashed)
+
+        survivor = SweepScheduler(
+            queue, store, poll_interval=POLL, worker_id="survivor",
+        ).start()
+        try:
+            clock.advance(doomed.lease_s + 0.1)
+            done = wait_until(
+                lambda: (j := queue.get(job.job_id)) and j.done and j
+            )
+        finally:
+            survivor.stop()
+            doomed.stop()
+        assert done.status == "done"
+        assert done.claimed_by == "survivor"
+
+        # Both schedulers worked the same journaled trace ...
+        spans = get_buffer().for_trace(job.trace_id)
+        workers = {s.attrs.get("worker") for s in spans}
+        assert {"doomed", "survivor"} <= workers
+
+        # ... but only the survivor completed the job: exactly one
+        # job.run root, owned by the survivor, status ok.
+        roots = [s for s in spans if s.name == "job.run"]
+        assert len(roots) == 1
+        assert roots[0].status == "ok"
+        assert roots[0].attrs["worker"] == "survivor"
+
+        # The survivor's node spans hang off its root; the dead
+        # scheduler's spans stay orphaned — none of them may claim the
+        # survivor's root as parent.
+        survivor_nodes = [
+            s for s in spans
+            if s.name.startswith("node.")
+            and s.attrs.get("worker") == "survivor"
+        ]
+        assert survivor_nodes
+        assert all(
+            s.parent_id == roots[0].span_id for s in survivor_nodes
+        )
+        doomed_spans = [
+            s for s in spans if s.attrs.get("worker") == "doomed"
+        ]
+        assert doomed_spans, "the dead scheduler did record spans"
+        assert all(
+            s.parent_id != roots[0].span_id for s in doomed_spans
+        )
+
+        # The renderer copes: one tree, single job.run line, orphans
+        # promoted to roots rather than crashing the view.
+        tree = render_tree(spans)
+        assert tree.count("job.run") == 1
