@@ -28,7 +28,11 @@ client threads paging the deepest store at once.
 ``--scenario all`` runs both and writes one combined report.
 
 Writes the percentile report to ``results/bench_service.txt``
-(atomically) and prints it.
+(atomically) and prints it.  ``--emit-json`` additionally writes the
+versioned ``BENCH_service.json`` artifact (schema in
+:mod:`repro.obs.bench`) that ``repro bench compare`` gates against
+``results/baselines/``; ``--profile`` samples the run and prints the
+hottest stacks.
 
     PYTHONPATH=src python scripts/bench_service.py
     PYTHONPATH=src python scripts/bench_service.py --requests 500 -c 8
@@ -124,13 +128,19 @@ def deep_store(scratch: Path, backend: str, depth: int):
     return store
 
 
-def deep_history_scenario(args, scratch: Path) -> tuple[list, list[str]]:
+def deep_history_scenario(
+    args, scratch: Path
+) -> tuple[list, list[str], list]:
     """Paginated read latency vs store depth, per storage backend, then
     a hundreds-of-clients stage on the deepest indexed store.
 
-    Returns the report sections and any acceptance failures.
+    Returns the report sections, any acceptance failures, and the
+    benchmark metrics for the JSON artifact.
     """
+    from repro.obs.bench import BenchMetric
     from repro.service import AttackService, ServiceClient, run_load
+
+    bench_metrics = []
 
     depths = [int(d) for d in args.depths.split(",")]
     # Rotate over pages that are full at *every* depth, so each request
@@ -183,6 +193,10 @@ def deep_history_scenario(args, scratch: Path) -> tuple[list, list[str]]:
                 service.stop()
         ratio = p50s[depths[-1]] / max(p50s[depths[0]], 1e-9)
         flat = ratio <= 1.0 + args.tolerance
+        bench_metrics.append(BenchMetric(
+            f"deep_{backend}_p50_ms",
+            1e3 * p50s[depths[-1]], unit="ms",
+        ))
         print(
             f"{backend}: p50 {1e3 * p50s[depths[0]]:.2f} ms @ "
             f"{depths[0]} -> {1e3 * p50s[depths[-1]]:.2f} ms @ "
@@ -215,11 +229,15 @@ def deep_history_scenario(args, scratch: Path) -> tuple[list, list[str]]:
             ),
         )
         sections.append(swarm)
+        bench_metrics.append(BenchMetric(
+            "swarm_throughput_rps", swarm.throughput_rps,
+            unit="req/s", direction="higher",
+        ))
         if swarm.errors:
             failures.append(f"client swarm: {swarm.errors} errors")
     finally:
         service.stop()
-    return sections, failures
+    return sections, failures, bench_metrics
 
 
 def main() -> int:
@@ -254,6 +272,19 @@ def main() -> int:
     parser.add_argument(
         "--out", default=str(REPO_ROOT / "results" / "bench_service.txt")
     )
+    parser.add_argument("--label", default="run")
+    parser.add_argument(
+        "--emit-json", metavar="PATH", nargs="?",
+        const=str(REPO_ROOT / "BENCH_service.json"), default=None,
+        help="write the versioned benchmark artifact here (default path "
+        "when the flag is given bare: BENCH_service.json at the repo "
+        "root; gate it with `repro bench compare`)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="sample the run with the stdlib profiler and print the "
+        "hottest stacks",
+    )
     args = parser.parse_args()
 
     # The benchmark must not touch the repository's committed results;
@@ -263,14 +294,45 @@ def main() -> int:
 
     from repro.core.atomic import atomic_write_text
     from repro.experiments import ResultsStore
+    from repro.obs.bench import BenchMetric, make_artifact, write_artifact
+    from repro.obs.profile import SamplingProfiler
     from repro.service import AttackService, ServiceClient, run_load
+
+    profiler = SamplingProfiler().start() if args.profile else None
+
+    def finish(code: int, bench_metrics: list) -> int:
+        if profiler is not None:
+            profiler.stop()
+            print(f"profile ({profiler.samples} samples, hottest stacks):")
+            for line in profiler.render_collapsed().splitlines()[:10]:
+                print(f"  {line}")
+        if args.emit_json:
+            artifact = make_artifact(
+                suite="service",
+                metrics=bench_metrics,
+                label=args.label,
+                context={
+                    "scenario": args.scenario,
+                    "requests": args.requests,
+                    "concurrency": args.concurrency,
+                    "real": args.real,
+                },
+                repo_root=REPO_ROOT,
+            )
+            path = write_artifact(args.emit_json, artifact)
+            print(f"wrote {path}")
+        return code
 
     sections: list = []
     failures: list[str] = []
+    bench_metrics: list = []
     if args.scenario in ("deep-history", "all"):
-        deep_sections, deep_failures = deep_history_scenario(args, scratch)
+        deep_sections, deep_failures, deep_metrics = (
+            deep_history_scenario(args, scratch)
+        )
         sections.extend(deep_sections)
         failures.extend(deep_failures)
+        bench_metrics.extend(deep_metrics)
         if args.scenario == "deep-history":
             text = "\n\n".join(s.render() for s in sections) + "\n"
             print(text)
@@ -283,7 +345,7 @@ def main() -> int:
                 "acceptance (p50 flat across depths, 0 errors): "
                 + ("PASS" if ok else "FAIL: " + "; ".join(failures))
             )
-            return 0 if ok else 1
+            return finish(0 if ok else 1, bench_metrics)
 
     store = ResultsStore(scratch / "experiments.jsonl")
     if args.real:
@@ -336,6 +398,18 @@ def main() -> int:
         service.stop()
 
     sections.extend([report, queries])
+    bench_metrics.extend([
+        BenchMetric(
+            "replay_throughput_rps", report.throughput_rps,
+            unit="req/s", direction="higher",
+        ),
+        BenchMetric("replay_p50_ms", 1e3 * report.percentile(50), unit="ms"),
+        BenchMetric("replay_p99_ms", 1e3 * report.percentile(99), unit="ms"),
+        BenchMetric(
+            "results_query_throughput_rps", queries.throughput_rps,
+            unit="req/s", direction="higher",
+        ),
+    ])
     text = "\n\n".join(s.render() for s in sections) + "\n"
     text += "\n" + metrics_snapshot + "\n"
     print(text)
@@ -354,7 +428,7 @@ def main() -> int:
         "acceptance (>=50 req/s replay, flat deep-history p50, 0 errors): "
         + ("PASS" if ok else "FAIL: " + "; ".join(failures))
     )
-    return 0 if ok else 1
+    return finish(0 if ok else 1, bench_metrics)
 
 
 if __name__ == "__main__":

@@ -17,6 +17,12 @@ submit      submit a grid or spec file to a running service (or cancel
             a submitted job with ``--cancel JOB_ID``)
 trace       render one job's span tree (or ``--flame`` view) from a
             running service's trace buffer
+health      evaluate a running service's SLO rules; exit 0 ok /
+            1 degraded / 2 critical (CI- and cron-usable)
+profile     sample a running service's threads for N seconds and
+            print flamegraph-compatible collapsed stacks
+bench       compare a BENCH_*.json benchmark artifact against a
+            committed baseline; non-zero exit on regression
 report      summarise the results store (slowest nodes, cache hits);
             ``--limit`` / ``--offset`` page through deep histories
 migrate-store
@@ -271,6 +277,7 @@ def cmd_serve(args) -> int:
               "terminal jobs dropped")
     print("  POST /jobs | GET|DELETE /jobs/<id> | GET /results | /healthz")
     print("  GET /metrics (Prometheus text) | GET /debug/traces?job=ID")
+    print("  GET /slo (SLO verdicts) | GET /debug/profile?seconds=N")
     try:
         import threading
 
@@ -353,11 +360,100 @@ def cmd_trace(args) -> int:
     except OSError as err:
         print(f"cannot reach {args.url}: {err}", file=sys.stderr)
         return 1
+    if not view.get("spans"):
+        # Known trace id but every span already evicted from the ring
+        # buffer (or none recorded yet): nothing to render is a
+        # failure for scripts polling a trace, not a silent success.
+        print(
+            f"trace {args.job_id}: no spans found (evicted from the "
+            f"ring buffer, or the job has not started)",
+            file=sys.stderr,
+        )
+        return 1
     label = view.get("job_id") or view["trace_id"]
     print(f"trace {view['trace_id']} ({len(view['spans'])} spans)"
           + (f" for job {label}" if view.get("job_id") else ""))
     print(view["flame" if args.flame else "tree"])
     return 0
+
+
+def cmd_health(args) -> int:
+    from repro.obs.health import EXIT_CODES
+    from repro.service.client import ServiceClient, ServiceClientError
+
+    client = ServiceClient(args.url, timeout=10.0)
+    try:
+        report = client.slo()
+    except ServiceClientError as err:
+        print(f"health: {err}", file=sys.stderr)
+        return 2
+    except OSError as err:
+        print(f"cannot reach {args.url}: {err}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(f"slo verdict: {report['verdict'].upper()}")
+        for reason in report["reasons"]:
+            print(f"  !! {reason}")
+        for rule in report["rules"]:
+            value = rule["value"]
+            shown = "no data" if value is None else f"{value:g}{rule['unit']}"
+            print(
+                f"  [{rule['verdict']:8s}] {rule['rule']:24s} {shown:>12s}"
+                f"  (degraded {rule['degraded']:g}{rule['unit']}, "
+                f"critical {rule['critical']:g}{rule['unit']})"
+            )
+    return EXIT_CODES.get(report["verdict"], 2)
+
+
+def cmd_profile(args) -> int:
+    from repro.service.client import ServiceClient, ServiceClientError
+
+    client = ServiceClient(args.url, timeout=10.0)
+    try:
+        view = client.profile(seconds=args.seconds, hz=args.hz)
+    except ServiceClientError as err:
+        print(f"profile: {err}", file=sys.stderr)
+        return 1
+    except OSError as err:
+        print(f"cannot reach {args.url}: {err}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(view, indent=2))
+        return 0
+    print(
+        f"# {view['samples']} samples at {view['hz']:g} Hz over "
+        f"{view['seconds']:g}s ({len(view['stacks'])} distinct stacks)"
+    )
+    if args.top:
+        for entry in view["top"][:args.top]:
+            print(f"  {entry['count']:6d}  {entry['function']}")
+        return 0
+    # flamegraph.pl interchange: "stack count" lines on stdout.
+    for entry in view["stacks"]:
+        print(f"{entry['stack']} {entry['count']}")
+    return 0
+
+
+def cmd_bench_compare(args) -> int:
+    from repro.obs.bench import compare_artifacts, load_artifact
+
+    try:
+        current = load_artifact(args.current)
+        baseline = load_artifact(args.baseline)
+    except (OSError, ValueError) as err:
+        print(f"bench compare: {err}", file=sys.stderr)
+        return 2
+    try:
+        comparison = compare_artifacts(
+            current, baseline, tolerance=args.tolerance
+        )
+    except ValueError as err:
+        print(f"bench compare: {err}", file=sys.stderr)
+        return 2
+    print(comparison.render())
+    return 1 if comparison.regressions else 0
 
 
 def cmd_report(args) -> int:
@@ -607,6 +703,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="render a flame view (time-scaled bars) instead of the tree",
     )
     p_tr.set_defaults(fn=cmd_trace)
+
+    p_h = sub.add_parser(
+        "health",
+        help="evaluate a running service's SLO rules (GET /slo); exit "
+        "0 ok / 1 degraded / 2 critical",
+    )
+    p_h.add_argument("--url", default="http://127.0.0.1:8732")
+    p_h.add_argument(
+        "--json", action="store_true", help="print the raw /slo payload"
+    )
+    p_h.set_defaults(fn=cmd_health)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="sample a running service's threads (GET /debug/profile) "
+        "and print collapsed stacks",
+    )
+    p_prof.add_argument("--url", default="http://127.0.0.1:8732")
+    p_prof.add_argument(
+        "--seconds", type=float, default=1.0,
+        help="sampling window (server caps at 30s)",
+    )
+    p_prof.add_argument(
+        "--hz", type=float, default=None,
+        help="sampling rate (default: server's 67 Hz)",
+    )
+    p_prof.add_argument(
+        "--top", type=int, default=0, metavar="N",
+        help="print the N hottest leaf functions instead of stacks",
+    )
+    p_prof.add_argument(
+        "--json", action="store_true",
+        help="print the raw /debug/profile payload",
+    )
+    p_prof.set_defaults(fn=cmd_profile)
+
+    p_bench = sub.add_parser(
+        "bench", help="benchmark-artifact tooling (BENCH_*.json)"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_cmp = bench_sub.add_parser(
+        "compare",
+        help="compare a benchmark artifact against a baseline; exit 1 "
+        "on regression (the CI perf gate)",
+    )
+    p_cmp.add_argument(
+        "current", help="freshly emitted BENCH_*.json artifact"
+    )
+    p_cmp.add_argument(
+        "--baseline", required=True,
+        help="committed baseline artifact (results/baselines/...)",
+    )
+    p_cmp.add_argument(
+        "--tolerance", type=float, default=0.2,
+        help="allowed worsening fraction before a metric counts as a "
+        "regression (0.2 = 20%% worse; default 0.2)",
+    )
+    p_cmp.set_defaults(fn=cmd_bench_compare)
 
     p_rep = sub.add_parser(
         "report", help="summarise the results store (telemetry, cache hits)"

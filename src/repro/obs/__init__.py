@@ -1,23 +1,43 @@
 """`repro.obs` — the observability substrate.
 
-Three small stdlib-only pieces every other layer leans on:
+Six small stdlib-only pieces every other layer leans on:
 
 * :mod:`repro.obs.metrics` — labelled counters / gauges / histograms
   in a process-global, test-resettable registry, rendered in the
-  Prometheus text exposition format for ``GET /metrics``;
+  Prometheus text exposition format for ``GET /metrics``, with
+  bucket-based quantile estimation (:func:`quantile_from_buckets`);
 * :mod:`repro.obs.trace` — ``span()`` context-manager tracing with
   trace/span/parent ids, cross-thread ``attach()``, synthesized
   ``record_span()`` for work timed in worker processes, a bounded
   ring buffer, and text tree/flame renderers for ``repro trace``;
 * :mod:`repro.obs.logging` — opt-in JSON-lines structured logging
   (``repro serve --log-json``) with trace ids merged in, plus the
-  slow-op log surfaced by ``/healthz``.
+  slow-op log surfaced by ``/healthz``;
+* :mod:`repro.obs.health` — declarative SLO rules over live telemetry
+  producing ``ok/degraded/critical`` verdicts with reasons
+  (``GET /slo``, ``repro health``);
+* :mod:`repro.obs.profile` — a sampling profiler over
+  ``sys._current_frames`` emitting flamegraph-compatible collapsed
+  stacks (``GET /debug/profile``, ``repro profile``);
+* :mod:`repro.obs.bench` — versioned machine-readable benchmark
+  artifacts (``BENCH_*.json``) and baseline comparison
+  (``repro bench compare``, the CI perf gate).
 
 Env knobs: ``REPRO_OBS_TRACE_CAPACITY`` (ring-buffer size, default
 4096 spans), ``REPRO_OBS_SLOW_OP_S`` (slow-op threshold, default
-0.25 s).
+0.25 s) — both parsed defensively: malformed values fall back to the
+default with a structured ``bad_env`` log event instead of raising.
 """
 
+from .env import env_float, env_int
+from .health import (
+    HealthReport,
+    SloContext,
+    SloEngine,
+    SloRule,
+    default_engine,
+    worst_verdict,
+)
 from .logging import (
     SlowOpLog,
     get_slow_op_log,
@@ -36,9 +56,11 @@ from .metrics import (
     gauge,
     get_registry,
     histogram,
+    quantile_from_buckets,
     reset_registry,
     set_registry,
 )
+from .profile import SamplingProfiler, profile_for
 from .trace import (
     Span,
     SpanContext,
@@ -60,8 +82,13 @@ __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
     "Gauge",
+    "HealthReport",
     "Histogram",
     "MetricsRegistry",
+    "SamplingProfiler",
+    "SloContext",
+    "SloEngine",
+    "SloRule",
     "SlowOpLog",
     "Span",
     "SpanContext",
@@ -70,6 +97,9 @@ __all__ = [
     "counter",
     "current_context",
     "current_trace_id",
+    "default_engine",
+    "env_float",
+    "env_int",
     "gauge",
     "get_buffer",
     "get_registry",
@@ -78,6 +108,8 @@ __all__ = [
     "log_event",
     "new_span_id",
     "new_trace_id",
+    "profile_for",
+    "quantile_from_buckets",
     "record_span",
     "render_flame",
     "render_tree",
@@ -88,4 +120,5 @@ __all__ = [
     "set_registry",
     "slow_threshold_s",
     "span",
+    "worst_verdict",
 ]

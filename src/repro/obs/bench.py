@@ -1,0 +1,327 @@
+"""Machine-readable benchmark artifacts and baseline comparison.
+
+The benchmark scripts historically appended human-only text to
+``results/*.txt`` — useful for archaeology, useless for a CI gate.
+This module gives every bench run a second, *versioned* output: a JSON
+artifact (``BENCH_engine.json`` / ``BENCH_service.json``) that names
+each measured metric, its unit, and — crucially — its *direction*
+(whether lower or higher is better), alongside the git sha and an
+environment fingerprint so a number is never read out of context.
+
+:func:`compare_artifacts` diffs a current artifact against a committed
+baseline (``results/baselines/``) with a fractional tolerance and
+classifies every metric: ``ok`` / ``improved`` / ``regression`` /
+``missing`` (in the baseline but not measured now — silently dropping
+a metric must fail the gate, or regressions hide by deletion) /
+``new``.  ``repro bench compare`` turns the result into an exit code,
+which is what the CI ``perf-gate`` step runs.
+
+Schema (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "suite": "engine",
+      "label": "ci",
+      "created_at": 1754550000.0,
+      "git_sha": "680aec6..." | null,
+      "env": {"python": "3.11.8", "platform": "...", "cpu_count": 1},
+      "context": {...},           # free-form: designs, request counts
+      "metrics": [
+        {"name": "golden_sweep_wall_s", "value": 3.21,
+         "unit": "s", "direction": "lower"},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core.atomic import atomic_write_json
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchComparison",
+    "BenchMetric",
+    "MetricComparison",
+    "compare_artifacts",
+    "env_fingerprint",
+    "git_sha",
+    "load_artifact",
+    "make_artifact",
+    "write_artifact",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+DIRECTIONS = ("lower", "higher")
+
+
+@dataclass(frozen=True)
+class BenchMetric:
+    """One measured number: ``direction`` says which way is better."""
+
+    name: str
+    value: float
+    unit: str = ""
+    direction: str = "lower"
+
+    def __post_init__(self):
+        if self.direction not in DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {DIRECTIONS}, "
+                f"got {self.direction!r}"
+            )
+        if not isinstance(self.value, (int, float)) or isinstance(
+            self.value, bool
+        ):
+            raise ValueError(f"{self.name}: value must be a number")
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "value": float(self.value),
+            "unit": self.unit,
+            "direction": self.direction,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BenchMetric":
+        return cls(
+            name=payload["name"],
+            value=float(payload["value"]),
+            unit=payload.get("unit", ""),
+            direction=payload.get("direction", "lower"),
+        )
+
+
+def env_fingerprint() -> dict:
+    """Where this number was measured — enough to explain a CI/laptop
+    delta without shipping the whole environment."""
+    import os
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def git_sha(cwd: Path | None = None) -> str | None:
+    """The current commit sha, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def make_artifact(
+    suite: str,
+    metrics: list[BenchMetric],
+    label: str = "run",
+    context: dict | None = None,
+    repo_root: Path | None = None,
+) -> dict:
+    """Assemble one schema-versioned benchmark artifact dict."""
+    names = [m.name for m in metrics]
+    if len(names) != len(set(names)):
+        raise ValueError(f"duplicate metric names in {suite}: {names}")
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "suite": suite,
+        "label": label,
+        "created_at": round(time.time(), 3),
+        "git_sha": git_sha(repo_root),
+        "env": env_fingerprint(),
+        "context": dict(context or {}),
+        "metrics": [m.to_dict() for m in metrics],
+    }
+
+
+def write_artifact(path, artifact: dict) -> Path:
+    """Atomically write the artifact; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_json(path, artifact)
+    return path
+
+
+def load_artifact(path) -> dict:
+    """Load and validate one artifact (schema version + metric shape)."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise ValueError(f"no benchmark artifact at {path}") from None
+    except json.JSONDecodeError as err:
+        raise ValueError(f"{path} is not valid JSON: {err}") from None
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: artifact must be a JSON object")
+    version = payload.get("schema_version")
+    if version != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported schema_version {version!r} "
+            f"(this build reads {BENCH_SCHEMA_VERSION})"
+        )
+    try:
+        payload["metrics"] = [
+            BenchMetric.from_dict(m).to_dict()
+            for m in payload.get("metrics", [])
+        ]
+    except (KeyError, TypeError, ValueError) as err:
+        raise ValueError(f"{path}: bad metric entry: {err}") from None
+    return payload
+
+
+@dataclass
+class MetricComparison:
+    """One metric's verdict against the baseline.
+
+    ``ratio`` is the *worsening* factor — how much worse the current
+    value is than the baseline in the metric's bad direction — so the
+    tolerance check reads the same for latencies and throughputs:
+    ``ratio > 1 + tolerance`` is a regression.
+    """
+
+    name: str
+    unit: str
+    direction: str
+    baseline: float | None
+    current: float | None
+    ratio: float | None
+    status: str  # ok | improved | regression | missing | new
+
+    def describe(self) -> str:
+        if self.status == "missing":
+            return (
+                f"{self.name}: in baseline "
+                f"({self.baseline:g}{self.unit}) but not measured now"
+            )
+        if self.status == "new":
+            return f"{self.name}: new metric ({self.current:g}{self.unit})"
+        arrow = (
+            f"{self.baseline:g} -> {self.current:g}{self.unit}"
+        )
+        return (
+            f"{self.name}: {arrow} "
+            f"(x{self.ratio:.3f} worse-direction, {self.direction} "
+            f"is better) {self.status.upper()}"
+        )
+
+
+def _worsening_ratio(
+    direction: str, baseline: float, current: float
+) -> float:
+    """>1 means current is worse than baseline, regardless of
+    direction; degenerate zero baselines/currents clamp sanely."""
+    if direction == "lower":
+        if baseline <= 0:
+            return 1.0 if current <= 0 else float("inf")
+        return current / baseline
+    if current <= 0:
+        return 1.0 if baseline <= 0 else float("inf")
+    return baseline / current
+
+
+@dataclass
+class BenchComparison:
+    """The full diff of one artifact against a baseline."""
+
+    suite: str
+    tolerance: float
+    entries: list[MetricComparison] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricComparison]:
+        return [
+            e for e in self.entries
+            if e.status in ("regression", "missing")
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines = [
+            f"bench compare [{self.suite}] "
+            f"tolerance x{1.0 + self.tolerance:.2f}: "
+            + ("PASS" if self.ok else "FAIL")
+        ]
+        for entry in self.entries:
+            lines.append("  " + entry.describe())
+        if not self.entries:
+            lines.append("  (no shared metrics)")
+        return "\n".join(lines)
+
+
+def compare_artifacts(
+    current: dict, baseline: dict, tolerance: float = 0.2
+) -> BenchComparison:
+    """Diff two artifacts metric-by-metric.
+
+    ``tolerance`` is the allowed fractional worsening (0.2 = current
+    may be up to 20% worse than baseline before the gate trips).
+    Suites must match — comparing an engine artifact against a service
+    baseline is always a mistake.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    if current.get("suite") != baseline.get("suite"):
+        raise ValueError(
+            f"suite mismatch: current {current.get('suite')!r} vs "
+            f"baseline {baseline.get('suite')!r}"
+        )
+    current_by = {m["name"]: m for m in current["metrics"]}
+    baseline_by = {m["name"]: m for m in baseline["metrics"]}
+    comparison = BenchComparison(
+        suite=str(current.get("suite")), tolerance=tolerance
+    )
+    for name, base in baseline_by.items():
+        cur = current_by.get(name)
+        if cur is None:
+            comparison.entries.append(MetricComparison(
+                name=name, unit=base.get("unit", ""),
+                direction=base["direction"],
+                baseline=base["value"], current=None,
+                ratio=None, status="missing",
+            ))
+            continue
+        ratio = _worsening_ratio(
+            base["direction"], base["value"], cur["value"]
+        )
+        if ratio > 1.0 + tolerance:
+            status = "regression"
+        elif ratio < 1.0:
+            status = "improved"
+        else:
+            status = "ok"
+        comparison.entries.append(MetricComparison(
+            name=name, unit=base.get("unit", ""),
+            direction=base["direction"],
+            baseline=base["value"], current=cur["value"],
+            ratio=ratio, status=status,
+        ))
+    for name, cur in current_by.items():
+        if name not in baseline_by:
+            comparison.entries.append(MetricComparison(
+                name=name, unit=cur.get("unit", ""),
+                direction=cur["direction"],
+                baseline=None, current=cur["value"],
+                ratio=None, status="new",
+            ))
+    return comparison

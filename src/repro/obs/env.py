@@ -1,0 +1,52 @@
+"""Defensive parsing of the observability environment knobs.
+
+Every ``REPRO_OBS_*`` variable is read through :func:`env_int` /
+:func:`env_float`: a malformed value must *never* take the process down
+(several knobs are read at import time, when raising would break every
+``import repro``), so invalid input falls back to the documented
+default and emits one structured ``bad_env`` :func:`log_event` naming
+the variable, the rejected value and the default applied.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["env_float", "env_int"]
+
+
+def _warn(name: str, raw: str, default, reason: str) -> None:
+    # Imported lazily: repro.obs.logging imports repro.obs.trace, which
+    # reads its capacity knob through this module at import time.
+    from .logging import log_event
+
+    log_event(
+        "bad_env", var=name, value=raw, default=default, reason=reason
+    )
+
+
+def _env_number(name: str, default, convert, minimum):
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        value = convert(raw)
+    except (TypeError, ValueError):
+        _warn(name, raw, default, f"not a valid {convert.__name__}")
+        return default
+    if minimum is not None and value < minimum:
+        _warn(name, raw, default, f"below minimum {minimum}")
+        return default
+    return value
+
+
+def env_int(name: str, default: int, minimum: int | None = None) -> int:
+    """``int(os.environ[name])`` with fallback-and-warn on bad input."""
+    return _env_number(name, default, int, minimum)
+
+
+def env_float(
+    name: str, default: float, minimum: float | None = None
+) -> float:
+    """``float(os.environ[name])`` with fallback-and-warn on bad input."""
+    return _env_number(name, default, float, minimum)

@@ -17,12 +17,12 @@ from __future__ import annotations
 
 import io
 import json
-import os
 import sys
 import threading
 import time
 from collections import deque
 
+from .env import env_float
 from .trace import current_trace_id
 
 __all__ = [
@@ -74,11 +74,9 @@ def log_event(event: str, **fields) -> None:
 
 
 def slow_threshold_s() -> float:
-    """The configured slow-op threshold in seconds."""
-    try:
-        return float(os.environ.get(SLOW_OP_ENV, "") or DEFAULT_SLOW_OP_S)
-    except ValueError:
-        return DEFAULT_SLOW_OP_S
+    """The configured slow-op threshold in seconds.  A malformed env
+    value falls back to the default with a ``bad_env`` log event."""
+    return env_float(SLOW_OP_ENV, DEFAULT_SLOW_OP_S, minimum=0.0)
 
 
 class SlowOpLog:

@@ -48,6 +48,7 @@ __all__ = [
     "gauge",
     "get_registry",
     "histogram",
+    "quantile_from_buckets",
     "reset_registry",
     "set_registry",
 ]
@@ -59,6 +60,37 @@ DEFAULT_BUCKETS = (
     0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
     0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
 )
+
+
+def quantile_from_buckets(
+    bounds: tuple[float, ...], cumulative: list[int], q: float
+) -> float | None:
+    """Estimate the ``q``-quantile (0..1) of a cumulative bucket series.
+
+    ``bounds`` are the finite upper bounds; ``cumulative`` is the
+    matching monotone count series with the ``+Inf`` total appended —
+    exactly what :meth:`_HistogramChild.cumulative` returns.  The
+    estimate interpolates linearly inside the bucket the target rank
+    falls in (the ``histogram_quantile`` convention); a rank landing in
+    the ``+Inf`` bucket clamps to the largest finite bound, so the
+    estimate never invents values beyond the instrument's range.
+    Returns ``None`` when there are no observations.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = cumulative[-1] if cumulative else 0
+    if total <= 0:
+        return None
+    rank = q * total
+    prev_bound, prev_count = 0.0, 0
+    for bound, count in zip(bounds, cumulative):
+        if count >= rank:
+            if bound <= 0 or count == prev_count:
+                return bound
+            fraction = (rank - prev_count) / (count - prev_count)
+            return prev_bound + fraction * (bound - prev_bound)
+        prev_bound, prev_count = bound, count
+    return bounds[-1]
 
 
 def _format_value(value: float) -> str:
@@ -296,6 +328,21 @@ class Histogram(_Metric):
     def sum(self) -> float:
         return self._default_child().sum
 
+    def quantile(self, q: float) -> float | None:
+        """Estimated ``q``-quantile over *all* label children combined
+        (buckets are fixed per histogram, so cumulative series sum
+        cleanly across series).  ``None`` with no observations."""
+        combined = [0] * (len(self.buckets) + 1)
+        for _, child in self.series():
+            for i, count in enumerate(child.cumulative()):
+                combined[i] += count
+        return quantile_from_buckets(self.buckets, combined, q)
+
+    def quantile_of(self, q: float, **labels) -> float | None:
+        """Estimated ``q``-quantile of one labelled series."""
+        child = self.labels(**labels)
+        return quantile_from_buckets(self.buckets, child.cumulative(), q)
+
     def _render_series(self, values, child) -> list[str]:
         lines = []
         cumulative = child.cumulative()
@@ -354,6 +401,13 @@ class MetricsRegistry:
         return self._get_or_create(
             Histogram, name, help, labels, buckets=buckets
         )
+
+    def get(self, name: str) -> _Metric | None:
+        """The registered instrument named ``name``, or ``None`` — the
+        read-side accessor the SLO probes use (they must observe, never
+        create, so absent instrumentation reads as 'no data')."""
+        with self._lock:
+            return self._metrics.get(name)
 
     def metrics(self) -> list[_Metric]:
         with self._lock:

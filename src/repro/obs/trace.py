@@ -39,12 +39,13 @@ from __future__ import annotations
 
 import contextlib
 import contextvars
-import os
 import threading
 import time
 import uuid
 from collections import deque
 from dataclasses import dataclass, field
+
+from .env import env_int
 
 __all__ = [
     "Span",
@@ -139,8 +140,8 @@ class TraceBuffer:
 
     def __init__(self, capacity: int | None = None):
         if capacity is None:
-            capacity = int(
-                os.environ.get(TRACE_CAPACITY_ENV, "") or DEFAULT_CAPACITY
+            capacity = env_int(
+                TRACE_CAPACITY_ENV, DEFAULT_CAPACITY, minimum=1
             )
         self.capacity = max(1, capacity)
         self._spans: deque[Span] = deque(maxlen=self.capacity)

@@ -35,7 +35,10 @@ class ServiceClient:
         self.timeout = timeout
 
     # -- raw request ---------------------------------------------------
-    def _request(self, method: str, path: str, payload=None) -> dict:
+    def _request(
+        self, method: str, path: str, payload=None,
+        timeout: float | None = None,
+    ) -> dict:
         data = None
         headers = {"Accept": "application/json"}
         if payload is not None:
@@ -46,7 +49,7 @@ class ServiceClient:
         )
         try:
             with urllib.request.urlopen(
-                request, timeout=self.timeout
+                request, timeout=timeout or self.timeout
             ) as response:
                 return json.loads(response.read())
         except urllib.error.HTTPError as err:
@@ -191,6 +194,25 @@ class ServiceClient:
         else:
             query = ""
         return self._request("GET", "/debug/traces" + query)
+
+    def slo(self) -> dict:
+        """``GET /slo`` — per-rule SLO verdicts and the overall fold."""
+        return self._request("GET", "/slo")
+
+    def profile(
+        self, seconds: float = 1.0, hz: float | None = None
+    ) -> dict:
+        """``GET /debug/profile`` — sample the service's threads for
+        ``seconds`` and return collapsed stacks.  The server blocks for
+        the window, so the socket timeout is stretched past it."""
+        params = {"seconds": seconds}
+        if hz is not None:
+            params["hz"] = hz
+        query = urllib.parse.urlencode(params)
+        return self._request(
+            "GET", f"/debug/profile?{query}",
+            timeout=max(self.timeout, seconds + 10.0),
+        )
 
 
 # -- load generation ----------------------------------------------------

@@ -200,6 +200,13 @@ class SweepScheduler:
         self.nodes_executed = 0
         self.heartbeats_sent = 0
         self.last_heartbeat_at = 0.0
+        #: monotonic stamp of the last sign of life from either thread
+        #: (loop iteration or heartbeat tick) — what the SLO engine's
+        #: scheduler-staleness rule reads.  A scheduler wedged inside a
+        #: long executor batch still ticks through its heartbeat
+        #: thread, so staleness only grows when the scheduler is
+        #: genuinely dead or the process is starved.
+        self.last_activity_monotonic = time.monotonic()
 
         #: job ids whose lease the heartbeat thread found gone; the
         #: loop abandons them on its next iteration.
@@ -266,6 +273,11 @@ class SweepScheduler:
     def idle(self) -> bool:
         return not self._active and not self.queue.pending()
 
+    @property
+    def staleness_s(self) -> float:
+        """Seconds since this scheduler last showed a sign of life."""
+        return max(0.0, time.monotonic() - self.last_activity_monotonic)
+
     # -- heartbeats ----------------------------------------------------
     def _heartbeat_loop(self) -> None:
         # Renew well inside the lease window; the floor keeps a tiny
@@ -277,6 +289,10 @@ class SweepScheduler:
             self._heartbeat_tick()
 
     def _heartbeat_tick(self) -> None:
+        self.last_activity_monotonic = time.monotonic()
+        self._renew_leases()
+
+    def _renew_leases(self) -> None:
         """Renew every active lease; flag the ones we lost.
 
         Runs off the loop thread on purpose: a scheduler blocked inside
@@ -304,6 +320,7 @@ class SweepScheduler:
     def _loop(self) -> None:
         try:
             while not self._stop.is_set():
+                self.last_activity_monotonic = time.monotonic()
                 self._abandon_lost()
                 self._claim_all()
                 self._drop_cancelled()

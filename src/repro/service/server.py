@@ -47,6 +47,21 @@ framework, no new dependencies.  Endpoints:
     hosted scheduler (worker id, alive, active jobs, heartbeats) and
     one per live lease (claimant, age, time to expiry) — how an
     operator sees a dead scheduler's jobs being picked up by a peer.
+    Carries the SLO engine's overall verdict and reasons under
+    ``slo`` — the numbers *judged*, not just reported.
+
+``GET /slo``
+    The full SLO report: per-rule ``ok/degraded/critical`` verdicts
+    with current values, thresholds and human-readable reasons,
+    evaluated live against the metrics registry, slow-op log and
+    queue/scheduler state.  ``repro health`` turns this into an exit
+    code (0/1/2) for CI and cron probes.
+
+``GET /debug/profile?seconds=N&hz=H``
+    Run the stdlib sampling profiler for ``seconds`` (default 1,
+    capped) and return collapsed flame-compatible stacks with sample
+    counts — "where is the service spending time *right now*",
+    answered without restarting anything.
 
 The service can host several scheduler threads (``schedulers=N`` /
 ``repro serve --schedulers N``); they share one journal, one results
@@ -67,14 +82,21 @@ from urllib.parse import parse_qs, urlsplit
 from ..experiments.registry import build_grid
 from ..experiments.spec import ScenarioSpec
 from ..experiments.store import ResultsStore
+from ..obs import health as obs_health
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..obs.logging import get_slow_op_log, log_event, set_log_sink
+from ..obs.profile import DEFAULT_HZ, SamplingProfiler
 from .queue import DEFAULT_COMPACT_TTL_S, DEFAULT_LEASE_S, Job, JobQueue
 from .scheduler import SweepScheduler
 
 MAX_BODY_BYTES = 8 * 1024 * 1024
 MAX_WAIT_S = 60.0
+#: /debug/profile bounds: the handler thread blocks for the window, so
+#: both knobs are capped against griefing a shared service.
+MAX_PROFILE_S = 30.0
+MAX_PROFILE_HZ = 250.0
+MAX_PROFILE_STACKS = 200
 
 
 def _http_metrics():
@@ -130,8 +152,16 @@ class AttackService:
         poll_interval: float = 0.25,
         clock=None,
         log_json: bool = False,
+        slo_engine: obs_health.SloEngine | None = None,
     ):
         self.log_json = log_json
+        # The SLO engine judges live telemetry on every /slo and
+        # /healthz read; injectable so deployments can tune thresholds
+        # or add rules without forking the service.
+        self.slo_engine = (
+            slo_engine if slo_engine is not None
+            else obs_health.default_engine()
+        )
         if log_json:
             # One JSON line per request/node/lease event on stdout,
             # each carrying the trace id it belongs to.
@@ -548,11 +578,61 @@ class AttackService:
             "capacity": buffer.capacity,
         }
 
+    def _slo_context(self) -> obs_health.SloContext:
+        """Live telemetry handles for the SLO probes — sampled at
+        evaluation time, never maintained on the hot paths."""
+        return obs_health.SloContext(
+            queue_depth=lambda: sum(
+                1 for j in self.queue.jobs() if j.status == "queued"
+            ),
+            schedulers=lambda: [
+                {
+                    "worker": s.worker_id,
+                    "alive": s.alive,
+                    "staleness_s": s.staleness_s,
+                }
+                for s in self.schedulers
+            ],
+        )
+
+    def slo_report(self) -> dict:
+        """``GET /slo``: every rule's verdict, value and reason."""
+        return self.slo_engine.evaluate(self._slo_context()).to_dict()
+
+    def debug_profile(self, query: dict) -> dict:
+        """``GET /debug/profile``: sample every thread for a bounded
+        window and return collapsed stacks.  The handler thread blocks
+        for the window; other requests proceed (threading server)."""
+        def one(name, default, convert, maximum):
+            values = query.get(name)
+            if not values:
+                return default
+            value = _client_number(values[0], convert, name)
+            if value <= 0:
+                raise ServiceError(400, f"{name} must be positive")
+            return min(value, maximum)
+
+        seconds = one("seconds", 1.0, float, MAX_PROFILE_S)
+        hz = one("hz", DEFAULT_HZ, float, MAX_PROFILE_HZ)
+        profiler = SamplingProfiler(hz=hz)
+        with profiler:
+            time.sleep(seconds)
+        view = profiler.to_dict(max_stacks=MAX_PROFILE_STACKS)
+        view["seconds"] = seconds
+        return view
+
     def health(self) -> dict:
         jobs = self.queue.jobs()
         now = self.queue.clock()
+        slo = self.slo_engine.evaluate(self._slo_context())
         return {
+            # "ok" is liveness (we answered), the SLO verdict is
+            # quality — a degraded service is still alive.
             "ok": True,
+            "slo": {
+                "verdict": slo.verdict,
+                "reasons": slo.reasons,
+            },
             "jobs": len(jobs),
             "pending": sum(1 for j in jobs if not j.done),
             "queue_depth": sum(1 for j in jobs if j.status == "queued"),
@@ -617,8 +697,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 "/jobs/<id>/events" if path.endswith("/events")
                 else "/jobs/<id>"
             )
-        if path in ("/", "/healthz", "/jobs", "/results", "/metrics",
-                    "/debug/traces"):
+        if path in ("/", "/healthz", "/slo", "/jobs", "/results",
+                    "/metrics", "/debug/traces", "/debug/profile"):
             return path
         return "<unknown>"
 
@@ -778,10 +858,14 @@ class ServiceHandler(BaseHTTPRequestHandler):
         def route():
             if path == "/healthz":
                 self._send_json(self.service.health())
+            elif path == "/slo":
+                self._send_json(self.service.slo_report())
             elif path == "/metrics":
                 self._send_text(self.service.metrics_text())
             elif path == "/debug/traces":
                 self._send_json(self.service.debug_traces(query))
+            elif path == "/debug/profile":
+                self._send_json(self.service.debug_profile(query))
             elif path == "/jobs":
                 self._send_json({
                     "jobs": [

@@ -1,0 +1,225 @@
+"""Contracts for the machine-readable benchmark artifacts.
+
+The artifact is the interface between a bench run on one machine and a
+gate decision on another, so the tests pin the parts a regression
+could silently slip through: the schema version check, direction-aware
+worsening ratios (a throughput *drop* must read as worse, exactly like
+a latency *rise*), the missing-metric-fails rule, and the CLI exit
+codes the CI perf-gate step keys off.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchMetric,
+    _worsening_ratio,
+    compare_artifacts,
+    env_fingerprint,
+    load_artifact,
+    make_artifact,
+    write_artifact,
+)
+
+
+def artifact(suite="engine", **values):
+    """A minimal artifact with lower-is-better second metric names."""
+    metrics = [
+        BenchMetric(name, value, unit="s")
+        for name, value in values.items()
+    ]
+    return make_artifact(suite, metrics, label="test")
+
+
+class TestArtifactShape:
+    def test_round_trip_through_disk(self, tmp_path):
+        art = make_artifact(
+            "engine",
+            [BenchMetric("wall_s", 1.25, unit="s"),
+             BenchMetric("rps", 80.0, direction="higher")],
+            label="unit",
+            context={"designs": ["c432"]},
+        )
+        path = write_artifact(tmp_path / "BENCH_engine.json", art)
+        loaded = load_artifact(path)
+        assert loaded["schema_version"] == BENCH_SCHEMA_VERSION
+        assert loaded["suite"] == "engine"
+        assert loaded["context"] == {"designs": ["c432"]}
+        assert loaded["metrics"] == art["metrics"]
+
+    def test_env_fingerprint_names_the_interpreter(self):
+        env = env_fingerprint()
+        assert env["python"]
+        assert env["implementation"]
+        assert env["cpu_count"] >= 1
+
+    def test_duplicate_metric_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            make_artifact(
+                "engine",
+                [BenchMetric("wall_s", 1.0), BenchMetric("wall_s", 2.0)],
+            )
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError, match="direction"):
+            BenchMetric("wall_s", 1.0, direction="sideways")
+
+    def test_non_numeric_value_rejected(self):
+        with pytest.raises(ValueError, match="number"):
+            BenchMetric("wall_s", "fast")
+        with pytest.raises(ValueError, match="number"):
+            BenchMetric("wall_s", True)
+
+    def test_unknown_schema_version_rejected(self, tmp_path):
+        art = artifact(wall_s=1.0)
+        art["schema_version"] = 999
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(art))
+        with pytest.raises(ValueError, match="schema_version"):
+            load_artifact(path)
+
+    def test_missing_file_is_a_value_error(self, tmp_path):
+        with pytest.raises(ValueError, match="no benchmark artifact"):
+            load_artifact(tmp_path / "absent.json")
+
+    def test_garbage_json_is_a_value_error(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("not json{")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_artifact(path)
+
+
+class TestWorseningRatio:
+    def test_lower_is_better_rise_is_worse(self):
+        assert _worsening_ratio("lower", 1.0, 2.0) == pytest.approx(2.0)
+        assert _worsening_ratio("lower", 2.0, 1.0) == pytest.approx(0.5)
+
+    def test_higher_is_better_drop_is_worse(self):
+        assert _worsening_ratio("higher", 100.0, 50.0) == pytest.approx(2.0)
+        assert _worsening_ratio("higher", 50.0, 100.0) == pytest.approx(0.5)
+
+    def test_zero_baselines_do_not_divide(self):
+        assert _worsening_ratio("lower", 0.0, 0.0) == 1.0
+        assert _worsening_ratio("lower", 0.0, 5.0) == float("inf")
+        assert _worsening_ratio("higher", 0.0, 0.0) == 1.0
+        assert _worsening_ratio("higher", 5.0, 0.0) == float("inf")
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        cmp = compare_artifacts(
+            artifact(wall_s=1.1), artifact(wall_s=1.0), tolerance=0.2
+        )
+        assert cmp.ok
+        assert [e.status for e in cmp.entries] == ["ok"]
+
+    def test_injected_regression_fails(self):
+        cmp = compare_artifacts(
+            artifact(wall_s=2.0), artifact(wall_s=1.0), tolerance=0.2
+        )
+        assert not cmp.ok
+        assert cmp.regressions[0].name == "wall_s"
+        assert "FAIL" in cmp.render()
+
+    def test_throughput_drop_is_a_regression(self):
+        slow = make_artifact(
+            "service", [BenchMetric("rps", 40.0, direction="higher")]
+        )
+        fast = make_artifact(
+            "service", [BenchMetric("rps", 100.0, direction="higher")]
+        )
+        cmp = compare_artifacts(slow, fast, tolerance=0.2)
+        assert [e.status for e in cmp.entries] == ["regression"]
+
+    def test_improvement_is_labelled(self):
+        cmp = compare_artifacts(
+            artifact(wall_s=0.5), artifact(wall_s=1.0), tolerance=0.2
+        )
+        assert cmp.ok
+        assert [e.status for e in cmp.entries] == ["improved"]
+
+    def test_metric_dropped_from_current_fails_the_gate(self):
+        cmp = compare_artifacts(
+            artifact(other_s=1.0), artifact(wall_s=1.0, other_s=1.0),
+            tolerance=0.2,
+        )
+        assert not cmp.ok
+        assert any(e.status == "missing" for e in cmp.entries)
+
+    def test_new_metric_is_informational(self):
+        cmp = compare_artifacts(
+            artifact(wall_s=1.0, fresh_s=9.0), artifact(wall_s=1.0),
+        )
+        assert cmp.ok
+        assert any(e.status == "new" for e in cmp.entries)
+
+    def test_suite_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="suite mismatch"):
+            compare_artifacts(
+                artifact(suite="engine", wall_s=1.0),
+                artifact(suite="service", wall_s=1.0),
+            )
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            compare_artifacts(
+                artifact(wall_s=1.0), artifact(wall_s=1.0), tolerance=-0.1
+            )
+
+
+class TestCompareCli:
+    """`repro bench compare` is the CI perf gate: exit codes are API."""
+
+    def write(self, tmp_path, name, art):
+        return str(write_artifact(tmp_path / name, art))
+
+    def test_passing_baseline_exits_zero(self, tmp_path, capsys):
+        cur = self.write(tmp_path, "cur.json", artifact(wall_s=1.05))
+        base = self.write(tmp_path, "base.json", artifact(wall_s=1.0))
+        code = main(["bench", "compare", cur, "--baseline", base])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        cur = self.write(tmp_path, "cur.json", artifact(wall_s=5.0))
+        base = self.write(tmp_path, "base.json", artifact(wall_s=1.0))
+        code = main(["bench", "compare", cur, "--baseline", base])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "REGRESSION" in out
+
+    def test_tolerance_flag_widens_the_gate(self, tmp_path):
+        cur = self.write(tmp_path, "cur.json", artifact(wall_s=1.5))
+        base = self.write(tmp_path, "base.json", artifact(wall_s=1.0))
+        assert main(["bench", "compare", cur, "--baseline", base]) == 1
+        assert main([
+            "bench", "compare", cur, "--baseline", base,
+            "--tolerance", "1.0",
+        ]) == 0
+
+    def test_unreadable_artifact_exits_two(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", artifact(wall_s=1.0))
+        code = main([
+            "bench", "compare", str(tmp_path / "missing.json"),
+            "--baseline", base,
+        ])
+        assert code == 2
+        assert "no benchmark artifact" in capsys.readouterr().err
+
+    def test_committed_baselines_pass_against_themselves(self, repo_root):
+        for name in ("BENCH_engine.json", "BENCH_service.json"):
+            base = repo_root / "results" / "baselines" / name
+            assert base.exists(), f"committed baseline {name} missing"
+            assert main([
+                "bench", "compare", str(base), "--baseline", str(base),
+            ]) == 0
+
+
+@pytest.fixture()
+def repo_root():
+    from pathlib import Path
+
+    return Path(__file__).resolve().parent.parent.parent

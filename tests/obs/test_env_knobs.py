@@ -1,0 +1,120 @@
+"""Defensive parsing of the REPRO_OBS_* environment knobs.
+
+Several knobs are read at import time, so a malformed value raising
+would break every ``import repro``.  The contract under test: invalid
+input falls back to the documented default, emits one structured
+``bad_env`` log event (never an exception), and the consuming
+subsystems (trace ring buffer, slow-op threshold) keep working.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.env import env_float, env_int
+from repro.obs.logging import (
+    DEFAULT_SLOW_OP_S,
+    SLOW_OP_ENV,
+    set_log_sink,
+    slow_threshold_s,
+)
+from repro.obs.trace import DEFAULT_CAPACITY, TRACE_CAPACITY_ENV, TraceBuffer
+
+
+@pytest.fixture()
+def captured_log():
+    sink = io.StringIO()
+    set_log_sink(sink)
+    yield sink
+    set_log_sink(None)
+
+
+def bad_env_events(sink) -> list[dict]:
+    return [
+        json.loads(line)
+        for line in sink.getvalue().splitlines()
+        if json.loads(line)["event"] == "bad_env"
+    ]
+
+
+class TestEnvNumber:
+    def test_unset_returns_default_silently(self, monkeypatch, captured_log):
+        monkeypatch.delenv("X_KNOB", raising=False)
+        assert env_int("X_KNOB", 42) == 42
+        assert env_float("X_KNOB", 0.5) == 0.5
+        assert not bad_env_events(captured_log)
+
+    def test_valid_values_parse(self, monkeypatch):
+        monkeypatch.setenv("X_KNOB", "7")
+        assert env_int("X_KNOB", 42) == 7
+        monkeypatch.setenv("X_KNOB", "0.125")
+        assert env_float("X_KNOB", 0.5) == 0.125
+
+    def test_garbage_falls_back_and_warns(self, monkeypatch, captured_log):
+        monkeypatch.setenv("X_KNOB", "many")
+        assert env_int("X_KNOB", 42) == 42
+        events = bad_env_events(captured_log)
+        assert len(events) == 1
+        assert events[0]["var"] == "X_KNOB"
+        assert events[0]["value"] == "many"
+        assert events[0]["default"] == 42
+        assert "int" in events[0]["reason"]
+
+    def test_float_string_is_not_a_valid_int(self, monkeypatch, captured_log):
+        monkeypatch.setenv("X_KNOB", "3.5")
+        assert env_int("X_KNOB", 42) == 42
+        assert len(bad_env_events(captured_log)) == 1
+
+    def test_below_minimum_falls_back_and_warns(
+        self, monkeypatch, captured_log
+    ):
+        monkeypatch.setenv("X_KNOB", "-3")
+        assert env_int("X_KNOB", 42, minimum=1) == 42
+        events = bad_env_events(captured_log)
+        assert "minimum" in events[0]["reason"]
+
+    def test_empty_string_is_treated_as_unset(
+        self, monkeypatch, captured_log
+    ):
+        monkeypatch.setenv("X_KNOB", "")
+        assert env_int("X_KNOB", 42) == 42
+        assert not bad_env_events(captured_log)
+
+    def test_no_sink_no_crash(self, monkeypatch):
+        set_log_sink(None)
+        monkeypatch.setenv("X_KNOB", "junk")
+        assert env_float("X_KNOB", 1.5) == 1.5
+
+
+class TestTraceCapacityKnob:
+    def test_valid_capacity_applies(self, monkeypatch):
+        monkeypatch.setenv(TRACE_CAPACITY_ENV, "16")
+        assert TraceBuffer().capacity == 16
+
+    def test_garbage_capacity_falls_back(self, monkeypatch, captured_log):
+        monkeypatch.setenv(TRACE_CAPACITY_ENV, "lots")
+        buffer = TraceBuffer()
+        assert buffer.capacity == DEFAULT_CAPACITY
+        assert bad_env_events(captured_log)
+
+    def test_zero_capacity_falls_back(self, monkeypatch, captured_log):
+        monkeypatch.setenv(TRACE_CAPACITY_ENV, "0")
+        assert TraceBuffer().capacity == DEFAULT_CAPACITY
+        assert bad_env_events(captured_log)
+
+
+class TestSlowOpKnob:
+    def test_valid_threshold_applies(self, monkeypatch):
+        monkeypatch.setenv(SLOW_OP_ENV, "1.5")
+        assert slow_threshold_s() == 1.5
+
+    def test_garbage_threshold_falls_back(self, monkeypatch, captured_log):
+        monkeypatch.setenv(SLOW_OP_ENV, "slowish")
+        assert slow_threshold_s() == DEFAULT_SLOW_OP_S
+        assert bad_env_events(captured_log)
+
+    def test_negative_threshold_falls_back(self, monkeypatch, captured_log):
+        monkeypatch.setenv(SLOW_OP_ENV, "-1")
+        assert slow_threshold_s() == DEFAULT_SLOW_OP_S
+        assert bad_env_events(captured_log)

@@ -1,0 +1,133 @@
+"""Behavioural tests for the stdlib sampling profiler.
+
+A sampling profiler's contract is statistical, so the tests drive a
+thread through a *named* busy function and assert that function shows
+up in the collapsed stacks — not that any exact count comes out.  The
+format contracts (``stack count`` lines, root-first ordering,
+most-sampled-first rendering) are exact and tested exactly.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.profile import (
+    DEFAULT_HZ,
+    SamplingProfiler,
+    profile_for,
+)
+
+
+def _busy_beacon(stop: threading.Event) -> None:
+    """A recognisable leaf frame to find in the samples."""
+    while not stop.is_set():
+        sum(i * i for i in range(500))
+
+
+@pytest.fixture()
+def beacon_thread():
+    stop = threading.Event()
+    thread = threading.Thread(
+        target=_busy_beacon, args=(stop,), daemon=True
+    )
+    thread.start()
+    yield
+    stop.set()
+    thread.join(2.0)
+
+
+def sample_while_busy(seconds=0.25, hz=200.0):
+    profiler = SamplingProfiler(hz=hz)
+    with profiler:
+        time.sleep(seconds)
+    return profiler
+
+
+class TestSampling:
+    def test_busy_function_appears_in_collapsed_stacks(self, beacon_thread):
+        profiler = sample_while_busy()
+        assert profiler.samples > 0
+        stacks = profiler.collapsed()
+        assert any("_busy_beacon" in stack for stack in stacks), stacks
+
+    def test_stacks_are_root_first(self, beacon_thread):
+        profiler = sample_while_busy()
+        beacon_stacks = [
+            stack for stack in profiler.collapsed()
+            if "_busy_beacon" in stack
+        ]
+        assert beacon_stacks
+        for stack in beacon_stacks:
+            frames = stack.split(";")
+            # The beacon is the leaf (or its genexp child is) — never
+            # the root: threads bottom out in threading internals.
+            assert "_busy_beacon" not in frames[0]
+
+    def test_own_sampler_thread_is_excluded(self):
+        profiler = sample_while_busy(seconds=0.1)
+        assert not any(
+            "_sample_loop" in stack for stack in profiler.collapsed()
+        )
+
+    def test_render_is_flamegraph_lines_most_sampled_first(
+        self, beacon_thread
+    ):
+        profiler = sample_while_busy()
+        lines = profiler.render_collapsed().splitlines()
+        assert lines
+        counts = []
+        for line in lines:
+            stack, _, count = line.rpartition(" ")
+            assert stack and ";" not in count
+            counts.append(int(count))
+        assert counts == sorted(counts, reverse=True)
+
+    def test_top_functions_counts_leaves(self, beacon_thread):
+        profiler = sample_while_busy()
+        top = profiler.top_functions(50)
+        assert top and all(count > 0 for _, count in top)
+
+    def test_to_dict_shape_and_stack_cap(self, beacon_thread):
+        profiler = sample_while_busy()
+        view = profiler.to_dict(max_stacks=1)
+        assert view["hz"] == 200.0
+        assert view["samples"] == profiler.samples
+        assert view["elapsed_s"] > 0
+        assert len(view["stacks"]) <= 1
+        if view["stacks"]:
+            assert set(view["stacks"][0]) == {"stack", "count"}
+        assert all(set(t) == {"function", "count"} for t in view["top"])
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self):
+        profiler = SamplingProfiler()
+        profiler.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_stop_without_start_is_a_no_op(self):
+        SamplingProfiler().stop()
+
+    def test_bad_hz_rejected(self):
+        with pytest.raises(ValueError, match="hz"):
+            SamplingProfiler(hz=0)
+        with pytest.raises(ValueError, match="hz"):
+            SamplingProfiler(hz=-5)
+
+    def test_profile_for_blocks_and_samples(self, beacon_thread):
+        t0 = time.perf_counter()
+        profiler = profile_for(0.15, hz=100.0)
+        assert time.perf_counter() - t0 >= 0.15
+        assert profiler.samples > 0
+
+    def test_profile_for_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError, match="seconds"):
+            profile_for(0)
+
+    def test_default_rate_is_prime_ish(self):
+        assert SamplingProfiler().hz == DEFAULT_HZ == 67.0

@@ -1,0 +1,342 @@
+"""Service-level SLO verdicts, the live profiler endpoint, and the
+/metrics endpoint under concurrent scrapes.
+
+The profiler acceptance case is the one the PR exists for: while a
+real (tiny-design) sweep runs on the scheduler thread, a single
+``GET /debug/profile?seconds=1`` must come back with at least one
+collapsed stack containing an engine frame — proving "where is the
+time going?" is answerable on a live service with one HTTP request.
+"""
+
+import json
+import re
+import threading
+import urllib.request
+from collections import defaultdict
+
+import pytest
+
+from repro.__main__ import main
+from repro.experiments import ResultsStore, ScenarioSpec
+from repro.obs import (
+    reset_buffer,
+    reset_registry,
+    reset_slow_op_log,
+    set_log_sink,
+)
+from repro.obs.health import SloEngine, SloRule
+from repro.pipeline import clear_memo
+from repro.service import AttackService, ServiceClient
+from repro.service.client import ServiceClientError
+
+POLL = 0.01
+
+SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\\\|\\\"|\\n)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\\\|\\\"|\\n)*\")*\})?"
+    r" (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]Inf|NaN)$"
+)
+COMMENT_RE = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$")
+
+
+@pytest.fixture(autouse=True)
+def isolated_observability(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+    clear_memo()
+    reset_registry()
+    reset_buffer()
+    reset_slow_op_log()
+    yield
+    set_log_sink(None)
+    clear_memo()
+    reset_registry()
+    reset_buffer()
+    reset_slow_op_log()
+
+
+@pytest.fixture()
+def service(tmp_path):
+    svc = AttackService(
+        store=ResultsStore(tmp_path / "exp.jsonl"),
+        queue_path=tmp_path / "q.jsonl",
+    )
+    svc.scheduler.poll_interval = POLL
+    svc.start()
+    yield svc
+    svc.stop()
+
+
+def spec_dicts(*designs):
+    return [
+        ScenarioSpec(
+            design=d, split_layer=3, attack="proximity"
+        ).to_dict()
+        for d in designs
+    ]
+
+
+def assert_valid_exposition(text: str) -> None:
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            assert COMMENT_RE.match(line), f"bad comment: {line!r}"
+        else:
+            assert SAMPLE_RE.match(line), f"bad sample: {line!r}"
+
+
+def assert_monotone_buckets(text: str) -> None:
+    series = defaultdict(list)
+    for line in text.splitlines():
+        if "_bucket{" not in line:
+            continue
+        name_and_labels, value = line.rsplit(" ", 1)
+        key = re.sub(r',?le="[^"]*"', "", name_and_labels)
+        series[key].append(int(value))
+    for key, counts in series.items():
+        assert counts == sorted(counts), (
+            f"non-monotone buckets for {key}: {counts}"
+        )
+
+
+class TestSloEndpoint:
+    def test_fresh_service_is_ok_with_all_rules_listed(self, service):
+        report = ServiceClient(service.url, timeout=10.0).slo()
+        assert report["verdict"] == "ok"
+        assert report["reasons"] == []
+        assert {r["rule"] for r in report["rules"]} == {
+            "p95_request_latency", "error_rate", "queue_depth",
+            "scheduler_staleness", "slow_op_rate",
+        }
+        for rule in report["rules"]:
+            assert rule["verdict"] == "ok"
+            assert "reason" in rule and "degraded" in rule
+
+    def test_healthz_carries_the_slo_verdict(self, service):
+        health = ServiceClient(service.url, timeout=10.0).health()
+        assert health["ok"] is True
+        assert health["slo"]["verdict"] == "ok"
+        assert health["slo"]["reasons"] == []
+
+    def test_staleness_probe_sees_live_schedulers(self, service):
+        report = ServiceClient(service.url, timeout=10.0).slo()
+        staleness = next(
+            r for r in report["rules"]
+            if r["rule"] == "scheduler_staleness"
+        )
+        assert staleness["value"] is not None
+        assert staleness["value"] < 30.0
+
+    def test_a_breached_rule_degrades_the_service_verdict(self, tmp_path):
+        # Inject a rule that any live fleet trips: staleness is always
+        # >= 0, so a zero degraded threshold reads degraded while the
+        # stock rules would read ok — and /healthz must surface it.
+        from repro.obs.health import probe_scheduler_staleness
+
+        engine = SloEngine([SloRule(
+            name="hair_trigger_staleness",
+            description="trips on any staleness at all",
+            probe=probe_scheduler_staleness,
+            degraded=0.0, critical=1e9, unit="s",
+        )])
+        svc = AttackService(
+            store=ResultsStore(tmp_path / "exp2.jsonl"),
+            queue_path=tmp_path / "q2.jsonl",
+            slo_engine=engine,
+        )
+        svc.start()
+        try:
+            client = ServiceClient(svc.url, timeout=10.0)
+            report = client.slo()
+            assert report["verdict"] == "degraded"
+            assert any(
+                "hair_trigger_staleness" in r for r in report["reasons"]
+            )
+            health = client.health()
+            assert health["ok"] is True  # degraded, but alive
+            assert health["slo"]["verdict"] == "degraded"
+        finally:
+            svc.stop()
+
+    def test_dead_fleet_reads_critical(self, service):
+        for scheduler in service.schedulers:
+            scheduler._crashed = True
+        report = ServiceClient(service.url, timeout=10.0).slo()
+        staleness = next(
+            r for r in report["rules"]
+            if r["rule"] == "scheduler_staleness"
+        )
+        assert staleness["verdict"] == "critical"
+        assert report["verdict"] == "critical"
+        # Infinite staleness serialises as null, not Infinity.
+        assert staleness["value"] is None
+
+
+class TestProfileEndpoint:
+    def test_profile_during_live_sweep_contains_engine_frames(
+        self, service
+    ):
+        client = ServiceClient(service.url, timeout=15.0)
+        # Submit enough tiny-design work that the sweep is still
+        # running while the profiler samples the scheduler thread.
+        out = client.submit(specs=spec_dicts(
+            "tiny_a", "tiny_b", "tiny_seq",
+        ))
+        job_id = out["job"]["job_id"]
+        view = client.profile(seconds=1.0, hz=200.0)
+        assert view["samples"] > 0
+        stacks = [entry["stack"] for entry in view["stacks"]]
+        assert any(
+            "repro.experiments.engine" in stack or "run_sweep" in stack
+            for stack in stacks
+        ), f"no engine frame in {len(stacks)} stacks"
+        done = client.wait(job_id, timeout=30.0)
+        assert done["status"] == "done"
+
+    def test_profile_caps_and_echoes_the_window(self, service):
+        client = ServiceClient(service.url, timeout=10.0)
+        view = client.profile(seconds=0.2, hz=100.0)
+        assert view["seconds"] == 0.2
+        assert view["hz"] == 100.0
+        assert view["elapsed_s"] >= 0.2
+
+    def test_bad_profile_parameters_are_client_errors(self, service):
+        def get(query):
+            with urllib.request.urlopen(
+                f"{service.url}/debug/profile?{query}", timeout=10
+            ) as response:
+                return json.loads(response.read())
+
+        for query in ("seconds=abc", "seconds=-1", "seconds=0", "hz=0"):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                get(query)
+            assert err.value.code == 400
+
+    def test_oversized_window_is_clamped_not_rejected(self, service):
+        # A 10-minute request must not pin a handler thread for 10
+        # minutes; the server clamps to its cap instead of erroring
+        # (and this test would time out if it didn't).
+        client = ServiceClient(service.url, timeout=40.0)
+        view = client.profile(seconds=0.1, hz=5000.0)
+        assert view["hz"] <= 250.0
+
+
+class TestMetricsUnderConcurrency:
+    def test_empty_registry_exposes_cleanly(self, service):
+        # Before any traffic: the scrape itself is the first request,
+        # so the exposition may be empty or carry only scrape-time
+        # gauges — either way it must parse.
+        text = ServiceClient(service.url, timeout=10.0).metrics()
+        assert_valid_exposition(text)
+        assert_monotone_buckets(text)
+
+    def test_concurrent_scrapes_all_parse_and_stay_monotone(self, service):
+        client = ServiceClient(service.url, timeout=15.0)
+        out = client.submit(specs=spec_dicts("tiny_a", "tiny_b"))
+        results: list[str] = []
+        errors: list[Exception] = []
+        lock = threading.Lock()
+
+        def scrape():
+            try:
+                for _ in range(5):
+                    text = ServiceClient(
+                        service.url, timeout=15.0
+                    ).metrics()
+                    with lock:
+                        results.append(text)
+            except Exception as err:  # noqa: BLE001 - collected
+                with lock:
+                    errors.append(err)
+
+        threads = [
+            threading.Thread(target=scrape, daemon=True)
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+        assert not errors, errors
+        assert len(results) == 40
+        for text in results:
+            assert_valid_exposition(text)
+            assert_monotone_buckets(text)
+        done = client.wait(out["job"]["job_id"], timeout=30.0)
+        assert done["status"] == "done"
+
+
+class TestCliSurfaces:
+    def test_health_exits_zero_on_a_healthy_service(
+        self, service, capsys
+    ):
+        code = main(["health", "--url", service.url])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "slo verdict: OK" in out
+        assert "scheduler_staleness" in out
+
+    def test_health_exit_code_tracks_degradation(self, tmp_path, capsys):
+        from repro.obs.health import probe_scheduler_staleness
+
+        engine = SloEngine([SloRule(
+            name="hair_trigger", description="always degraded",
+            probe=probe_scheduler_staleness,
+            degraded=0.0, critical=1e9, unit="s",
+        )])
+        svc = AttackService(
+            store=ResultsStore(tmp_path / "exp3.jsonl"),
+            queue_path=tmp_path / "q3.jsonl",
+            slo_engine=engine,
+        )
+        svc.start()
+        try:
+            code = main(["health", "--url", svc.url])
+        finally:
+            svc.stop()
+        assert code == 1
+        assert "DEGRADED" in capsys.readouterr().out
+
+    def test_health_json_mode_prints_the_payload(self, service, capsys):
+        code = main(["health", "--url", service.url, "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] == "ok"
+
+    def test_health_unreachable_service_exits_two(self, capsys):
+        code = main(["health", "--url", "http://127.0.0.1:1"])
+        assert code == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_profile_cli_prints_collapsed_stacks(self, service, capsys):
+        code = main([
+            "profile", "--url", service.url, "--seconds", "0.2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("#")
+        # Every non-comment line is "stack count".
+        for line in out.splitlines()[1:]:
+            stack, _, count = line.rpartition(" ")
+            assert stack and count.isdigit()
+
+    def test_trace_unknown_job_exits_nonzero(self, service, capsys):
+        code = main(["trace", "no-such-job", "--url", service.url])
+        assert code == 1
+        assert "no-such-job" in capsys.readouterr().err
+
+    def test_trace_without_spans_exits_nonzero(self, service, capsys):
+        # A resident trace whose spans were all evicted: shrink the
+        # buffer after the job so the trace id is still known to the
+        # job record but renders zero spans.
+        client = ServiceClient(service.url, timeout=10.0)
+        out = client.submit(specs=spec_dicts("tiny_a"))
+        view = client.wait(out["job"]["job_id"], timeout=30.0)
+        assert view["status"] == "done"
+        reset_buffer()  # evict every span; job record keeps the id
+        code = main(["trace", view["job_id"], "--url", service.url])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "no spans found" in err
