@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Per-rule summary table over ``repro check --format json`` output.
+
+The CI static-analysis step runs the checker itself; this script is the
+human-facing rollup — which rules fire, where, and how much of the
+finding surface is suppressed or grandfathered:
+
+    PYTHONPATH=src python -m repro check --format json > /tmp/check.json
+    python scripts/lint_report.py /tmp/check.json
+
+or in one pipe (the checker prints JSON on stdout regardless of exit
+code, so ``|| true`` keeps the pipe alive when findings exist):
+
+    PYTHONPATH=src python -m repro check --format json | \\
+        python scripts/lint_report.py -
+
+Exit code mirrors ``repro check``: 0 when no new findings, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+
+
+def _load(path: str) -> dict:
+    if path == "-":
+        return json.load(sys.stdin)
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def render(report: dict) -> str:
+    buckets = ("new", "baselined", "suppressed")
+    per_rule: dict[str, Counter] = {}
+    for bucket in buckets:
+        for finding in report.get(bucket, []):
+            per_rule.setdefault(finding["rule"], Counter())[bucket] += 1
+    lines = [
+        f"{'rule':20s} {'new':>5s} {'baselined':>10s} {'suppressed':>11s}",
+        "-" * 48,
+    ]
+    for rule in sorted(per_rule):
+        counts = per_rule[rule]
+        lines.append(
+            f"{rule:20s} {counts['new']:5d} {counts['baselined']:10d} "
+            f"{counts['suppressed']:11d}"
+        )
+    if not per_rule:
+        lines.append(f"{'(no findings)':20s} {0:5d} {0:10d} {0:11d}")
+    lines.append("-" * 48)
+    total = Counter()
+    for counts in per_rule.values():
+        total.update(counts)
+    lines.append(
+        f"{'total':20s} {total['new']:5d} {total['baselined']:10d} "
+        f"{total['suppressed']:11d}   "
+        f"({report.get('files_scanned', 0)} files)"
+    )
+    stale = report.get("stale_baseline", [])
+    if stale:
+        lines.append(
+            f"stale baseline entries: {len(stale)} "
+            f"(repro check --update-baseline to drop)"
+        )
+    for finding in report.get("new", []):
+        lines.append(
+            f"  NEW {finding['path']}:{finding['line']} "
+            f"[{finding['rule']}] {finding['message']}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "report", help="repro check --format json output file, or - for stdin"
+    )
+    args = parser.parse_args(argv)
+    try:
+        report = _load(args.report)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"lint_report: {err}", file=sys.stderr)
+        return 2
+    print(render(report))
+    return 1 if report.get("new") else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,9 @@ report      summarise the results store (slowest nodes, cache hits);
 migrate-store
             replay one store's history into another backend/format
             (JSONL journal <-> indexed SQLite)
+check       run the stdlib-ast invariant checker over the tree; exit
+            0 clean / 1 new findings / 2 analyzer error (the CI
+            static-analysis gate)
 
 Every execution command is a thin argument parser over
 :class:`repro.api.Client`: ``attack``, ``table3``, ``figure5``,
@@ -93,6 +96,7 @@ def cmd_quickstart(_args) -> int:
 
 
 def cmd_build(args) -> int:
+    from repro.core.atomic import atomic_write_text
     from repro.layout import write_def
     from repro.pipeline import get_layout
 
@@ -100,8 +104,9 @@ def cmd_build(args) -> int:
     for key, value in design.stats().items():
         print(f"  {key}: {value}")
     if args.out:
-        with open(args.out, "w") as handle:
-            handle.write(write_def(design))
+        from pathlib import Path
+
+        atomic_write_text(Path(args.out), write_def(design))
         print(f"wrote {args.out}")
     return 0
 
@@ -484,6 +489,12 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    from repro.analysis.cli import run_check
+
+    return run_check(args)
+
+
 def cmd_migrate_store(args) -> int:
     from repro.experiments import migrate_store
 
@@ -795,6 +806,17 @@ def build_parser() -> argparse.ArgumentParser:
         "dest", help="store to write (suffix selects the backend)"
     )
     p_mig.set_defaults(fn=cmd_migrate_store)
+
+    p_chk = sub.add_parser(
+        "check",
+        help="run the stdlib-ast invariant checker (lock discipline, "
+        "atomic writes, journal exhaustiveness, ...); exit 0 clean / "
+        "1 new findings / 2 analyzer error",
+    )
+    from repro.analysis.cli import add_check_arguments
+
+    add_check_arguments(p_chk)
+    p_chk.set_defaults(fn=cmd_check)
     return parser
 
 

@@ -1,0 +1,41 @@
+"""Static analysis for the repro codebase (``repro check``).
+
+A stdlib-``ast`` invariant checker purpose-built for this repo's
+contracts: lock discipline on shared state, atomic file writes,
+journal-event exhaustiveness, broad-except hygiene, import layering,
+stdlib-only dependencies, and hash determinism.  See
+:mod:`repro.analysis.engine` for the engine and
+:mod:`repro.analysis.rules` for the rule catalogue.
+"""
+
+from __future__ import annotations
+
+from .engine import (
+    Analyzer,
+    AnalyzerError,
+    CheckReport,
+    DEFAULT_BASELINE,
+    ModuleSource,
+    Rule,
+    baseline_payload,
+    collect_files,
+    load_baseline,
+)
+from .findings import Finding, SEVERITIES, assign_fingerprints
+from .rules import all_rules
+
+__all__ = [
+    "Analyzer",
+    "AnalyzerError",
+    "CheckReport",
+    "DEFAULT_BASELINE",
+    "Finding",
+    "ModuleSource",
+    "Rule",
+    "SEVERITIES",
+    "all_rules",
+    "assign_fingerprints",
+    "baseline_payload",
+    "collect_files",
+    "load_baseline",
+]

@@ -1,0 +1,130 @@
+"""``repro check``: the command-line face of the invariant checker.
+
+Exit codes (scriptable, mirroring ``repro health``):
+
+* ``0`` — no findings beyond the committed baseline;
+* ``1`` — at least one *new* finding (fix it, suppress it with a
+  justified ``# repro: ignore[rule-id]``, or — for wholesale
+  grandfathering — ``--update-baseline``);
+* ``2`` — the analyzer itself failed (bad path, syntax error, unknown
+  rule, unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .engine import (
+    Analyzer,
+    AnalyzerError,
+    DEFAULT_BASELINE,
+    baseline_payload,
+    load_baseline,
+)
+from .rules import all_rules
+
+
+def add_check_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files/directories to scan (default: src)",
+    )
+    parser.add_argument(
+        "--rule", action="append", metavar="ID", default=None,
+        help="run only this rule id; repeatable (default: all rules)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help=f"baseline file of grandfathered findings "
+        f"(default: {DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--format", dest="fmt", choices=("text", "json"), default="text",
+        help="output format (json feeds scripts/lint_report.py)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline file to grandfather every current "
+        "finding, then exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def _select_rules(rule_ids: list[str] | None):
+    rules = all_rules()
+    if not rule_ids:
+        return rules
+    known = {rule.rule_id: rule for rule in rules}
+    missing = [rid for rid in rule_ids if rid not in known]
+    if missing:
+        raise AnalyzerError(
+            f"unknown rule id(s) {missing}; known: {sorted(known)}"
+        )
+    return [known[rid] for rid in rule_ids]
+
+
+def _print_list_rules() -> int:
+    for rule in all_rules():
+        print(f"{rule.rule_id:18s} [{rule.severity:7s}] {rule.description}")
+    return 0
+
+
+def run_check(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        return _print_list_rules()
+    try:
+        rules = _select_rules(args.rule)
+        paths = [Path(p) for p in (args.paths or ["src"])]
+        baseline_path = (
+            Path(args.baseline) if args.baseline else DEFAULT_BASELINE
+        )
+        # An explicitly named baseline must exist (unless this run is
+        # creating it); the default one is simply absent until the
+        # first --update-baseline.
+        if baseline_path.exists():
+            baseline = load_baseline(baseline_path)
+        elif args.baseline and not args.update_baseline:
+            raise AnalyzerError(f"no such baseline: {baseline_path}")
+        else:
+            baseline = set()
+        report = Analyzer(rules).run(paths, baseline=baseline)
+    except AnalyzerError as err:
+        print(f"repro check: error: {err}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        # Lazy: core.atomic pulls numpy, which `repro check` does not
+        # otherwise need.
+        from repro.core.atomic import atomic_write_json
+
+        atomic_write_json(baseline_path, baseline_payload(report.findings))
+        print(
+            f"baseline {baseline_path}: {len(report.findings)} findings "
+            f"grandfathered"
+        )
+        return 0
+
+    if args.fmt == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 1 if report.new else 0
+
+    for finding in sorted(report.new, key=lambda f: (f.path, f.line)):
+        print(finding.render())
+    summary = (
+        f"repro check: {report.files_scanned} files, "
+        f"{len(report.new)} new, {len(report.baselined)} baselined, "
+        f"{len(report.suppressed)} suppressed"
+    )
+    if report.stale_baseline:
+        summary += (
+            f"; {len(report.stale_baseline)} stale baseline entries "
+            f"(re-run with --update-baseline to drop them)"
+        )
+    print(summary)
+    return 1 if report.new else 0

@@ -1,0 +1,254 @@
+"""Rule engine: parse modules once, run every rule, apply suppressions
+and the committed baseline.
+
+The pipeline is deliberately boring::
+
+    files -> ModuleSource (one parse each) -> rule.check(module) per rule
+          -> drop `# repro: ignore[rule-id]` suppressions
+          -> fingerprint -> split into (new, baselined) against the
+             committed baseline file
+
+Rules are pure functions of a :class:`ModuleSource`; everything
+stateful (suppression comments, fingerprints, baseline bookkeeping)
+lives here so a rule author only writes an AST visitor.
+
+Suppression syntax — on the finding's own line::
+
+    with open(path, "ab") as handle:  # repro: ignore[atomic-write] why
+
+``ignore[*]`` silences every rule on that line.  Suppressions are for
+*intentional* violations with a justification in the trailing text;
+pre-existing findings being grandfathered wholesale belong in the
+baseline file instead (``repro check --update-baseline``).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Finding, assign_fingerprints
+
+#: the suppression comment, anywhere in a line; trailing justification
+#: text after the bracket is encouraged and ignored by the parser.
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore\[([A-Za-z0-9_*,\s-]+)\]")
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE = Path("results") / "lint_baseline.json"
+
+
+class AnalyzerError(Exception):
+    """The analyzer itself failed (bad path, unparseable file, unknown
+    rule) — ``repro check`` exit code 2, distinct from findings."""
+
+
+@dataclass
+class ModuleSource:
+    """One parsed module plus the per-line suppression table."""
+
+    path: Path
+    relpath: str  # repo-relative posix path (display + fingerprints)
+    text: str
+    tree: ast.Module
+    lines: list[str]
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path, root: Path | None = None) -> "ModuleSource":
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as err:
+            raise AnalyzerError(f"cannot read {path}: {err}") from None
+        try:
+            tree = ast.parse(text, filename=str(path))
+        except SyntaxError as err:
+            raise AnalyzerError(
+                f"{path}:{err.lineno}: syntax error: {err.msg}"
+            ) from None
+        lines = text.splitlines()
+        suppressions: dict[int, set[str]] = {}
+        for lineno, line in enumerate(lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                rule_ids = {
+                    part.strip()
+                    for part in match.group(1).split(",")
+                    if part.strip()
+                }
+                if rule_ids:
+                    suppressions[lineno] = rule_ids
+        return cls(
+            path=path,
+            relpath=_relpath(path, root),
+            text=text,
+            tree=tree,
+            lines=lines,
+            suppressions=suppressions,
+        )
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def suppressed(self, rule_id: str, lineno: int) -> bool:
+        rule_ids = self.suppressions.get(lineno)
+        return rule_ids is not None and (
+            "*" in rule_ids or rule_id in rule_ids
+        )
+
+    def finding(
+        self, rule: "Rule", lineno: int, message: str
+    ) -> Finding:
+        return Finding(
+            rule=rule.rule_id,
+            severity=rule.severity,
+            path=self.relpath,
+            line=lineno,
+            message=message,
+            snippet=self.source_line(lineno),
+        )
+
+
+def _relpath(path: Path, root: Path | None) -> str:
+    root = root or Path.cwd()
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+class Rule:
+    """Base class every rule extends: an id, a severity, and one
+    ``check`` over a parsed module."""
+
+    rule_id = "abstract"
+    severity = "error"
+    description = ""
+
+    def check(self, module: ModuleSource) -> list[Finding]:
+        raise NotImplementedError
+
+
+@dataclass
+class CheckReport:
+    """Everything one ``repro check`` run learned."""
+
+    findings: list[Finding] = field(default_factory=list)  # unsuppressed
+    suppressed: list[Finding] = field(default_factory=list)
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale_baseline: list[str] = field(default_factory=list)
+    files_scanned: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "version": BASELINE_VERSION,
+            "files_scanned": self.files_scanned,
+            "new": [f.to_dict() for f in self.new],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "stale_baseline": list(self.stale_baseline),
+        }
+
+
+def collect_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated list of
+    ``.py`` files; a missing path is an analyzer error, not a finding."""
+    out: dict[Path, None] = {}
+    for path in paths:
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                out[candidate] = None
+        elif path.is_file():
+            out[path] = None
+        else:
+            raise AnalyzerError(f"no such file or directory: {path}")
+    return list(out)
+
+
+class Analyzer:
+    """Run a rule set over a file tree and fold in the baseline."""
+
+    def __init__(self, rules: list[Rule]):
+        ids = [rule.rule_id for rule in rules]
+        if len(ids) != len(set(ids)):
+            raise AnalyzerError(f"duplicate rule ids: {ids}")
+        self.rules = list(rules)
+
+    def run(
+        self,
+        paths: list[Path],
+        root: Path | None = None,
+        baseline: set[str] | None = None,
+    ) -> CheckReport:
+        report = CheckReport()
+        raw: list[Finding] = []
+        for path in collect_files(paths):
+            module = ModuleSource.parse(path, root=root)
+            report.files_scanned += 1
+            for rule in self.rules:
+                for finding in rule.check(module):
+                    if module.suppressed(finding.rule, finding.line):
+                        report.suppressed.append(finding)
+                    else:
+                        raw.append(finding)
+        report.findings = assign_fingerprints(raw)
+        baseline = baseline or set()
+        matched: set[str] = set()
+        for finding in report.findings:
+            if finding.fingerprint in baseline:
+                matched.add(finding.fingerprint)
+                report.baselined.append(finding)
+            else:
+                report.new.append(finding)
+        report.stale_baseline = sorted(baseline - matched)
+        return report
+
+
+# -- baseline file -------------------------------------------------------
+
+
+def load_baseline(path: Path) -> set[str]:
+    """Fingerprints grandfathered by the committed baseline file."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as err:
+        raise AnalyzerError(f"cannot read baseline {path}: {err}") from None
+    except json.JSONDecodeError as err:
+        raise AnalyzerError(f"bad baseline {path}: {err}") from None
+    if payload.get("version") != BASELINE_VERSION:
+        raise AnalyzerError(
+            f"baseline {path} has version {payload.get('version')!r}, "
+            f"expected {BASELINE_VERSION}"
+        )
+    entries = payload.get("findings", [])
+    if not isinstance(entries, list):
+        raise AnalyzerError(f"baseline {path}: 'findings' must be a list")
+    return {
+        entry["fingerprint"]
+        for entry in entries
+        if isinstance(entry, dict) and entry.get("fingerprint")
+    }
+
+
+def baseline_payload(findings: list[Finding]) -> dict:
+    """The JSON document ``--update-baseline`` writes: enough context
+    per entry for a reviewer to judge whether the grandfathering still
+    makes sense."""
+    return {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {
+                "fingerprint": f.fingerprint,
+                "rule": f.rule,
+                "path": f.path,
+                "snippet": f.snippet,
+                "message": f.message,
+            }
+            for f in sorted(findings, key=lambda f: (f.path, f.line))
+        ],
+    }

@@ -1,0 +1,102 @@
+"""Finding model shared by every analysis rule.
+
+A :class:`Finding` is one rule violation pinned to a file and line.
+Findings are *data* (dict round-trip, JSON-able) so ``repro check
+--format json`` and the committed baseline file speak the same shape.
+
+Identity is the *fingerprint*: a hash of the rule id, the repo-relative
+path, the stripped source line the finding points at, and an occurrence
+index among identical (rule, path, snippet) triples.  Line numbers are
+deliberately excluded — a finding keeps its identity when unrelated
+edits shift the file, which is what lets the baseline grandfather old
+findings without pinning them to exact line numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+#: severity vocabulary, mildest first.
+SEVERITIES = ("warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    severity: str
+    path: str  # repo-relative posix path
+    line: int
+    message: str
+    snippet: str = ""  # the stripped source line, for fingerprinting
+    fingerprint: str = field(default="", compare=False)
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Finding":
+        return cls(
+            rule=payload["rule"],
+            severity=payload.get("severity", "error"),
+            path=payload["path"],
+            line=int(payload.get("line", 0)),
+            message=payload.get("message", ""),
+            snippet=payload.get("snippet", ""),
+            fingerprint=payload.get("fingerprint", ""),
+        )
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+            f" ({self.severity})"
+        )
+
+
+def _raw_fingerprint(rule: str, path: str, snippet: str, index: int) -> str:
+    canonical = f"{rule}|{path}|{snippet}|{index}"
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def assign_fingerprints(findings: list[Finding]) -> list[Finding]:
+    """Return ``findings`` with stable fingerprints filled in.
+
+    Findings sharing (rule, path, snippet) are numbered in line order,
+    so two identical violations in one file keep distinct — but line-
+    shift-stable — identities.
+    """
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    seen: dict[tuple[str, str, str], int] = {}
+    out = []
+    for finding in ordered:
+        key = (finding.rule, finding.path, finding.snippet)
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        out.append(
+            Finding(
+                rule=finding.rule,
+                severity=finding.severity,
+                path=finding.path,
+                line=finding.line,
+                message=finding.message,
+                snippet=finding.snippet,
+                fingerprint=_raw_fingerprint(
+                    finding.rule, finding.path, finding.snippet, index
+                ),
+            )
+        )
+    return out

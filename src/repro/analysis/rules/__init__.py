@@ -1,0 +1,41 @@
+"""The rule registry for ``repro check``.
+
+Adding a rule = write a :class:`~repro.analysis.engine.Rule` subclass
+in this package and list it in :func:`all_rules`; everything else
+(suppressions, fingerprints, baseline, CLI flags) comes for free from
+the engine.
+"""
+
+from __future__ import annotations
+
+from ..engine import Rule
+from .atomicio import AtomicWriteRule
+from .determinism import HashDeterminismRule
+from .excepts import BroadExceptRule
+from .imports import LayeringRule, StdlibOnlyRule
+from .journal import JournalExhaustiveRule
+from .locks import LockDisciplineRule
+
+__all__ = [
+    "AtomicWriteRule",
+    "BroadExceptRule",
+    "HashDeterminismRule",
+    "JournalExhaustiveRule",
+    "LayeringRule",
+    "LockDisciplineRule",
+    "StdlibOnlyRule",
+    "all_rules",
+]
+
+
+def all_rules() -> list[Rule]:
+    """One instance of every registered rule, stable order."""
+    return [
+        LockDisciplineRule(),
+        AtomicWriteRule(),
+        JournalExhaustiveRule(),
+        BroadExceptRule(),
+        LayeringRule(),
+        StdlibOnlyRule(),
+        HashDeterminismRule(),
+    ]

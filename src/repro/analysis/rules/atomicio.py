@@ -1,0 +1,109 @@
+"""``atomic-write``: durable files go through :mod:`repro.core.atomic`.
+
+Every journal, results-store, cache and artifact write in this repo
+must be crash- and race-safe: temp-file + ``os.replace`` for whole
+files (:func:`atomic_write_text` / :func:`atomic_write_json` /
+:func:`atomic_savez`), single ``O_APPEND`` writes for append-only logs
+(:func:`atomic_append_line`).  A raw ``open(path, "w")`` anywhere in
+``src/`` is a torn-file bug waiting for a concurrent writer or a
+mid-write crash, so this rule flags *every* write-mode file API outside
+the implementing module:
+
+* ``open(..., "w"/"a"/"x"/"+"...)`` (positional or ``mode=`` keyword);
+* ``json.dump`` / ``pickle.dump`` (the write-to-handle forms);
+* ``np.save`` / ``np.savez`` / ``np.savez_compressed``;
+* ``path.write_text(...)`` / ``path.write_bytes(...)``;
+* ``os.open`` with ``O_WRONLY`` / ``O_RDWR`` / ``O_APPEND`` flags.
+
+``core/atomic.py`` itself is exempt — it is the one place these
+primitives are allowed to live.  Intentional raw writes (e.g. the
+journal's single-byte torn-tail seal) carry an inline
+``# repro: ignore[atomic-write]`` with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import ModuleSource, Rule
+
+_WRITE_FLAGS = frozenset({"O_WRONLY", "O_RDWR", "O_APPEND"})
+_NUMPY_WRITERS = frozenset({"save", "savez", "savez_compressed"})
+_PATH_WRITERS = frozenset({"write_text", "write_bytes"})
+_EXEMPT_SUFFIXES = ("core/atomic.py",)
+
+
+def _mode_is_write(node: ast.Call) -> bool:
+    mode = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if not isinstance(mode, ast.Constant) or not isinstance(
+        mode.value, str
+    ):
+        return False
+    return any(ch in mode.value for ch in "wax+")
+
+
+def _os_open_writes(node: ast.Call) -> bool:
+    if len(node.args) < 2:
+        return False
+    for sub in ast.walk(node.args[1]):
+        if isinstance(sub, ast.Attribute) and sub.attr in _WRITE_FLAGS:
+            return True
+    return False
+
+
+class AtomicWriteRule(Rule):
+    rule_id = "atomic-write"
+    severity = "error"
+    description = (
+        "raw write-mode file APIs must route through the "
+        "repro.core.atomic helpers (atomic_write_text/json, "
+        "atomic_savez, atomic_append_line)"
+    )
+
+    def check(self, module: ModuleSource) -> list:
+        if module.relpath.endswith(_EXEMPT_SUFFIXES):
+            return []
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            what = self._classify(node)
+            if what is not None:
+                findings.append(
+                    module.finding(
+                        self,
+                        node.lineno,
+                        f"{what} bypasses repro.core.atomic; a crash "
+                        f"or concurrent writer can tear the file",
+                    )
+                )
+        return findings
+
+    def _classify(self, node: ast.Call) -> str | None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "open" and _mode_is_write(node):
+                return "write-mode open()"
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        owner = func.value
+        owner_name = owner.id if isinstance(owner, ast.Name) else None
+        if func.attr == "dump" and owner_name in ("json", "pickle"):
+            return f"{owner_name}.dump()"
+        if func.attr in _NUMPY_WRITERS and owner_name in ("np", "numpy"):
+            return f"{owner_name}.{func.attr}()"
+        if func.attr in _PATH_WRITERS:
+            return f".{func.attr}()"
+        if (
+            func.attr == "open"
+            and owner_name == "os"
+            and _os_open_writes(node)
+        ):
+            return "os.open() with write flags"
+        return None

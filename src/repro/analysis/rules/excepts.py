@@ -1,0 +1,90 @@
+"""``broad-except``: catching ``Exception`` must not swallow silently.
+
+A ``try/except Exception: pass`` in a service thread is how crashes
+become mysteries: the scheduler keeps dispatching, the server keeps
+answering, and the only evidence of the bug is state that quietly
+stopped changing.  The contract here (matching the observability layer
+PR 7 added): a broad handler — bare ``except:``, ``except Exception``,
+``except BaseException`` (alone or in a tuple) — must either
+
+* re-raise (any ``raise`` in the handler body), or
+* report through structured logging (a ``log_event(...)`` call).
+
+Handlers that genuinely propagate the error through another channel
+(returning a traceback as data, sending it over a pipe) carry an
+inline ``# repro: ignore[broad-except]`` with the justification;
+stale-cache tolerance paths that existed before this checker are
+grandfathered in the committed baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import ModuleSource, Rule
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True  # bare except:
+    nodes = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for node in nodes:
+        if isinstance(node, ast.Name) and node.id in _BROAD:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in _BROAD:
+            return True
+    return False
+
+
+def _handles(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else ""
+            )
+            if name == "log_event":
+                return True
+    return False
+
+
+class BroadExceptRule(Rule):
+    rule_id = "broad-except"
+    severity = "warning"
+    description = (
+        "`except Exception` blocks must re-raise or emit a structured "
+        "log_event; silent swallows turn crashes into mysteries"
+    )
+
+    def check(self, module: ModuleSource) -> list:
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node) or _handles(node):
+                continue
+            caught = (
+                "bare except"
+                if node.type is None
+                else ast.unparse(node.type)
+            )
+            findings.append(
+                module.finding(
+                    self,
+                    node.lineno,
+                    f"broad handler ({caught}) neither re-raises nor "
+                    f"calls log_event; narrow the type or report the "
+                    f"error",
+                )
+            )
+        return findings

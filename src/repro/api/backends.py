@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from ..experiments.engine import run_sweep
 from ..experiments.store import ResultsStore, ScenarioRecord
 from ..obs import trace as obs_trace
+from ..obs.logging import log_event
 from ..pipeline.flow import cache_dir
 from ..pipeline.parallel import Executor, resolve_workers
 from .events import engine_hooks
@@ -356,8 +357,13 @@ class ServiceBackend(Backend):
         except TimeoutError:
             raise TimeoutError(f"job {job.job_id} still {job.status}") \
                 from None
-        except Exception:
-            return None  # stream transport failed; long-poll instead
+        except Exception as err:
+            # Stream transport failed; fall back to long-polling, but
+            # leave a trace of why the cheap path was abandoned.
+            log_event(
+                "event_stream_error", job_id=job.job_id, error=repr(err)
+            )
+            return None
         if not terminal:
             return None  # stream ended early (service shutting down)
         return client.job(job.job_id)

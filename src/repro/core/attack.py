@@ -266,8 +266,8 @@ class DLAttack:
                         emb = data["emb"]
                     if emb.shape == (table.shape[0], width):
                         return emb.astype(np.float32, copy=False)
-                except Exception:
-                    pass  # unreadable/stale: re-embed
+                except Exception:  # repro: ignore[broad-except] unreadable/stale cache: fall through and re-embed
+                    pass
         table_f = table.astype(np.float32)
         emb_table = np.concatenate([
             self.model.embed_images(table_f[start : start + self._EMBED_CHUNK])

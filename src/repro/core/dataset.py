@@ -305,8 +305,8 @@ class SplitDataset:
                     image_table = data["image_table"]
                     src_index = data["src_index"].astype(np.intp)
                     sink_index = data["sink_index"].astype(np.intp)
-        except Exception:
-            return False  # unreadable cache: recompute
+        except Exception:  # repro: ignore[broad-except] unreadable cache: report a miss and recompute
+            return False
 
         g = group_sink.shape[0]
         sink_ids = {f.fragment_id for f in self.split.sink_fragments}

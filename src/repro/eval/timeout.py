@@ -69,11 +69,11 @@ def run_with_timeout(fn: Callable[[], Any], limit_s: float) -> TimedResult:
 def _subprocess_target(conn, fn: Callable[[], Any]) -> None:
     try:
         result: tuple[str, Any] = ("ok", fn())
-    except BaseException as exc:  # ship the exception to the parent
+    except BaseException as exc:  # repro: ignore[broad-except] the exception IS the result, shipped to the parent over the pipe
         result = ("err", exc)
     try:
         conn.send(result)
-    except Exception:
+    except Exception:  # repro: ignore[broad-except] unpicklable payloads become a picklable error for the parent
         conn.send(("err", RuntimeError(f"unpicklable result: {result[1]!r}")))
     finally:
         conn.close()

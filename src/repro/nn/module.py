@@ -127,7 +127,13 @@ class Module:
             param.grad = np.zeros_like(param.value)
 
     def save(self, path) -> None:
-        np.savez_compressed(path, **self.state_dict())
+        # Lazy: nn is foundation-layer and must not depend on core at
+        # import time; core.atomic is reached only when saving.
+        from pathlib import Path
+
+        from repro.core.atomic import atomic_savez
+
+        atomic_savez(Path(path), self.state_dict())
 
     def load(self, path) -> None:
         with np.load(path) as data:

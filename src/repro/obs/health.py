@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from . import metrics as obs_metrics
-from .logging import get_slow_op_log
+from .logging import get_slow_op_log, log_event
 
 __all__ = [
     "HealthReport",
@@ -123,6 +123,7 @@ class SloRule:
         try:
             value = self.probe(context)
         except Exception as err:  # a broken probe is itself a signal
+            log_event("slo_probe_error", rule=self.name, error=str(err))
             return RuleVerdict(
                 rule=self, verdict="critical", value=None,
                 reason=f"{self.name}: probe failed: {err}",

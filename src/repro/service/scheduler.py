@@ -116,7 +116,7 @@ def _safe_node(kind: str, payload: tuple):
     node cannot take down an executor batch shared across jobs."""
     try:
         return (*run_node(kind, payload), None)
-    except Exception:  # the scheduler triages the failure by owner
+    except Exception:  # repro: ignore[broad-except] failure returns as data (traceback string) for the scheduler to triage
         return kind, None, 0.0, traceback.format_exc(limit=8)
 
 
@@ -345,8 +345,13 @@ class SweepScheduler:
             data.setdefault("trace_id", active.trace_id)
         try:
             self.on_job_event(job_id, kind, message, dict(data))
-        except Exception:
-            pass  # observers must never take the dispatch loop down
+        except Exception as err:
+            # Observers must never take the dispatch loop down, but a
+            # throwing observer is a bug worth a structured breadcrumb.
+            log_event(
+                "observer_error", job_id=job_id, kind=kind,
+                error=repr(err),
+            )
 
     def _claim_all(self) -> None:
         while not self._stop.is_set():
@@ -380,7 +385,7 @@ class SweepScheduler:
                     plan = plan_sweep(
                         job.specs_objects(), store=self.store, resume=True
                     )
-        except Exception:  # bad spec payloads must not kill the thread
+        except Exception:  # repro: ignore[broad-except] failure is journaled via queue.fail below; bad specs must not kill the thread
             error = traceback.format_exc(limit=8)
             self.queue.fail(job.job_id, error)
             self._emit(job.job_id, "failed", error, error=error)

@@ -811,6 +811,9 @@ class ServiceHandler(BaseHTTPRequestHandler):
         except ConnectionError:
             pass  # client gave up on a long-poll / event stream
         except Exception as err:  # never take the server thread down
+            log_event(
+                "request_error", path=self.path, error=repr(err)
+            )
             self._send_json({"error": f"internal: {err}"}, status=500)
 
     # -- routes --------------------------------------------------------

@@ -1,0 +1,42 @@
+"""Shared fixture: run one rule (or a rule list) over inline source.
+
+Each rule test writes a small fixture module to a temp tree and runs
+the real engine over it, so suppression comments and fingerprints are
+exercised exactly as ``repro check`` would.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.engine import Analyzer, ModuleSource
+
+
+@pytest.fixture
+def analyze(tmp_path):
+    """``analyze(rule_or_rules, source, name=...) -> CheckReport``."""
+
+    def run(rules, source, name="src/repro/core/mod.py", baseline=None):
+        if not isinstance(rules, (list, tuple)):
+            rules = [rules]
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return Analyzer(list(rules)).run(
+            [path], root=tmp_path, baseline=baseline
+        )
+
+    return run
+
+
+@pytest.fixture
+def parse_module(tmp_path):
+    """``parse_module(source, name=...) -> ModuleSource``."""
+
+    def run(source, name="src/repro/core/mod.py"):
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return ModuleSource.parse(path, root=tmp_path)
+
+    return run

@@ -1,0 +1,224 @@
+"""Engine mechanics: suppressions, fingerprints, baseline, CLI codes."""
+
+import json
+
+import pytest
+
+from repro.analysis.engine import (
+    Analyzer,
+    AnalyzerError,
+    baseline_payload,
+    load_baseline,
+)
+from repro.analysis.findings import Finding, assign_fingerprints
+from repro.analysis.rules import all_rules
+from repro.analysis.rules.atomicio import AtomicWriteRule
+from repro.analysis.rules.excepts import BroadExceptRule
+from repro.__main__ import main
+
+VIOLATION = """\
+    def dump(path, text):
+        with open(path, "w") as handle:
+            handle.write(text)
+"""
+
+
+def test_finding_requires_known_severity():
+    with pytest.raises(ValueError):
+        Finding(rule="x", severity="fatal", path="a.py", line=1, message="m")
+
+
+def test_rule_ids_unique():
+    rules = all_rules()
+    assert len({r.rule_id for r in rules}) == len(rules) >= 5
+
+
+def test_duplicate_rule_ids_rejected():
+    with pytest.raises(AnalyzerError):
+        Analyzer([AtomicWriteRule(), AtomicWriteRule()])
+
+
+def test_missing_path_is_analyzer_error(tmp_path):
+    with pytest.raises(AnalyzerError):
+        Analyzer([AtomicWriteRule()]).run([tmp_path / "nope"])
+
+
+def test_syntax_error_is_analyzer_error(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n")
+    with pytest.raises(AnalyzerError):
+        Analyzer([AtomicWriteRule()]).run([bad])
+
+
+def test_finding_reported(analyze):
+    report = analyze(AtomicWriteRule(), VIOLATION)
+    assert len(report.new) == 1
+    assert report.new[0].rule == "atomic-write"
+    assert report.new[0].line == 2
+    assert "src/repro/core/mod.py" in report.new[0].render()
+
+
+def test_suppression_comment_silences(analyze):
+    report = analyze(
+        AtomicWriteRule(),
+        """\
+        def dump(path, text):
+            with open(path, "w") as handle:  # repro: ignore[atomic-write] why
+                handle.write(text)
+        """,
+    )
+    assert report.new == []
+    assert len(report.suppressed) == 1
+
+
+def test_suppression_star_and_lists(analyze):
+    star = analyze(
+        AtomicWriteRule(),
+        """\
+        def dump(path):
+            open(path, "w")  # repro: ignore[*]
+        """,
+    )
+    assert star.new == [] and len(star.suppressed) == 1
+    listed = analyze(
+        AtomicWriteRule(),
+        """\
+        def dump(path):
+            open(path, "w")  # repro: ignore[broad-except, atomic-write]
+        """,
+    )
+    assert listed.new == [] and len(listed.suppressed) == 1
+
+
+def test_suppression_wrong_rule_does_not_silence(analyze):
+    report = analyze(
+        AtomicWriteRule(),
+        """\
+        def dump(path):
+            open(path, "w")  # repro: ignore[broad-except]
+        """,
+    )
+    assert len(report.new) == 1
+
+
+def test_fingerprints_stable_under_line_shift():
+    a = assign_fingerprints(
+        [Finding("r", "error", "p.py", 10, "m", snippet="open(x)")]
+    )
+    b = assign_fingerprints(
+        [Finding("r", "error", "p.py", 99, "m", snippet="open(x)")]
+    )
+    assert a[0].fingerprint == b[0].fingerprint
+
+
+def test_identical_findings_get_distinct_fingerprints():
+    twins = assign_fingerprints([
+        Finding("r", "error", "p.py", 5, "m", snippet="open(x)"),
+        Finding("r", "error", "p.py", 50, "m", snippet="open(x)"),
+    ])
+    assert twins[0].fingerprint != twins[1].fingerprint
+
+
+def test_baseline_roundtrip_and_stale(tmp_path, analyze):
+    report = analyze(AtomicWriteRule(), VIOLATION)
+    payload = baseline_payload(report.findings)
+    baseline_file = tmp_path / "baseline.json"
+    baseline_file.write_text(json.dumps(payload))
+    fingerprints = load_baseline(baseline_file)
+    again = analyze(
+        AtomicWriteRule(), VIOLATION, name="src/repro/core/mod2.py",
+        baseline=fingerprints,
+    )
+    # Different path -> different fingerprint -> still new, and the
+    # baseline entry is reported stale.
+    assert len(again.new) == 1
+    assert again.stale_baseline == sorted(fingerprints)
+    same = analyze(AtomicWriteRule(), VIOLATION, baseline=fingerprints)
+    assert same.new == [] and len(same.baselined) == 1
+    assert same.stale_baseline == []
+
+
+def test_baseline_version_mismatch(tmp_path):
+    bad = tmp_path / "b.json"
+    bad.write_text(json.dumps({"version": 99, "findings": []}))
+    with pytest.raises(AnalyzerError):
+        load_baseline(bad)
+
+
+# -- the CLI ------------------------------------------------------------
+
+
+def _write_violation(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        "def dump(path, text):\n"
+        "    with open(path, 'w') as handle:\n"
+        "        handle.write(text)\n"
+    )
+    return mod
+
+
+def test_cli_exit_1_on_findings(tmp_path, capsys):
+    mod = _write_violation(tmp_path)
+    assert main(["check", str(mod)]) == 1
+    out = capsys.readouterr().out
+    assert "[atomic-write]" in out and "1 new" in out
+
+
+def test_cli_exit_0_clean(tmp_path, capsys):
+    mod = tmp_path / "clean.py"
+    mod.write_text("x = 1\n")
+    assert main(["check", str(mod)]) == 0
+
+
+def test_cli_exit_2_on_bad_path(tmp_path, capsys):
+    assert main(["check", str(tmp_path / "missing")]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_exit_2_on_unknown_rule(tmp_path, capsys):
+    mod = _write_violation(tmp_path)
+    assert main(["check", "--rule", "no-such-rule", str(mod)]) == 2
+
+
+def test_cli_rule_filter(tmp_path, capsys):
+    mod = _write_violation(tmp_path)
+    assert main(["check", "--rule", "broad-except", str(mod)]) == 0
+    assert main(["check", "--rule", "atomic-write", str(mod)]) == 1
+
+
+def test_cli_json_format(tmp_path, capsys):
+    mod = _write_violation(tmp_path)
+    assert main(["check", "--format", "json", str(mod)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_scanned"] == 1
+    assert payload["new"][0]["rule"] == "atomic-write"
+    assert payload["new"][0]["fingerprint"]
+
+
+def test_cli_update_baseline_then_clean(tmp_path, capsys, monkeypatch):
+    mod = _write_violation(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert main([
+        "check", "--baseline", str(baseline), "--update-baseline", str(mod)
+    ]) == 0
+    assert main(["check", "--baseline", str(baseline), str(mod)]) == 0
+    out = capsys.readouterr().out
+    assert "1 baselined" in out
+
+
+def test_cli_explicit_missing_baseline_is_error(tmp_path, capsys):
+    mod = _write_violation(tmp_path)
+    assert main(
+        ["check", "--baseline", str(tmp_path / "nope.json"), str(mod)]
+    ) == 2
+
+
+def test_cli_list_rules(capsys):
+    assert main(["check", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in (
+        "lock-discipline", "atomic-write", "journal-exhaustive",
+        "broad-except", "layering", "stdlib-only", "hash-determinism",
+    ):
+        assert rule_id in out

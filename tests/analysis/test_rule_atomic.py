@@ -1,0 +1,79 @@
+"""atomic-write: raw write APIs must route through core.atomic."""
+
+import pytest
+
+from repro.analysis.rules.atomicio import AtomicWriteRule
+
+
+@pytest.fixture
+def atomic(analyze):
+    def run(source, **kwargs):
+        return analyze(AtomicWriteRule(), source, **kwargs)
+
+    return run
+
+
+@pytest.mark.parametrize(
+    "call",
+    [
+        'open(p, "w")',
+        'open(p, "wb")',
+        'open(p, "a")',
+        'open(p, "x")',
+        'open(p, "r+")',
+        'open(p, mode="w")',
+        "json.dump(data, handle)",
+        "pickle.dump(data, handle)",
+        "np.save(p, arr)",
+        "np.savez(p, a=arr)",
+        "numpy.savez_compressed(p, a=arr)",
+        "p.write_text(text)",
+        "p.write_bytes(blob)",
+        "os.open(p, os.O_WRONLY | os.O_CREAT)",
+        "os.open(p, os.O_APPEND)",
+    ],
+)
+def test_write_apis_flagged(atomic, call):
+    report = atomic(f"def f(p, data, arr, handle, text, blob):\n    {call}\n")
+    assert len(report.new) == 1, call
+
+
+@pytest.mark.parametrize(
+    "call",
+    [
+        "open(p)",
+        'open(p, "r")',
+        'open(p, "rb")',
+        "json.dumps(data)",
+        "json.load(handle)",
+        "np.load(p)",
+        "p.read_text()",
+        "os.open(p, os.O_RDONLY)",
+    ],
+)
+def test_read_apis_clean(atomic, call):
+    report = atomic(f"def f(p, data, handle):\n    {call}\n")
+    assert report.new == [], call
+
+
+def test_core_atomic_module_exempt(atomic):
+    report = atomic(
+        'def impl(p, text):\n    open(p, "w")\n',
+        name="src/repro/core/atomic.py",
+    )
+    assert report.new == []
+
+
+def test_dynamic_mode_not_flagged(atomic):
+    # A mode that is not a string constant is out of scope (and rare);
+    # the rule must not crash on it.
+    report = atomic("def f(p, m):\n    open(p, m)\n")
+    assert report.new == []
+
+
+def test_suppression(atomic):
+    report = atomic(
+        'def seal(p):\n'
+        '    open(p, "ab")  # repro: ignore[atomic-write] one byte cannot tear\n'
+    )
+    assert report.new == [] and len(report.suppressed) == 1

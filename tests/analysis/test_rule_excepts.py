@@ -1,0 +1,75 @@
+"""broad-except: broad handlers must re-raise or log_event."""
+
+import pytest
+
+from repro.analysis.rules.excepts import BroadExceptRule
+
+
+@pytest.fixture
+def excepts(analyze):
+    def run(source, **kwargs):
+        return analyze(BroadExceptRule(), source, **kwargs)
+
+    return run
+
+
+@pytest.mark.parametrize(
+    "clause",
+    ["except Exception:", "except BaseException:", "except:",
+     "except (ValueError, Exception):", "except builtins.Exception:"],
+)
+def test_silent_broad_handler_flagged(excepts, clause):
+    report = excepts(
+        f"def f():\n    try:\n        work()\n    {clause}\n        pass\n"
+    )
+    assert len(report.new) == 1, clause
+    assert report.new[0].severity == "warning"
+
+
+def test_narrow_handler_clean(excepts):
+    report = excepts(
+        """\
+        def f():
+            try:
+                work()
+            except (ValueError, OSError):
+                pass
+        """
+    )
+    assert report.new == []
+
+
+def test_reraise_clean(excepts):
+    report = excepts(
+        """\
+        def f():
+            try:
+                work()
+            except Exception as err:
+                raise RuntimeError("wrapped") from err
+        """
+    )
+    assert report.new == []
+
+
+def test_log_event_clean(excepts):
+    for call in ("log_event('oops', error=str(err))",
+                 "obs.log_event('oops')"):
+        report = excepts(
+            f"def f():\n    try:\n        work()\n"
+            f"    except Exception as err:\n        {call}\n"
+        )
+        assert report.new == [], call
+
+
+def test_suppression(excepts):
+    report = excepts(
+        """\
+        def f():
+            try:
+                work()
+            except Exception:  # repro: ignore[broad-except] error returns as data
+                return None
+        """
+    )
+    assert report.new == [] and len(report.suppressed) == 1

@@ -1,0 +1,132 @@
+"""layering + stdlib-only: the import architecture rules."""
+
+import pytest
+
+from repro.analysis.rules.imports import (
+    ALLOWED_DEPS,
+    LayeringRule,
+    StdlibOnlyRule,
+)
+
+
+@pytest.fixture
+def layering(analyze):
+    def run(source, name):
+        return analyze(LayeringRule(), source, name=name)
+
+    return run
+
+
+def test_upward_module_level_import_flagged(layering):
+    report = layering(
+        "from repro.service import JobQueue\n",
+        name="src/repro/nn/mod.py",
+    )
+    assert len(report.new) == 1
+    assert "nn must not import service" in report.new[0].message
+
+
+def test_absolute_import_form_flagged(layering):
+    report = layering(
+        "import repro.api.backends\n",
+        name="src/repro/core/mod.py",
+    )
+    assert len(report.new) == 1
+
+
+def test_relative_upward_import_flagged(layering):
+    # from ..service import x inside repro/core/ resolves to
+    # repro.service.
+    report = layering(
+        "from ..service import queue\n",
+        name="src/repro/core/mod.py",
+    )
+    assert len(report.new) == 1
+
+
+def test_allowed_dependency_clean(layering):
+    report = layering(
+        "from repro.core import AttackConfig\n"
+        "from ..netlist import designs\n",
+        name="src/repro/attacks/mod.py",
+    )
+    assert report.new == []
+
+
+def test_lazy_import_exempt(layering):
+    report = layering(
+        """\
+        def helper():
+            from repro.api import Client
+            return Client
+        """,
+        name="src/repro/eval/mod.py",
+    )
+    assert report.new == []
+
+
+def test_sibling_relative_import_clean(layering):
+    # from .flow import x stays inside the package.
+    report = layering(
+        "from .flow import cache_dir\n",
+        name="src/repro/pipeline/mod.py",
+    )
+    assert report.new == []
+
+
+def test_unregistered_package_flagged(layering):
+    report = layering(
+        "from repro.core import AttackConfig\n",
+        name="src/repro/newpkg/mod.py",
+    )
+    assert len(report.new) == 1
+    assert "not registered" in report.new[0].message
+
+
+def test_toplevel_modules_exempt(layering):
+    report = layering(
+        "from repro.api import Client\n",
+        name="src/repro/__main__.py",
+    )
+    assert report.new == []
+
+
+def test_allowed_deps_is_a_dag_outside_cells_netlist():
+    # The one sanctioned cycle is cells <-> netlist; everything else
+    # must be strictly layered or the map itself has rotted.
+    for package, deps in ALLOWED_DEPS.items():
+        for dep in deps:
+            if {package, dep} == {"cells", "netlist"}:
+                continue
+            assert package not in ALLOWED_DEPS.get(dep, frozenset()), (
+                f"cycle: {package} <-> {dep}"
+            )
+
+
+def test_stdlib_only_flags_unknown_third_party(analyze):
+    report = analyze(StdlibOnlyRule(), "import requests\n")
+    assert len(report.new) == 1
+    assert "requests" in report.new[0].message
+
+
+def test_stdlib_only_allows_baked_in(analyze):
+    report = analyze(
+        StdlibOnlyRule(),
+        "import json\n"
+        "import numpy as np\n"
+        "import networkx\n"
+        "from scipy import sparse\n"
+        "from repro.core import AttackConfig\n"
+        "from . import sibling\n",
+    )
+    assert report.new == []
+
+
+def test_stdlib_only_sees_lazy_imports_too(analyze):
+    # Unlike layering, the dependency contract has no lazy escape
+    # hatch: a function-level `import torch` still breaks deployment.
+    report = analyze(
+        StdlibOnlyRule(),
+        "def f():\n    import torch\n    return torch\n",
+    )
+    assert len(report.new) == 1

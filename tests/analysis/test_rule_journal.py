@@ -1,0 +1,97 @@
+"""journal-exhaustive: emitted event types must be folded."""
+
+import pytest
+
+from repro.analysis.rules.journal import JournalExhaustiveRule
+
+FOLD_AND_EMIT = """\
+class Queue:
+    def submit(self):
+        self._journal({{"event": "submit", "job": 1}})
+
+    def done(self):
+        self._journal({{"event": "{extra}", "job_id": "j"}})
+
+    def _apply(self, event):
+        kind = event.get("event")
+        if kind == "submit":
+            return "queued"
+        elif kind in ("done", "failed"):
+            return "terminal"
+        return None
+"""
+
+
+@pytest.fixture
+def journal(analyze):
+    def run(source, **kwargs):
+        return analyze(JournalExhaustiveRule(), source, **kwargs)
+
+    return run
+
+
+def test_unhandled_emitter_flagged(journal):
+    report = journal(FOLD_AND_EMIT.format(extra="vanish"))
+    assert len(report.new) == 1
+    assert "'vanish'" in report.new[0].message
+    assert report.new[0].rule == "journal-exhaustive"
+
+
+def test_handled_via_eq_and_in_clean(journal):
+    assert journal(FOLD_AND_EMIT.format(extra="done")).new == []
+    assert journal(FOLD_AND_EMIT.format(extra="submit")).new == []
+
+
+def test_extra_handler_arm_tolerated(journal):
+    # A fold arm with no emitter is back-compat for old journals, not
+    # a finding ("failed" is handled but never emitted here).
+    assert journal(FOLD_AND_EMIT.format(extra="done")).new == []
+
+
+def test_module_without_fold_skipped(journal):
+    report = journal(
+        """\
+        def emit(sink):
+            sink.append({"event": "submit"})
+        """
+    )
+    assert report.new == []
+
+
+def test_module_without_emitters_skipped(journal):
+    report = journal(
+        """\
+        def fold(event):
+            kind = event.get("event")
+            if kind == "submit":
+                return 1
+        """
+    )
+    assert report.new == []
+
+
+def test_dict_with_nonconstant_event_value_ignored(journal):
+    report = journal(
+        """\
+        class Queue:
+            def emit(self, kind):
+                self._journal({"event": kind})
+
+            def _apply(self, event):
+                kind = event.get("event")
+                if kind == "submit":
+                    return 1
+        """
+    )
+    assert report.new == []
+
+
+def test_suppression(journal):
+    source = FOLD_AND_EMIT.format(extra="vanish").replace(
+        '"job_id": "j"})',
+        '"job_id": "j"})'
+        "  # repro: ignore[journal-exhaustive] migration shim",
+    )
+    assert "ignore[journal-exhaustive]" in source
+    report = journal(source)
+    assert report.new == [] and len(report.suppressed) == 1

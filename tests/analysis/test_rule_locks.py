@@ -1,0 +1,271 @@
+"""lock-discipline: inferred GUARDED_BY over `with self._lock:`."""
+
+import pytest
+
+from repro.analysis.rules.locks import LockDisciplineRule
+
+RULE = LockDisciplineRule
+
+
+@pytest.fixture
+def locks(analyze):
+    def run(source, **kwargs):
+        return analyze(RULE(), source, **kwargs)
+
+    return run
+
+
+def test_unlocked_mutation_of_guarded_attr(locks):
+    report = locks(
+        """\
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def add(self, x):
+                with self._lock:
+                    self._items.append(x)
+
+            def sneaky(self, x):
+                self._items.append(x)
+        """
+    )
+    assert len(report.new) == 1
+    finding = report.new[0]
+    assert finding.rule == "lock-discipline"
+    assert "Box._items" in finding.message and "sneaky" in finding.message
+
+
+def test_all_locked_is_clean(locks):
+    report = locks(
+        """\
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+                self._items = list(self._items)  # __init__ is exempt
+
+            def add(self, x):
+                with self._lock:
+                    self._items.append(x)
+
+            def replace(self, items):
+                with self._lock:
+                    self._items = list(items)
+        """
+    )
+    assert report.new == []
+
+
+def test_unguarded_attrs_are_free(locks):
+    # An attribute never mutated under the lock is not guarded; the
+    # rule must not invent findings for it.
+    report = locks(
+        """\
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.hits = 0
+
+            def bump(self):
+                self.hits += 1
+        """
+    )
+    assert report.new == []
+
+
+def test_private_helper_held_via_fixpoint(locks):
+    # _push is only ever called under the lock, so its mutations count
+    # as held — the JobQueue._apply convention.
+    report = locks(
+        """\
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def add(self, x):
+                with self._lock:
+                    self._push(x)
+
+            def _push(self, x):
+                self._items.append(x)
+        """
+    )
+    assert report.new == []
+
+
+def test_helper_with_one_unlocked_caller_not_held(locks):
+    # `clear` mutates under the lock, so _items is guarded; _push has
+    # an unlocked caller, so it is NOT held and its mutation is a
+    # finding.
+    report = locks(
+        """\
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def clear(self):
+                with self._lock:
+                    self._items = []
+
+            def add(self, x):
+                with self._lock:
+                    self._push(x)
+
+            def unsafe_add(self, x):
+                self._push(x)
+
+            def _push(self, x):
+                self._items.append(x)
+        """
+    )
+    assert len(report.new) == 1
+    assert "_push" in report.new[0].message
+
+
+def test_transitive_fixpoint(locks):
+    # held caller -> held helper -> held helper-of-helper.
+    report = locks(
+        """\
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def add(self, x):
+                with self._lock:
+                    self._outer(x)
+
+            def _outer(self, x):
+                self._inner(x)
+
+            def _inner(self, x):
+                self._items.append(x)
+        """
+    )
+    assert report.new == []
+
+
+def test_injected_lock_by_name(locks):
+    # A lock arriving through the constructor (no threading.Lock()
+    # call in sight) is recognised by its name.
+    report = locks(
+        """\
+        class Store:
+            def __init__(self, store_lock):
+                self.store_lock = store_lock
+                self._rows = []
+
+            def add(self, row):
+                with self.store_lock:
+                    self._rows.append(row)
+
+            def bad(self, row):
+                self._rows.append(row)
+        """
+    )
+    assert len(report.new) == 1
+
+
+def test_nested_function_resets_context(locks):
+    # Mutations inside a nested def are neither findings nor guard
+    # evidence: its call time is unknown.
+    report = locks(
+        """\
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def add(self, x):
+                with self._lock:
+                    def later():
+                        self._items.append(x)
+                    return later
+        """
+    )
+    assert report.new == []
+
+
+def test_subscript_and_mutator_calls_detected(locks):
+    report = locks(
+        """\
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._table = {}
+
+            def put(self, k, v):
+                with self._lock:
+                    self._table[k] = v
+
+            def racey_del(self, k):
+                del self._table[k]
+
+            def racey_update(self, other):
+                self._table.update(other)
+        """
+    )
+    assert len(report.new) == 2
+
+
+def test_tuple_assignment_targets(locks):
+    report = locks(
+        """\
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._a = 0
+                self._b = 0
+
+            def set_both(self, a, b):
+                with self._lock:
+                    self._a, self._b = a, b
+
+            def racey(self, a, b):
+                self._a, self._b = a, b
+        """
+    )
+    assert len(report.new) == 2
+
+
+def test_suppression(locks):
+    report = locks(
+        """\
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def add(self, x):
+                with self._lock:
+                    self._items.append(x)
+
+            def startup_only(self, x):
+                self._items.append(x)  # repro: ignore[lock-discipline] pre-thread setup
+        """
+    )
+    assert report.new == [] and len(report.suppressed) == 1

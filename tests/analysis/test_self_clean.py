@@ -1,0 +1,105 @@
+"""Acceptance: the repo passes its own checker, and the journal rule's
+static view agrees with the real JobQueue's behaviour."""
+
+import ast
+import json
+import shutil
+from pathlib import Path
+
+from repro.__main__ import main
+from repro.analysis import Analyzer, all_rules, load_baseline
+from repro.analysis.rules.journal import emitted_events, handled_events
+from repro.experiments import ScenarioSpec
+from repro.service import JobQueue
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+BASELINE = REPO_ROOT / "results" / "lint_baseline.json"
+QUEUE_PY = SRC / "repro" / "service" / "queue.py"
+
+
+def test_src_tree_is_clean():
+    """`repro check` over src/ must have zero unbaselined findings —
+    the same gate CI runs."""
+    report = Analyzer(all_rules()).run(
+        [SRC], root=REPO_ROOT, baseline=load_baseline(BASELINE)
+    )
+    assert report.files_scanned > 50
+    assert report.new == [], "\n".join(f.render() for f in report.new)
+    # The baseline must not have rotted either: every grandfathered
+    # fingerprint still matches a live finding.
+    assert report.stale_baseline == []
+
+
+def test_injected_violation_fails_the_gate(tmp_path, capsys):
+    victim = tmp_path / "victim.py"
+    shutil.copy(SRC / "repro" / "core" / "atomic.py", tmp_path / "ok.py")
+    victim.write_text(
+        "def leak(path, payload):\n"
+        "    with open(path, 'w') as handle:\n"
+        "        handle.write(payload)\n"
+    )
+    assert main(["check", str(tmp_path)]) == 1
+    assert "[atomic-write]" in capsys.readouterr().out
+
+
+def test_queue_fold_is_statically_exhaustive():
+    tree = ast.parse(QUEUE_PY.read_text(encoding="utf-8"))
+    emitted = {event for event, _ in emitted_events(tree)}
+    handled = handled_events(tree)
+    assert emitted, "queue.py emitters not found — rule went blind"
+    assert handled >= {
+        "submit", "claim", "heartbeat", "progress", "done", "failed",
+        "cancel", "requeue",
+    }
+    assert emitted <= handled
+
+
+def test_live_journal_events_covered_by_static_fold(tmp_path):
+    """Drive a real queue through every mutation; every event type that
+    lands in the journal must be one the static analysis saw handled —
+    the cross-check that keeps the rule honest about the real
+    emitters."""
+    handled = handled_events(
+        ast.parse(QUEUE_PY.read_text(encoding="utf-8"))
+    )
+    now = [1000.0]
+    queue = JobQueue(tmp_path / "queue.jsonl", clock=lambda: now[0])
+
+    def spec(design):
+        return [ScenarioSpec(design=design, split_layer=3,
+                             attack="proximity")]
+
+    done_job, _ = queue.submit(spec("tiny_a"))
+    claimed = queue.claim(worker="w1", lease_s=30.0)
+    assert claimed.job_id == done_job.job_id
+    queue.heartbeat(done_job.job_id, worker="w1", lease_s=30.0)
+    queue.progress(done_job.job_id, nodes_done=1, nodes_total=2)
+    queue.complete(done_job.job_id)
+
+    failed_job, _ = queue.submit(spec("tiny_b"))
+    queue.claim(worker="w1", lease_s=30.0)
+    queue.fail(failed_job.job_id, "boom")
+
+    cancelled_job, _ = queue.submit(spec("tiny_seq"))
+    queue.cancel(cancelled_job.job_id)
+
+    orphan_job, _ = queue.submit(spec("tiny_tree"))
+    queue.claim(worker="w2", lease_s=5.0)
+    now[0] += 3600.0  # expire the lease
+    requeued = queue.requeue_expired()
+    assert [job.job_id for job in requeued] == [orphan_job.job_id]
+
+    journaled = set()
+    with open(queue.path, encoding="utf-8") as handle:
+        for line in handle:
+            if line.strip():
+                journaled.add(json.loads(line)["event"])
+    assert journaled >= {
+        "submit", "claim", "heartbeat", "progress", "done", "failed",
+        "cancel", "requeue",
+    }
+    assert journaled <= handled, (
+        f"journal writes events the fold (statically) never handles: "
+        f"{sorted(journaled - handled)}"
+    )
