@@ -98,6 +98,22 @@ def golden_sweep(args) -> tuple[dict, list[BenchMetric]]:
             )
         resume_s.append(time.perf_counter() - start)
 
+    # Training-path metric: best-of-3 single-epoch DLAttack.train on
+    # c432 at M3 with the benchmark config (features come warm from the
+    # committed cache, so the number isolates the batch-assembly +
+    # forward/backward hot path the unique-image dedup targets).
+    from repro.core import DLAttack
+    from repro.pipeline import get_split
+
+    train_cfg = AttackConfig.benchmark().with_(epochs=1)
+    train_split = get_split("c432", 3)
+    train_s = []
+    for _ in range(3):
+        attack = DLAttack(train_cfg, split_layer=3)
+        start = time.perf_counter()
+        attack.train([train_split])
+        train_s.append(time.perf_counter() - start)
+
     summary = {
         "label": args.label,
         "mode": "golden",
@@ -106,12 +122,14 @@ def golden_sweep(args) -> tuple[dict, list[BenchMetric]]:
         "workers": args.workers,
         "golden_sweep_wall_s": round(min(sweep_s), 3),
         "golden_resume_50x_s": round(min(resume_s), 3),
+        "golden_train_epoch_s": round(min(train_s), 3),
         "executed": result.executed,
         "resumed": resumed.reused,
     }
     metrics = [
         BenchMetric("golden_sweep_wall_s", min(sweep_s), unit="s"),
         BenchMetric("golden_resume_50x_s", min(resume_s), unit="s"),
+        BenchMetric("golden_train_epoch_s", min(train_s), unit="s"),
     ]
     return summary, metrics
 

@@ -110,6 +110,15 @@ class DLAttack:
         )
         rng = np.random.default_rng(self.config.seed)
         batch_size = self.config.batch_groups
+        dedup = self.config.train_image_dedup and self.config.use_images
+        # Validation datasets are built once: candidate selection and
+        # feature extraction are identical every epoch, so rebuilding
+        # them per epoch (as `select` does for ad-hoc layouts) would
+        # redo that work O(epochs) times.
+        val_datasets = [
+            SplitDataset(s, self.config, use_disk_cache=self.use_disk_cache)
+            for s in (val_splits or [])
+        ]
 
         self.model.train()
         for epoch in range(1, self.config.epochs + 1):
@@ -130,6 +139,7 @@ class DLAttack:
                         [dataset.groups[i] for i in indices],
                         self.normalizer,
                         True,
+                        dedup_images=dedup,
                     )
                     for dataset, indices in by_dataset.values()
                 ]
@@ -142,9 +152,14 @@ class DLAttack:
             self.log.epochs.append(epoch)
             self.log.losses.append(mean_loss)
             self.log.learning_rates.append(lr)
-            if val_splits:
+            if val_datasets:
                 val = float(
-                    np.mean([self.evaluate(s) for s in val_splits])
+                    np.mean(
+                        [
+                            ccr(d.split, self._select_dataset(d))
+                            for d in val_datasets
+                        ]
+                    )
                 )
                 self.log.val_ccr.append(val)
             if verbose:
@@ -161,14 +176,24 @@ class DLAttack:
 
     def _train_step(self, batch: Batch, optimizer: Adam) -> float:
         optimizer.zero_grad()
-        scores = self.model(batch.vec, batch.src_images, batch.sink_images)
+        dedup = batch.image_batch is not None
+        if dedup:
+            scores = self.model.forward_deduplicated(
+                batch.vec, batch.image_batch,
+                batch.src_gather, batch.sink_gather,
+            )
+        else:
+            scores = self.model(batch.vec, batch.src_images, batch.sink_images)
         if self.config.loss == "softmax":
             loss, grad = softmax_regression_loss(
                 scores, batch.targets, batch.mask
             )
         else:
             loss, grad = two_class_loss(scores, batch.targets, batch.mask)
-        self.model.backward(grad)
+        if dedup:
+            self.model.backward_deduplicated(grad)
+        else:
+            self.model.backward(grad)
         if self.config.grad_clip is not None:
             clip_gradient_norm(optimizer.parameters, self.config.grad_clip)
         optimizer.step()
@@ -204,17 +229,34 @@ class DLAttack:
         dataset = SplitDataset(
             split, self.config, use_disk_cache=self.use_disk_cache
         )
+        return self._select_dataset(dataset)
+
+    def _select_dataset(self, dataset: SplitDataset) -> dict[int, int]:
+        """Inference over an already-built dataset.
+
+        Runs under eval mode but restores the previous mode on exit:
+        per-epoch validation calls this mid-training, and leaving the
+        model in eval mode there would silently disable dropout for
+        every epoch after the first.
+        """
+        was_training = self.model.training
         self.model.eval()
-        if self.config.use_images:
-            return self._select_deduplicated(dataset)
-        assignment: dict[int, int] = {}
-        batch_size = self.config.batch_groups
-        for start in range(0, len(dataset.groups), batch_size):
-            groups = dataset.groups[start : start + batch_size]
-            batch = make_batch(dataset, groups, self.normalizer, False)
-            scores = self.model(batch.vec, batch.src_images, batch.sink_images)
-            self._assign_choices(groups, batch.mask, scores, assignment)
-        return assignment
+        try:
+            if self.config.use_images:
+                return self._select_deduplicated(dataset)
+            assignment: dict[int, int] = {}
+            batch_size = self.config.batch_groups
+            for start in range(0, len(dataset.groups), batch_size):
+                groups = dataset.groups[start : start + batch_size]
+                batch = make_batch(dataset, groups, self.normalizer, False)
+                scores = self.model(
+                    batch.vec, batch.src_images, batch.sink_images
+                )
+                self._assign_choices(groups, batch.mask, scores, assignment)
+            return assignment
+        finally:
+            if was_training:
+                self.model.train()
 
     # Conv-tower batch size for unique-image embedding; bounds the
     # activation memory the tower caches per call.
@@ -278,12 +320,19 @@ class DLAttack:
         return emb_table
 
     def _weights_tag(self) -> str:
-        """Content hash of the model parameters (embedding cache key)."""
+        """Content hash of the model parameters (embedding cache key).
+
+        Shape and dtype are folded in per key: raw ``tobytes()`` alone
+        would let two distinct parameter states (same bytes, different
+        shape or dtype) collide to the same cache entry.
+        """
         digest = hashlib.sha256()
         state = self.model.state_dict()
         for key in sorted(state):
+            arr = np.ascontiguousarray(state[key])
             digest.update(key.encode())
-            digest.update(np.ascontiguousarray(state[key]).tobytes())
+            digest.update(repr((arr.shape, arr.dtype.str)).encode())
+            digest.update(arr.tobytes())
         return digest.hexdigest()[:16]
 
     def _assign_choices(
@@ -355,6 +404,21 @@ def _subsample_indices(
 def _concat_batches(batches: list[Batch]) -> Batch:
     if len(batches) == 1:
         return batches[0]
+    image_batch = src_gather = sink_gather = None
+    if batches[0].image_batch is not None:
+        # Each batch's gather indices address its own unique-image
+        # sub-table; stacking the sub-tables means offsetting every
+        # batch's indices by the rows that precede its table.  (No
+        # cross-dataset dedup: the sub-tables index different designs'
+        # image tables.)
+        image_batch = np.concatenate([b.image_batch for b in batches])
+        offsets = np.cumsum([0] + [b.image_batch.shape[0] for b in batches])
+        src_gather = np.concatenate(
+            [b.src_gather + off for b, off in zip(batches, offsets)]
+        )
+        sink_gather = np.concatenate(
+            [b.sink_gather + off for b, off in zip(batches, offsets)]
+        )
     return Batch(
         vec=np.concatenate([b.vec for b in batches]),
         mask=np.concatenate([b.mask for b in batches]),
@@ -370,4 +434,7 @@ def _concat_batches(batches: list[Batch]) -> Batch:
             else None
         ),
         groups=[g for b in batches for g in b.groups],
+        image_batch=image_batch,
+        src_gather=src_gather,
+        sink_gather=sink_gather,
     )

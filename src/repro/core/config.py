@@ -50,6 +50,11 @@ class AttackConfig:
     dropout: float = 0.0
     weight_decay: float = 0.0
     grad_clip: float | None = None
+    # Execution strategy, not model identity: run the conv tower once
+    # per unique image per training batch (gather/scatter-grad) instead
+    # of once per duplicate slot.  ``False`` selects the materialised
+    # reference path.
+    train_image_dedup: bool = True
 
     extras: dict = field(default_factory=dict, compare=False)
 
@@ -91,6 +96,12 @@ class AttackConfig:
         payload = {k: v for k, v in vars(self).items() if k != "extras"}
         for key in self._TUPLE_FIELDS:
             payload[key] = list(payload[key])
+        # Hash-neutral at its inert value (the rf_list_threshold
+        # precedent): train_image_dedup picks an execution strategy with
+        # identical model semantics, so the default must not rotate
+        # scenario hashes minted before the field existed.
+        if payload.get("train_image_dedup") is True:
+            del payload["train_image_dedup"]
         return payload
 
     @classmethod

@@ -476,7 +476,14 @@ class SplitDataset:
 
 @dataclass
 class Batch:
-    """A training/inference batch of B groups."""
+    """A training/inference batch of B groups.
+
+    Images come in one of two shapes: the *materialised* form
+    (``src_images``/``sink_images``, every slot its own copy) or the
+    *deduplicated* form (``image_batch`` holding each distinct image of
+    the batch once, ``src_gather``/``sink_gather`` indexing its rows) —
+    exactly one of the two is populated when images are enabled.
+    """
 
     vec: np.ndarray  # (B, n, F) normalised
     mask: np.ndarray  # (B, n)
@@ -484,6 +491,9 @@ class Batch:
     src_images: np.ndarray | None  # (B, n, C, S, S)
     sink_images: np.ndarray | None  # (B, C, S, S)
     groups: list[SampleGroup]
+    image_batch: np.ndarray | None = None  # (U, C, S, S) float32, unique
+    src_gather: np.ndarray | None = None  # (B, n) intp into image_batch
+    sink_gather: np.ndarray | None = None  # (B,) intp into image_batch
 
 
 def make_batch(
@@ -491,7 +501,18 @@ def make_batch(
     groups: list[SampleGroup],
     normalizer: FeatureNormalizer,
     with_targets: bool,
+    dedup_images: bool = False,
 ) -> Batch:
+    """Assemble a batch from ``groups``.
+
+    With ``dedup_images`` (and images enabled), the duplicate-heavy
+    ``(B, n, C, S, S)`` stacks are replaced by a unique-image sub-table
+    plus gather indices: candidate groups share source images heavily
+    (a popular source fragment is a candidate of many sinks), so the
+    sub-table is typically ~8-10x smaller than the materialised stacks.
+    ``image_batch[src_gather]`` / ``image_batch[sink_gather]``
+    reconstructs the materialised form bit-for-bit.
+    """
     tensors = dataset.tensors
     idx = np.array([g.index for g in groups], dtype=np.intp)
     vec = normalizer.transform(tensors.vec[idx])
@@ -502,11 +523,27 @@ def make_batch(
         if (targets < 0).any():
             raise ValueError("cannot build a training batch from unlabeled groups")
     src_images = sink_images = None
+    image_batch = src_gather = sink_gather = None
     if dataset.config.use_images:
-        src_images = tensors.image_table[tensors.src_index[idx]].astype(
-            np.float32
-        )
-        sink_images = tensors.image_table[tensors.sink_index[idx]].astype(
-            np.float32
-        )
-    return Batch(vec, mask, targets, src_images, sink_images, groups)
+        if dedup_images:
+            b, n = tensors.src_index[idx].shape
+            flat = np.concatenate(
+                [tensors.src_index[idx].ravel(), tensors.sink_index[idx]]
+            )
+            uniq, inverse = np.unique(flat, return_inverse=True)
+            image_batch = tensors.image_table[uniq].astype(np.float32)
+            src_gather = inverse[: b * n].reshape(b, n).astype(np.intp)
+            sink_gather = inverse[b * n :].astype(np.intp)
+        else:
+            src_images = tensors.image_table[tensors.src_index[idx]].astype(
+                np.float32
+            )
+            sink_images = tensors.image_table[tensors.sink_index[idx]].astype(
+                np.float32
+            )
+    return Batch(
+        vec, mask, targets, src_images, sink_images, groups,
+        image_batch=image_batch,
+        src_gather=src_gather,
+        sink_gather=sink_gather,
+    )

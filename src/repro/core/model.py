@@ -86,6 +86,13 @@ class SplitNet(Module):
         )
         self.trunk = Sequential(*trunk_layers)
         self._shape: tuple[int, int] | None = None
+        # Which forward produced the cached activations: "stack" (plain
+        # forward over materialised image stacks), "emb" (precomputed
+        # embeddings), "dedup" (unique-image batch + gather indices).
+        # The matching backward must be used — mixing them would send
+        # gradients through the wrong tower cache.
+        self._mode: str | None = None
+        self._dedup: tuple | None = None
 
     def _build_tower(self, in_channels: int, rng: np.random.Generator) -> Sequential:
         cfg = self.config
@@ -124,9 +131,7 @@ class SplitNet(Module):
         if vec.ndim != 3 or vec.shape[-1] != N_VECTOR_FEATURES:
             raise ValueError(f"vec must be (B, n, {N_VECTOR_FEATURES})")
         batch, n, _ = vec.shape
-        self._shape = (batch, n)
 
-        out = self.vector_branch(vec)
         if self.use_images:
             if src_images is None or sink_images is None:
                 raise ValueError("model configured with images; none given")
@@ -137,16 +142,14 @@ class SplitNet(Module):
             emb = self.tower(stacked)
             src_emb = emb[: batch * n].reshape(batch, n, width)
             sink_emb = emb[batch * n :]
-            sink_bcast = np.broadcast_to(
-                sink_emb[:, None, :], (batch, n, width)
-            ).copy()
-            combined = np.concatenate([src_emb, sink_bcast], axis=2)
-            img_out = self.image_combine(combined)
-            merged = np.concatenate([out, img_out], axis=2)
-        else:
-            merged = out
+            scores = self.forward_from_embeddings(vec, src_emb, sink_emb)
+            self._mode = "stack"
+            return scores
 
-        scores = self.trunk(merged)
+        self._shape = (batch, n)
+        self._mode = "stack"
+        out = self.vector_branch(vec)
+        scores = self.trunk(out)
         if self.out_dim == 1:
             return scores[..., 0]
         return scores
@@ -171,15 +174,22 @@ class SplitNet(Module):
         src_emb: np.ndarray,
         sink_emb: np.ndarray,
     ) -> np.ndarray:
-        """Scores from precomputed tower embeddings (inference only;
-        the tower activations needed for its backward pass are not
-        retained for the gathered duplicates).
+        """Scores from precomputed tower embeddings.
 
         ``vec``: (B, n, F); ``src_emb``: (B, n, width); ``sink_emb``:
-        (B, width).  Mirrors :meth:`forward` after the conv tower.
+        (B, width).  Mirrors :meth:`forward` after the conv tower, and
+        caches the post-tower activations, so it is training-capable:
+        pair it with :meth:`backward_to_embeddings` to get the gradient
+        with respect to the embeddings (the conv tower itself is the
+        caller's responsibility — see :meth:`forward_deduplicated` for
+        the variant that also runs and back-propagates the tower).
         """
+        if not self.use_images:
+            raise RuntimeError("model configured without images")
         batch, n, _ = vec.shape
         width = self.config.fc_width
+        self._shape = (batch, n)
+        self._mode = "emb"
         out = self.vector_branch(vec)
         sink_bcast = np.broadcast_to(
             sink_emb[:, None, :], (batch, n, width)
@@ -192,10 +202,40 @@ class SplitNet(Module):
             return scores[..., 0]
         return scores
 
-    def backward(self, grad_scores: np.ndarray) -> None:
-        """Back-propagate from d loss / d scores; accumulates gradients."""
-        if self._shape is None:
-            raise RuntimeError("backward called before forward")
+    def forward_deduplicated(
+        self,
+        vec: np.ndarray,
+        image_batch: np.ndarray,
+        src_gather: np.ndarray,
+        sink_gather: np.ndarray,
+    ) -> np.ndarray:
+        """Training forward where the tower runs once per *unique*
+        image in the batch.
+
+        ``image_batch``: (U, C, S, S) unique-image sub-table;
+        ``src_gather``: (B, n) and ``sink_gather``: (B,) index into its
+        rows.  Pair with :meth:`backward_deduplicated`, which
+        scatter-adds the per-slot embedding gradients back onto the
+        unique rows — the mathematical transpose of this gather.
+        """
+        if not self.use_images:
+            raise RuntimeError("model configured without images")
+        emb = self.tower(image_batch)
+        scores = self.forward_from_embeddings(
+            vec, emb[src_gather], emb[sink_gather]
+        )
+        self._mode = "dedup"
+        self._dedup = (src_gather, sink_gather, emb.shape, emb.dtype)
+        return scores
+
+    def _backward_merged(
+        self, grad_scores: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Backward through trunk, image_combine and vector branch.
+
+        Returns per-slot ``(grad_src_emb (B, n, width), grad_sink_emb
+        (B, width))``, or ``None`` for a vector-only model.
+        """
         batch, n = self._shape
         self._shape = None
         width = self.config.fc_width
@@ -204,23 +244,84 @@ class SplitNet(Module):
             grad = grad_scores[..., None]
         else:
             grad = grad_scores
-        grad_merged = self.trunk.backward(grad.astype(np.float32))
+        if grad.dtype != np.float64:
+            grad = grad.astype(np.float32)
+        grad_merged = self.trunk.backward(grad)
 
-        if self.use_images:
-            grad_vec = grad_merged[..., :width]
-            grad_img = grad_merged[..., width:]
-            grad_combined = self.image_combine.backward(
-                np.ascontiguousarray(grad_img)
-            )
-            grad_src = np.ascontiguousarray(
-                grad_combined[..., :width]
-            ).reshape(batch * n, width)
-            grad_sink = grad_combined[..., width:].sum(axis=1)
-            grad_emb = np.concatenate([grad_src, grad_sink], axis=0)
-            self.tower.backward(grad_emb)
-        else:
-            grad_vec = grad_merged
+        if not self.use_images:
+            self.vector_branch.backward(np.ascontiguousarray(grad_merged))
+            return None
+        grad_vec = grad_merged[..., :width]
+        grad_img = grad_merged[..., width:]
+        grad_combined = self.image_combine.backward(
+            np.ascontiguousarray(grad_img)
+        )
+        grad_src = np.ascontiguousarray(grad_combined[..., :width])
+        grad_sink = grad_combined[..., width:].sum(axis=1)
         self.vector_branch.backward(np.ascontiguousarray(grad_vec))
+        return grad_src, grad_sink
+
+    def backward(self, grad_scores: np.ndarray) -> None:
+        """Back-propagate from d loss / d scores; accumulates gradients."""
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        if self._mode != "stack":
+            raise RuntimeError(
+                "last forward used precomputed embeddings; call "
+                "backward_to_embeddings or backward_deduplicated instead"
+            )
+        self._mode = None
+        res = self._backward_merged(grad_scores)
+        if res is None:
+            return
+        grad_src, grad_sink = res
+        width = self.config.fc_width
+        grad_emb = np.concatenate(
+            [grad_src.reshape(-1, width), grad_sink], axis=0
+        )
+        self.tower.backward(grad_emb)
+
+    def backward_to_embeddings(
+        self, grad_scores: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Back-propagate everything *except* the conv tower.
+
+        Counterpart of :meth:`forward_from_embeddings`: accumulates
+        gradients for the vector branch, image-combine and trunk
+        parameters, and returns ``(grad_src_emb (B, n, width),
+        grad_sink_emb (B, width))`` for the caller to push through the
+        tower (or a cached embedding table's consumers).
+        """
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        if self._mode not in ("emb", "dedup"):
+            raise RuntimeError(
+                "last forward did not go through forward_from_embeddings"
+            )
+        self._mode = None
+        res = self._backward_merged(grad_scores)
+        assert res is not None  # guarded by use_images in the forward
+        return res
+
+    def backward_deduplicated(self, grad_scores: np.ndarray) -> None:
+        """Backward for :meth:`forward_deduplicated`.
+
+        Scatter-adds (``np.add.at``) the per-slot embedding gradients
+        onto the unique-image rows — duplicates referencing the same
+        row sum, exactly like the sink broadcast's ``sum(axis=1)`` in
+        the stacked path — then back-propagates the tower once.
+        """
+        if self._mode != "dedup" or self._dedup is None:
+            raise RuntimeError("last forward was not forward_deduplicated")
+        src_gather, sink_gather, emb_shape, _ = self._dedup
+        self._dedup = None
+        self._mode = "emb"
+        grad_src, grad_sink = self.backward_to_embeddings(grad_scores)
+        width = emb_shape[1]
+        grad_emb = np.zeros(emb_shape, dtype=grad_src.dtype)
+        np.add.at(grad_emb, src_gather.reshape(-1), grad_src.reshape(-1, width))
+        np.add.at(grad_emb, sink_gather, grad_sink)
+        self.tower.backward(grad_emb)
 
     def layer_summary(self) -> list[str]:
         """Human-readable architecture summary (compare with Table 2)."""

@@ -6,8 +6,19 @@ layers, losses and optimisers the architecture of Fig. 4 requires,
 each with hand-derived, gradient-checked backward passes.
 """
 
-from .conv_utils import col2im, conv_output_size, im2col, same_padding
-from .gradcheck import check_loss_gradients, check_module_gradients, numerical_gradient
+from .conv_utils import (
+    col2im,
+    conv_output_size,
+    default_conv_matmul_mode,
+    im2col,
+    same_padding,
+)
+from .gradcheck import (
+    check_callable_gradients,
+    check_loss_gradients,
+    check_module_gradients,
+    numerical_gradient,
+)
 from .layers import (
     Conv2D,
     Dense,
@@ -44,11 +55,13 @@ __all__ = [
     "Sequential",
     "StepDecay",
     "apply_weight_decay",
+    "check_callable_gradients",
     "check_loss_gradients",
     "clip_gradient_norm",
     "check_module_gradients",
     "col2im",
     "conv_output_size",
+    "default_conv_matmul_mode",
     "he_normal",
     "im2col",
     "numerical_gradient",

@@ -13,12 +13,70 @@ divides evenly, and the backward scatter-add collapses to one reshape
 because no two patches touch the same pixel.  Both paths are bit-exact
 with each other (see ``tests/nn/test_conv_utils.py``).
 
+The ``stride < kernel`` case (two thirds of the Table 2 tower) has a
+**blocked** execution mode: instead of materialising the full
+``ascontiguousarray(cols)`` copy — 9x the input for the stride-1
+layers — the conv matmul consumes the strided window view in blocks of
+whole images, copying one cache-sized block at a time and feeding it
+straight to the gemm.  Bit-exactness with the materialising reference
+mode is **structural**, not a BLAS accident: both modes partition the
+patch rows with the same :func:`images_per_block` schedule and issue
+identical per-block gemm calls (same shapes, same operand values, same
+accumulation order), so they produce identical bits on any BLAS.  A
+single full gemm over a differently-sized operand is *not* bit-stable
+on real BLAS builds (kernel dispatch depends on the matrix shape),
+which is why the reference mode shares the block schedule instead of
+calling one big matmul.
+
 Layout convention is NCHW throughout.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
+
+# Target elements per cols block for the blocked stride<kernel matmul:
+# 256k f32 elements = 1 MiB, small enough to stay cache-resident while
+# the gemm consumes it, large enough to amortise the per-block call.
+_BLOCK_TARGET_ELEMS = 1 << 18
+
+# "auto" threshold: materialise the full cols array while it is at most
+# this many elements (~32 MiB f32).  Below it the one-shot gather is
+# faster (the blocked mode re-gathers windows in backward); above it
+# the cols copy thrashes cache/RSS and the blocked mode wins on both
+# time and peak memory (measured at the paper's 99x99 scale).
+_MATERIALIZE_LIMIT_ELEMS = 1 << 23
+
+_CONV_MATMUL_MODES = ("auto", "blocked", "reference")
+
+
+def default_conv_matmul_mode() -> str:
+    """Process-wide default for the stride<kernel conv execution mode.
+
+    ``REPRO_CONV_MATMUL`` can pin ``blocked`` (never materialise the
+    cols copy) or ``reference`` (always materialise — the parity oracle
+    and pre-blocking behaviour); anything else (including unset) keeps
+    ``auto``, which picks per call by cols size.  The choice never
+    affects numerics: all modes share the same block partition and so
+    produce identical bits.
+    """
+    mode = os.environ.get("REPRO_CONV_MATMUL", "auto")
+    return mode if mode in _CONV_MATMUL_MODES else "auto"
+
+
+def resolve_conv_matmul_mode(mode: str, total_rows: int, patch_len: int) -> str:
+    """Collapse ``"auto"`` to a concrete execution mode for one call.
+
+    Pure function of the logical cols shape, so a given call site is
+    deterministic — and either answer is bit-identical anyway.
+    """
+    if mode == "auto":
+        if total_rows * patch_len <= _MATERIALIZE_LIMIT_ELEMS:
+            return "reference"
+        return "blocked"
+    return mode
 
 
 def same_padding(in_size: int, kernel: int, stride: int) -> tuple[int, int]:
@@ -146,6 +204,121 @@ def _col2im_nonoverlap(
         .transpose(0, 3, 1, 4, 2, 5)
         .reshape(n, c, hp, wp)
     )
+
+
+def pad_input(
+    x: np.ndarray, kernel: int, stride: int
+) -> tuple[np.ndarray, tuple[int, ...]]:
+    """SAME-pad ``x`` (N, C, H, W); returns ``(xp, padded_shape)``.
+
+    No copy is made when the padding is zero on every side.
+    """
+    n, c, h, w = x.shape
+    pad_h = same_padding(h, kernel, stride)
+    pad_w = same_padding(w, kernel, stride)
+    if pad_h == (0, 0) and pad_w == (0, 0):
+        xp = x
+    else:
+        xp = np.pad(
+            x, ((0, 0), (0, 0), pad_h, pad_w),
+            mode="constant", constant_values=0.0,
+        )
+    return xp, xp.shape
+
+
+def window_view(
+    xp: np.ndarray, kernel: int, stride: int, out_h: int, out_w: int
+) -> np.ndarray:
+    """Read-only (N, out_h, out_w, C, k, k) window view over padded input.
+
+    Axis 0 is whole images, so slicing ``view[a:b]`` selects an image
+    block whose ``ascontiguousarray(...).reshape(rows, C*k*k)`` equals
+    the corresponding row slice of the full materialised ``cols``.
+    """
+    n, c = xp.shape[0], xp.shape[1]
+    sn, sc, sh, sw = xp.strides
+    return np.lib.stride_tricks.as_strided(
+        xp,
+        shape=(n, out_h, out_w, c, kernel, kernel),
+        strides=(sn, sh * stride, sw * stride, sc, sh, sw),
+        writeable=False,
+    )
+
+
+def images_per_block(rows_per_image: int, patch_len: int) -> int:
+    """Whole images per cols block for the stride<kernel matmul.
+
+    Derived purely from the logical shape (never from dtype, mode or
+    runtime state) so the blocked and reference execution modes always
+    agree on the partition — the property their bit-exactness rests on.
+    """
+    target_rows = max(1, _BLOCK_TARGET_ELEMS // max(1, patch_len))
+    return max(1, target_rows // max(1, rows_per_image))
+
+
+def conv_forward_blocks(
+    get_block, n_images: int, ipb: int, weight: np.ndarray, bias: np.ndarray
+) -> np.ndarray:
+    """Forward gemm over image blocks: ``cols_block @ weight + bias``.
+
+    ``get_block(a, b)`` must return the contiguous cols rows for images
+    ``[a, b)``.  Both execution modes call this with the same ``ipb``,
+    so every gemm has identical shape and operand values in each mode.
+    """
+    if n_images == 0:
+        return np.zeros((0, weight.shape[1]), dtype=weight.dtype)
+    parts = []
+    for a in range(0, n_images, ipb):
+        b = min(a + ipb, n_images)
+        parts.append(get_block(a, b) @ weight + bias)
+    return parts[0] if len(parts) == 1 else np.concatenate(parts, axis=0)
+
+
+def conv_backward_blocks(
+    get_block,
+    n_images: int,
+    rows_per_image: int,
+    ipb: int,
+    weight: np.ndarray,
+    g2d: np.ndarray,
+    padded_shape: tuple[int, ...],
+    out_h: int,
+    out_w: int,
+    kernel: int,
+    stride: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward over the same block partition as the forward.
+
+    Returns ``(weight_grad, bias_grad, grad_padded)``; per-block
+    partial sums accumulate in block order, so the reference and
+    blocked modes produce identical bits here too.
+    """
+    _, c, hp, wp = padded_shape
+    wg = np.zeros_like(weight)
+    bg = np.zeros(weight.shape[1], dtype=weight.dtype)
+    grad_padded = np.zeros((n_images, c, hp, wp), dtype=g2d.dtype)
+    for a in range(0, n_images, ipb):
+        b = min(a + ipb, n_images)
+        cols_b = get_block(a, b)
+        g_b = g2d[a * rows_per_image : b * rows_per_image]
+        wg += cols_b.T @ g_b
+        bg += g_b.sum(axis=0)
+        grad_padded[a:b] = _col2im_general(
+            g_b @ weight.T, (b - a, c, hp, wp), out_h, out_w, kernel, stride
+        )
+    return wg, bg, grad_padded
+
+
+def unpad_gradient(
+    grad_padded: np.ndarray,
+    orig_hw: tuple[int, int],
+    kernel: int,
+    stride: int,
+) -> np.ndarray:
+    h, w = orig_hw
+    pad_h = same_padding(h, kernel, stride)
+    pad_w = same_padding(w, kernel, stride)
+    return grad_padded[:, :, pad_h[0] : pad_h[0] + h, pad_w[0] : pad_w[0] + w]
 
 
 def col2im(

@@ -100,6 +100,51 @@ def check_module_gradients(
     return errors
 
 
+def check_callable_gradients(
+    forward,
+    backward,
+    tensors: dict[str, np.ndarray],
+    parameters=(),
+    eps: float = 1e-5,
+    atol: float = 1e-6,
+    rtol: float = 1e-4,
+) -> dict[str, float]:
+    """Gradient-check an arbitrary forward/backward pair.
+
+    For computations that are not a single ``Module`` call — e.g. the
+    deduplicated SplitNet path, whose forward gathers shared embedding
+    rows and whose backward scatter-adds them back.
+
+    ``forward()`` must recompute the output from the *current* contents
+    of the arrays in ``tensors`` (they are perturbed in place);
+    ``backward(weights)`` must run a fresh forward, back-propagate the
+    upstream gradient ``weights`` and return ``{name: grad}`` for every
+    entry of ``tensors``.  Parameters in ``parameters`` are checked via
+    the gradients accumulated by that same ``backward`` call.  All
+    arrays should be float64 for the finite differences to resolve.
+    """
+    for p in parameters:
+        p.grad = np.zeros_like(p.value)
+    out = forward()
+    rng = np.random.default_rng(1234)
+    weights = rng.standard_normal(out.shape)
+
+    def objective() -> float:
+        return float(np.sum(weights * forward()))
+
+    grads = backward(weights)
+    errors: dict[str, float] = {}
+    for name, tensor in tensors.items():
+        errors[name] = _compare_with_kink_guard(
+            grads[name], objective, tensor, eps, atol, rtol
+        )
+    for p in parameters:
+        errors[p.name] = _compare_with_kink_guard(
+            p.grad, objective, p.value, eps, atol, rtol
+        )
+    return errors
+
+
 def check_loss_gradients(
     loss_fn,
     scores: np.ndarray,

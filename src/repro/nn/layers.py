@@ -15,7 +15,19 @@ from __future__ import annotations
 
 import numpy as np
 
-from .conv_utils import col2im, conv_output_size, im2col
+from .conv_utils import (
+    col2im,
+    conv_backward_blocks,
+    conv_forward_blocks,
+    conv_output_size,
+    default_conv_matmul_mode,
+    im2col,
+    images_per_block,
+    pad_input,
+    resolve_conv_matmul_mode,
+    unpad_gradient,
+    window_view,
+)
 from .module import Module, Parameter
 
 DEFAULT_DTYPE = np.float32
@@ -97,7 +109,22 @@ class LeakyReLU(Module):
 
 
 class Conv2D(Module):
-    """3x3-style convolution with SAME padding, NCHW layout, via im2col."""
+    """3x3-style convolution with SAME padding, NCHW layout, via im2col.
+
+    ``stride == kernel`` keeps the non-overlapping single-gemm fast
+    path.  ``stride < kernel`` runs the matmul over whole-image blocks
+    in one of two modes sharing the same block partition (see
+    ``conv_utils``): ``"blocked"`` consumes the strided window view one
+    cache-sized block at a time (no full ``cols`` materialisation),
+    ``"reference"`` materialises ``cols`` up front.  The shared
+    partition makes the two modes bit-exact on any BLAS, so ``"auto"``
+    may freely pick per call: materialise while the cols copy is
+    cache-sized, stream blocks once it would thrash.
+
+    ``matmul_mode=None`` (the default) defers to
+    :func:`default_conv_matmul_mode`, i.e. the ``REPRO_CONV_MATMUL``
+    environment override or ``"auto"``.
+    """
 
     def __init__(
         self,
@@ -108,6 +135,7 @@ class Conv2D(Module):
         rng: np.random.Generator | None = None,
         dtype=DEFAULT_DTYPE,
         name: str = "conv",
+        matmul_mode: str | None = None,
     ):
         super().__init__()
         rng = rng or np.random.default_rng(0)
@@ -115,6 +143,7 @@ class Conv2D(Module):
         self.out_channels = out_channels
         self.kernel = kernel
         self.stride = stride
+        self.matmul_mode = matmul_mode
         fan_in = in_channels * kernel * kernel
         self.weight = Parameter(
             he_normal(rng, (fan_in, out_channels), fan_in, dtype),
@@ -123,29 +152,84 @@ class Conv2D(Module):
         self.bias = Parameter(np.zeros(out_channels, dtype=dtype), name=f"{name}.bias")
         self._cache: tuple | None = None
 
+    def _get_block(self, store: tuple, out_h: int, out_w: int):
+        """Block accessor over either a materialised cols array
+        ("reference") or the padded input's window view ("blocked")."""
+        kind, data = store
+        rows_per_image = out_h * out_w
+        patch_len = self.in_channels * self.kernel * self.kernel
+        if kind == "cols":
+            def get_block(a: int, b: int) -> np.ndarray:
+                return data[a * rows_per_image : b * rows_per_image]
+        else:
+            windows = window_view(data, self.kernel, self.stride, out_h, out_w)
+
+            def get_block(a: int, b: int) -> np.ndarray:
+                block = np.ascontiguousarray(windows[a:b])
+                return block.reshape((b - a) * rows_per_image, patch_len)
+        return get_block
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 4 or x.shape[1] != self.in_channels:
             raise ValueError(
                 f"Conv2D expected (N,{self.in_channels},H,W), got {x.shape}"
             )
         n, _, h, w = x.shape
-        cols, padded_shape = im2col(x, self.kernel, self.stride)
-        out = cols @ self.weight.value + self.bias.value
         out_h = conv_output_size(h, self.kernel, self.stride)
         out_w = conv_output_size(w, self.kernel, self.stride)
-        self._cache = (cols, padded_shape, (h, w))
+        if self.stride == self.kernel:
+            cols, padded_shape = im2col(x, self.kernel, self.stride)
+            out = cols @ self.weight.value + self.bias.value
+            self._cache = ("nonoverlap", cols, padded_shape, (h, w))
+        else:
+            mode = resolve_conv_matmul_mode(
+                self.matmul_mode or default_conv_matmul_mode(),
+                n * out_h * out_w,
+                self.in_channels * self.kernel * self.kernel,
+            )
+            if mode == "reference":
+                cols, padded_shape = im2col(x, self.kernel, self.stride)
+                store = ("cols", cols)
+            else:
+                xp, padded_shape = pad_input(x, self.kernel, self.stride)
+                store = ("xp", xp)
+            ipb = images_per_block(
+                out_h * out_w, self.in_channels * self.kernel * self.kernel
+            )
+            out = conv_forward_blocks(
+                self._get_block(store, out_h, out_w),
+                n, ipb, self.weight.value, self.bias.value,
+            )
+            self._cache = ("general", store, padded_shape, (h, w))
         return out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
-        cols, padded_shape, orig_hw = self._cache
+        kind, store, padded_shape, orig_hw = self._cache
         self._cache = None
         g2d = grad.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
-        self.weight.grad += cols.T @ g2d
-        self.bias.grad += g2d.sum(axis=0)
-        grad_cols = g2d @ self.weight.value.T
-        return col2im(grad_cols, padded_shape, orig_hw, self.kernel, self.stride)
+        if kind == "nonoverlap":
+            cols = store
+            self.weight.grad += cols.T @ g2d
+            self.bias.grad += g2d.sum(axis=0)
+            grad_cols = g2d @ self.weight.value.T
+            return col2im(grad_cols, padded_shape, orig_hw, self.kernel, self.stride)
+        h, w = orig_hw
+        out_h = conv_output_size(h, self.kernel, self.stride)
+        out_w = conv_output_size(w, self.kernel, self.stride)
+        ipb = images_per_block(
+            out_h * out_w, self.in_channels * self.kernel * self.kernel
+        )
+        wg, bg, grad_padded = conv_backward_blocks(
+            self._get_block(store, out_h, out_w),
+            padded_shape[0], out_h * out_w, ipb,
+            self.weight.value, g2d, padded_shape,
+            out_h, out_w, self.kernel, self.stride,
+        )
+        self.weight.grad += wg
+        self.bias.grad += bg
+        return unpad_gradient(grad_padded, orig_hw, self.kernel, self.stride)
 
 
 class GlobalAvgPool(Module):

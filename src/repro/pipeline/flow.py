@@ -196,7 +196,10 @@ def _config_fingerprint(
             sorted(
                 (k, v)
                 for k, v in vars(config).items()
-                if k != "extras"
+                # train_image_dedup is an execution strategy with
+                # identical model semantics, not model identity — it
+                # must not stale committed trained-weight caches.
+                if k not in ("extras", "train_image_dedup")
             ),
             split_layer,
             train_names,

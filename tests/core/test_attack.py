@@ -116,3 +116,87 @@ class TestVariants:
         attack = DLAttack(cfg, split_layer=3)
         attack.train(splits[:2])
         assert attack.log.losses  # trained on the capped corpus
+
+
+class TestTrainEvalModeRegression:
+    """The eval-mode clobber: per-epoch validation runs inference in
+    eval mode, and before the fix it left the model in eval mode — so
+    with ``val_splits`` and ``dropout > 0`` dropout was silently
+    disabled from epoch 2 onward."""
+
+    def test_dropout_live_after_first_validation(self, splits, monkeypatch):
+        from repro.nn.regularization import Dropout
+
+        mask_live: list[bool] = []
+        orig_forward = Dropout.forward
+
+        def spy(self, x):
+            out = orig_forward(self, x)
+            mask_live.append(self._mask is not None)
+            return out
+
+        monkeypatch.setattr(Dropout, "forward", spy)
+        cfg = AttackConfig.tiny().with_(epochs=2, dropout=0.3)
+        attack = DLAttack(cfg, split_layer=3)
+        attack.train(splits[:1], val_splits=[splits[1]])
+
+        # Epoch 1 trains with a live mask, validation runs with the
+        # mask off; epoch 2's training forwards must be live again.
+        assert True in mask_live and False in mask_live
+        after_validation = mask_live[mask_live.index(False) :]
+        assert any(after_validation), (
+            "dropout never re-enabled after the first validation pass"
+        )
+
+    def test_select_restores_training_mode(self, trained, splits):
+        trained.model.train()
+        trained.select(splits[2])
+        assert trained.model.training is True
+        trained.model.eval()
+        trained.select(splits[2])
+        assert trained.model.training is False
+
+
+class TestValidationDatasetHoisting:
+    def test_val_datasets_built_once(self, splits, monkeypatch):
+        """Validation feature extraction is epoch-invariant; before the
+        fix every epoch rebuilt each val SplitDataset from scratch."""
+        import repro.core.attack as attack_mod
+
+        real = attack_mod.SplitDataset
+        constructed = []
+
+        class Counting(real):
+            def __init__(self, split, *args, **kwargs):
+                constructed.append(split.name)
+                super().__init__(split, *args, **kwargs)
+
+        monkeypatch.setattr(attack_mod, "SplitDataset", Counting)
+        cfg = AttackConfig.tiny().with_(epochs=3)
+        attack = DLAttack(cfg, split_layer=3)
+        attack.train(splits[:1], val_splits=[splits[1]])
+        assert len(attack.log.val_ccr) == 3
+        # one per training design + one per val layout, epoch-independent
+        assert len(constructed) == 2
+
+
+class TestWeightsTag:
+    def test_shape_and_dtype_break_collisions(self, monkeypatch):
+        """Raw tobytes() would collide e.g. (2,3) with (3,2) and f32
+        zeros with i32 zeros; the tag must separate all of them."""
+        import numpy as np
+
+        attack = DLAttack(AttackConfig.tiny(), split_layer=3)
+        states = [
+            {"p": np.zeros((2, 3), dtype=np.float32)},
+            {"p": np.zeros((3, 2), dtype=np.float32)},
+            {"p": np.zeros((2, 3), dtype=np.int32)},
+        ]
+        tags = []
+        for state in states:
+            monkeypatch.setattr(attack.model, "state_dict", lambda s=state: s)
+            tags.append(attack._weights_tag())
+        assert len(set(tags)) == len(tags)
+
+    def test_tag_is_deterministic(self, trained):
+        assert trained._weights_tag() == trained._weights_tag()
